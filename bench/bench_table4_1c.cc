@@ -1,0 +1,25 @@
+/** Experiment E3: regenerate Table 4.1(c), enhancements 1+4. */
+
+#include "table41_common.hh"
+
+namespace snoop::bench {
+namespace {
+
+void
+report()
+{
+    reportTable41('c',
+                  "speedups for enhancements 1 and 4 (broadcast update)");
+}
+
+void
+BM_Table41c_MvaSweep(benchmark::State &state)
+{
+    mvaSubTableTiming(state, 'c');
+}
+BENCHMARK(BM_Table41c_MvaSweep);
+
+} // namespace
+} // namespace snoop::bench
+
+SNOOP_BENCH_MAIN(snoop::bench::report)

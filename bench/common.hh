@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the experiment-regeneration benchmarks. Each
+ * bench binary prints the paper's table or figure next to this
+ * library's measured values, then runs its google-benchmark timings.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "util/logging.hh"
+
+#include "core/analyzer.hh"
+#include "core/paper_data.hh"
+#include "core/validation.hh"
+#include "mva/solver.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+namespace snoop::bench {
+
+/** Percent-formatted relative deviation of @p got from @p want. */
+inline std::string
+relErr(double got, double want)
+{
+    if (want == 0.0)
+        return "-";
+    return formatPercent((got - want) / want, 2);
+}
+
+/** Print a section banner. */
+inline void
+banner(const std::string &title)
+{
+    std::printf("\n=== %s ===\n\n", title.c_str());
+}
+
+/**
+ * Standard bench main: print the experiment report (the function the
+ * binary registers), then run google-benchmark timings.
+ */
+#define SNOOP_BENCH_MAIN(report_fn)                                     \
+    int main(int argc, char **argv)                                     \
+    {                                                                   \
+        report_fn();                                                    \
+        benchmark::Initialize(&argc, argv);                             \
+        if (benchmark::ReportUnrecognizedArguments(argc, argv))         \
+            return 1;                                                   \
+        benchmark::RunSpecifiedBenchmarks();                            \
+        benchmark::Shutdown();                                          \
+        return 0;                                                       \
+    }
+
+} // namespace snoop::bench

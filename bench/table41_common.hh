@@ -1,0 +1,89 @@
+#pragma once
+
+/**
+ * @file
+ * Shared implementation of the three Table 4.1 regeneration benches
+ * (experiments E1-E3 of DESIGN.md). Each sub-table bench calls
+ * reportTable41() with its sub-table id and registers the same solver
+ * timing benchmarks.
+ */
+
+#include "common.hh"
+#include "sim/prob_sim.hh"
+
+namespace snoop::bench {
+
+/**
+ * Regenerate one Table 4.1 sub-table: our MVA speedups next to the
+ * paper's MVA column for every N, the paper's GTPN column for N <= 10,
+ * and our detailed simulator (the GTPN's stand-in) for N <= 10.
+ */
+inline void
+reportTable41(char sub_table, const std::string &caption)
+{
+    banner(strprintf("Table 4.1(%c): %s", sub_table, caption.c_str()));
+    std::printf("paper columns: MVA and GTPN as published; ours: this "
+                "library's MVA and its detailed discrete-event "
+                "simulator (GTPN stand-in, 300k requests).\n\n");
+
+    MvaSolver solver;
+    auto mods = ProtocolConfig::fromModString(table41Mods(sub_table));
+
+    double worst_vs_paper = 0.0;
+    for (const auto &row : paperTable41(sub_table)) {
+        auto workload = presets::appendixA(row.level);
+        auto inputs = DerivedInputs::compute(workload, mods);
+
+        Table t({"N", "our MVA", "paper MVA", "err", "our sim",
+                 "paper GTPN"});
+        t.setTitle(strprintf("%s sharing", to_string(row.level).c_str()));
+        const auto &ns = table41Ns();
+        for (size_t i = 0; i < ns.size(); ++i) {
+            auto mva = solver.solve(inputs, ns[i]);
+            double err = (mva.speedup - row.mva[i]) / row.mva[i];
+            worst_vs_paper = std::max(worst_vs_paper, std::fabs(err));
+
+            std::string sim_cell = "-", gtpn_cell = "-";
+            if (i < table41GtpnNs().size()) {
+                SimConfig sc;
+                sc.numProcessors = ns[i];
+                sc.workload = workload;
+                sc.protocol = mods;
+                sc.seed = 1000 + ns[i];
+                sc.measuredRequests = 300000;
+                sim_cell = formatDouble(simulate(sc).speedup, 2);
+                gtpn_cell = formatDouble(row.gtpn[i], 2);
+            }
+            t.addRow({strprintf("%u", ns[i]),
+                      formatDouble(mva.speedup, 3),
+                      formatDouble(row.mva[i], 3),
+                      relErr(mva.speedup, row.mva[i]), sim_cell,
+                      gtpn_cell});
+        }
+        std::fputs(t.render().c_str(), stdout);
+        std::printf("\n");
+    }
+    std::printf("worst deviation of our MVA from the paper's published "
+                "MVA column: %s\n",
+                formatPercent(worst_vs_paper, 2).c_str());
+}
+
+/** google-benchmark: one full sub-table of MVA solves. */
+inline void
+mvaSubTableTiming(benchmark::State &state, char sub_table)
+{
+    MvaSolver solver;
+    auto mods = ProtocolConfig::fromModString(table41Mods(sub_table));
+    for (auto _ : state) {
+        double acc = 0.0;
+        for (const auto &row : paperTable41(sub_table)) {
+            auto inputs = DerivedInputs::compute(
+                presets::appendixA(row.level), mods);
+            for (unsigned n : table41Ns())
+                acc += solver.solve(inputs, n).speedup;
+        }
+        benchmark::DoNotOptimize(acc);
+    }
+}
+
+} // namespace snoop::bench

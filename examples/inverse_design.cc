@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Inverse design: instead of asking "what speedup does this machine
+ * deliver?", ask "what must the workload look like to deliver a
+ * target speedup?" - e.g. how good the shared-writable hit rate must
+ * be before a protocol reaches 6x on 20 processors. Bisection over
+ * the forward model; each query costs microseconds.
+ *
+ *   ./inverse_design --protocol=Illinois --param=h_sw --target=6.0 \
+ *       --n=20 --sharing=20
+ */
+
+#include <cstdio>
+
+#include "core/solve_for.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+using namespace snoop;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("inverse_design",
+                  "find the parameter value achieving a target speedup");
+    cli.addOption("protocol", "Illinois", "catalog name or mod string");
+    cli.addOption("param", "h_sw", "parameter to solve for");
+    cli.addOption("target", "6.0", "target speedup");
+    cli.addOption("n", "20", "number of processors");
+    cli.addOption("sharing", "20", "sharing level in percent (1, 5, 20)");
+    cli.addOption("lo", "0.01", "search interval lower end");
+    cli.addOption("hi", "0.99", "search interval upper end");
+    cli.parse(argc, argv);
+
+    SolveForQuery q;
+    switch (cli.getInt("sharing")) {
+      case 1:
+        q.base = presets::appendixA(SharingLevel::OnePercent);
+        break;
+      case 5:
+        q.base = presets::appendixA(SharingLevel::FivePercent);
+        break;
+      case 20:
+        q.base = presets::appendixA(SharingLevel::TwentyPercent);
+        break;
+      default:
+        fatal("--sharing must be 1, 5, or 20");
+    }
+    auto protocol = findProtocol(cli.get("protocol"));
+    if (!protocol)
+        fatal("unknown protocol '%s'", cli.get("protocol").c_str());
+    q.protocol = *protocol;
+    q.n = static_cast<unsigned>(cli.getInt("n"));
+    q.paramName = cli.get("param");
+    q.set = findParamSetter(q.paramName);
+    if (!q.set)
+        fatal("unknown parameter '%s'", q.paramName.c_str());
+    q.lo = cli.getDouble("lo");
+    q.hi = cli.getDouble("hi");
+    q.targetSpeedup = cli.getDouble("target");
+
+    auto r = solveForParameter(q);
+    std::printf("%s on %u processors: speedup ranges from %.3f (at "
+                "%s = %g) to %.3f (at %s = %g)\n",
+                q.protocol.name().c_str(), q.n, r.speedupAtLo,
+                q.paramName.c_str(), q.lo, r.speedupAtHi,
+                q.paramName.c_str(), q.hi);
+    if (r.value) {
+        std::printf("target speedup %.3f is reached at %s = %.4f\n",
+                    q.targetSpeedup, q.paramName.c_str(), *r.value);
+    } else {
+        std::printf("target speedup %.3f is NOT attainable by varying "
+                    "%s alone on [%g, %g]\n", q.targetSpeedup,
+                    q.paramName.c_str(), q.lo, q.hi);
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Closing the methodological loop the paper's conclusion calls for
+ * ("all that is needed are workload measurement studies to aid in the
+ * assignment of parameter values"):
+ *
+ *  1. run the trace-driven simulator, in which hit rates, sharing, and
+ *     write-back probabilities *emerge* from synthetic address streams
+ *     over real set-associative caches;
+ *  2. extract those measured workload parameters;
+ *  3. feed them into the mean-value model and compare its speedup
+ *     prediction against the trace simulation itself.
+ *
+ *   ./workload_characterization --n=8 --sets=64 --ways=2
+ */
+
+#include <cstdio>
+
+#include "core/analyzer.hh"
+#include "sim/trace_sim.hh"
+#include "util/cli.hh"
+#include "util/strutil.hh"
+#include "util/table.hh"
+
+using namespace snoop;
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("workload_characterization",
+                  "measure workload parameters in a trace-driven "
+                  "simulation and feed them back into the MVA model");
+    cli.addOption("n", "8", "number of processors");
+    cli.addOption("sets", "64", "cache sets");
+    cli.addOption("ways", "2", "cache associativity");
+    cli.addOption("protocol", "WriteOnce", "protocol to run");
+    cli.addOption("requests", "200000", "measured requests");
+    cli.parse(argc, argv);
+
+    TraceSimConfig cfg;
+    cfg.numProcessors = static_cast<unsigned>(cli.getInt("n"));
+    cfg.workload = presets::appendixA(SharingLevel::FivePercent);
+    cfg.protocol = *findProtocol(cli.get("protocol"));
+    cfg.cacheSets = static_cast<unsigned>(cli.getInt("sets"));
+    cfg.cacheWays = static_cast<unsigned>(cli.getInt("ways"));
+    cfg.measuredRequests = static_cast<uint64_t>(cli.getInt("requests"));
+
+    std::printf("Step 1: trace-driven simulation (%u processors, "
+                "%u-set %u-way caches)...\n\n", cfg.numProcessors,
+                cfg.cacheSets, cfg.cacheWays);
+    TraceSimResult trace = simulateTrace(cfg);
+
+    Table m({"measured parameter", "value", "Appendix A assumed"});
+    m.setAlign(0, Align::Left);
+    m.addRow({"h_private", formatDouble(trace.measured.hitPrivate, 3),
+              "0.95"});
+    m.addRow({"h_sro", formatDouble(trace.measured.hitSro, 3), "0.95"});
+    m.addRow({"h_sw", formatDouble(trace.measured.hitSw, 3), "0.5"});
+    m.addRow({"amod_private",
+              formatDouble(trace.measured.amodPrivate, 3), "0.7"});
+    m.addRow({"amod_sw", formatDouble(trace.measured.amodSw, 3), "0.3"});
+    m.addRow({"csupply (shared)",
+              formatDouble(trace.measured.csupplyShared, 3),
+              "0.95 sro / 0.5 sw"});
+    m.addRow({"rep (any victim dirty)",
+              formatDouble(trace.measured.repAll, 3), "0.2 / 0.5"});
+    std::fputs(m.render().c_str(), stdout);
+
+    // Step 2: build a workload from the measured values.
+    WorkloadParams measured = cfg.workload;
+    measured.hPrivate = trace.measured.hitPrivate;
+    measured.hSro = trace.measured.hitSro;
+    measured.hSw = trace.measured.hitSw;
+    measured.amodPrivate = trace.measured.amodPrivate;
+    measured.amodSw = trace.measured.amodSw;
+    measured.csupplySro = trace.measured.csupplyShared;
+    measured.csupplySw = trace.measured.csupplyShared;
+    measured.repP = trace.measured.repAll;
+    measured.repSw = trace.measured.repAll;
+
+    Analyzer analyzer;
+    auto mva = analyzer.analyze(cfg.protocol, measured,
+                                cfg.numProcessors);
+
+    std::printf("\nStep 2: MVA with the measured parameters:\n"
+                "  MVA speedup        : %.3f\n"
+                "  trace-sim speedup  : %.3f\n"
+                "  difference         : %s\n",
+                mva.speedup, trace.speedup,
+                formatPercent((mva.speedup - trace.speedup) /
+                                  trace.speedup, 2).c_str());
+    std::printf("\nThe residual gap reflects what the probabilistic "
+                "workload model cannot express (temporal correlation in "
+                "the address streams), not the interference model - "
+                "compare validate_model, where the workloads match by "
+                "construction and the gap shrinks to a few percent.\n");
+    return 0;
+}

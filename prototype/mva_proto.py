@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Prototype of the Vernon/Lazowska/Zahorjan ISCA'88 MVA model.
+
+Used to pin down the reconstruction of the [VeHo86] derived-input
+computations before committing to the C++ implementation. Fits a small
+set of interpretation knobs against the paper's own MVA numbers in
+Table 4.1 (a), (b), (c).
+"""
+import itertools, math
+
+# Appendix A workloads: (p_private, p_sro, p_sw) per sharing level
+SHARING = {1: (0.99, 0.01, 0.00), 5: (0.95, 0.03, 0.02), 20: (0.80, 0.15, 0.05)}
+
+BASE = dict(
+    tau=2.5, h_private=0.95, h_sro=0.95, h_sw=0.5,
+    r_private=0.7, r_sw=0.5, amod_private=0.7, amod_sw=0.3,
+    csupply_sro=0.95, csupply_sw=0.5, wb_csupply=0.3,
+    rep_p=0.2, rep_sw=0.5,
+)
+
+# Paper MVA speedups, Table 4.1
+NS = [1, 2, 4, 6, 8, 10, 15, 20, 100]
+T41A = {1: [0.86, 1.68, 3.17, 4.33, 5.08, 5.49, 5.88, 5.98, 6.07],
+        5: [0.855, 1.67, 3.12, 4.23, 4.93, 5.30, 5.63, 5.72, 5.79],
+        20: [0.84, 1.61, 2.97, 3.97, 4.55, 4.83, 5.07, 5.12, 5.16]}
+T41B = {1: [0.875, 1.73, 3.37, 4.82, 5.94, 6.59, 7.02, 7.09, 7.04],
+        5: [0.87, 1.71, 3.30, 4.65, 5.68, 6.23, 6.59, 6.64, 6.60],
+        20: [0.85, 1.63, 3.08, 4.22, 5.03, 5.40, 5.63, 5.66, 5.62]}
+T41C = {1: [0.88, 1.75, 3.40, 4.90, 6.06, 6.83, 7.49, 7.58, 7.56],
+        5: [0.88, 1.75, 3.40, 4.87, 6.06, 6.83, 7.46, 7.57, 7.57],
+        20: [0.88, 1.74, 3.35, 4.75, 5.90, 6.70, 7.47, 7.64, 7.70]}
+
+
+def derive(share, mods, knobs):
+    """Compute derived model inputs for a sharing level and mod set."""
+    w = dict(BASE)
+    pp, psro, psw = SHARING[share]
+    m1, m2, m3, m4 = ('1' in mods), ('2' in mods), ('3' in mods), ('4' in mods)
+    rep_p = 0.3 if m1 else 0.2
+    rep_sw = 0.5
+    if m2 and m3:
+        rep_sw = 0.7
+    elif m2 or m3:
+        rep_sw = 0.6
+    h_sw = 0.95 if (m1 and m4) else w['h_sw']
+
+    rp, rsw = w['r_private'], w['r_sw']
+    hp, hsro = w['h_private'], w['h_sro']
+    amp, amsw = w['amod_private'], w['amod_sw']
+
+    PRH = pp * rp * hp
+    PWHm = pp * (1 - rp) * hp * amp
+    PWHu = pp * (1 - rp) * hp * (1 - amp)
+    PRM = pp * rp * (1 - hp)
+    PWM = pp * (1 - rp) * (1 - hp)
+    SROH = psro * hsro
+    SRM = psro * (1 - hsro)
+    SWRH = psw * rsw * h_sw
+    SWWHm = psw * (1 - rsw) * h_sw * amsw
+    SWWHu = psw * (1 - rsw) * h_sw * (1 - amsw)
+    SWRM = psw * rsw * (1 - h_sw)
+    SWWM = psw * (1 - rsw) * (1 - h_sw)
+    SWMiss = SWRM + SWWM
+
+    p_local = PRH + PWHm + SROH + SWRH + SWWHm
+    p_bc_priv = PWHu
+    p_bc_sw = SWWHu
+    if m4:
+        # all write hits to non-exclusive sw blocks broadcast; with mod1 a
+        # fraction (1 - csupply_sw) were loaded exclusive
+        excl = (1 - w['csupply_sw']) if m1 else 0.0
+        swwh = psw * (1 - rsw) * h_sw
+        p_bc_sw = swwh * (1 - excl)
+        p_local += SWWHm - (swwh - p_bc_sw) * 0  # keep accounting below
+        # recompute p_local cleanly:
+        p_local = PRH + PWHm + SROH + SWRH + swwh * excl
+    if m1:
+        p_local += p_bc_priv
+        p_bc_priv = 0.0
+    p_bc = p_bc_priv + p_bc_sw
+    p_rr = PRM + PWM + SRM + SWRM + SWWM
+
+    p_csupwb = (SWMiss * w['csupply_sw'] * w['wb_csupply']) / p_rr if p_rr else 0
+    p_reqwb = ((PRM + PWM) * rep_p + SWMiss * rep_sw) / p_rr if p_rr else 0
+
+    # Supply-source-dependent read transaction cost:
+    #   Tm  = memory-supplied block read
+    #   Tc  = cache-supplied block read (no main-memory latency)
+    #   Twb = block write-back transaction
+    Tm, Tc, Twb = knobs['Tm'], knobs['Tc'], knobs['Twb']
+    csro, csw, wbc = w['csupply_sro'], w['csupply_sw'], w['wb_csupply']
+    t_priv = Tm + rep_p * Twb
+    t_sro = csro * Tc + (1 - csro) * Tm
+    if m2:
+        # dirty supplier sends the block directly (no memory update first)
+        sup_dirty = Tc
+    else:
+        # dirty supplier flushes to memory, then memory supplies
+        sup_dirty = Twb + Tm
+    t_sw = (csw * (wbc * sup_dirty + (1 - wbc) * Tc) + (1 - csw) * Tm
+            + rep_sw * Twb)
+    t_read = ((PRM + PWM) * t_priv + SRM * t_sro + SWMiss * t_sw) / p_rr \
+        if p_rr else 0
+
+    # memory demand per request (block-writeback + bc words), for eq (12)
+    mem_bc = 0.0 if m3 else p_bc
+    if m4 and m3:
+        mem_bc = 0.0
+    elif m4:
+        mem_bc = p_bc  # broadcast writes update memory
+    mem_csup = 0.0 if m2 else p_csupwb
+    mem_factor = mem_bc + p_rr * (mem_csup + p_reqwb)
+
+    # cache interference inputs
+    tot_bus = p_bc + p_rr
+    shared_miss = SRM + SWMiss
+    p_a = (shared_miss / tot_bus) * 0.5 if tot_bus else 0
+    p_b = (p_bc_sw / tot_bus) * 0.5 if tot_bus else 0
+    csup_frac = ((w['csupply_sro'] * SRM + w['csupply_sw'] * SWMiss) / shared_miss
+                 if shared_miss else 0)
+    return dict(p_local=p_local, p_bc=p_bc, p_rr=p_rr, t_read=t_read,
+                p_csupwb=p_csupwb, p_reqwb=p_reqwb, mem_factor=mem_factor,
+                p_a=p_a, p_b=p_b, csup_frac=csup_frac,
+                rep_term=rep_p * pp + rep_sw * psw,
+                wb_csupply=w['wb_csupply'], tau=w['tau'])
+
+
+def solve(N, d, knobs, iters=200, tol=1e-10):
+    tau = d['tau']
+    Tsup, Twrite, dmem = 1.0, 1.0, 3.0
+    wbus = wmem = 0.0
+    R = tau + Tsup
+    for _ in range(iters):
+        # cache interference
+        if N > 1:
+            Qbus = (N - 1) * (d['p_bc'] * (wbus + wmem + Twrite)
+                              + d['p_rr'] * (wbus + d['t_read'])) / R
+            pprime = d['p_b'] + d['p_a'] * min(1.0, 2.0 / (N - 1)) * d['csup_frac'] \
+                * (1 - d['rep_term'])
+            p = d['p_a'] + d['p_b']
+            n_int = p * (1 - pprime ** max(Qbus, 0)) / (1 - pprime) if pprime < 1 else 0
+            t_int = 1.0 + (d['p_a'] / p if p else 0) * min(1.0, 2.0 / (N - 1)) \
+                * d['csup_frac'] * (4.0 + (d['wb_csupply']) * 4.0)
+        else:
+            Qbus, n_int, t_int = 0.0, 0.0, 0.0
+
+        Rlocal = d['p_local'] * n_int * t_int
+        Rbc = d['p_bc'] * (wbus + wmem + Twrite)
+        Rrr = d['p_rr'] * (wbus + d['t_read'])
+        Rnew = tau + Rlocal + Rbc + Rrr + Tsup
+
+        Ubus = N * (d['p_bc'] * (wmem + Twrite) + d['p_rr'] * d['t_read']) / Rnew
+        Ubus = min(Ubus, 0.9999 * N)
+        pbusy_bus = max(0.0, (Ubus - Ubus / N) / (1 - Ubus / N)) if N > 1 else 0.0
+        pbusy_bus = min(pbusy_bus, 0.9999)
+        tb = d['p_bc'] * (Twrite + wmem) + d['p_rr'] * d['t_read']
+        tot = d['p_bc'] + d['p_rr']
+        tbus = tb / tot if tot else 0
+        tres = (d['p_bc'] * (Twrite + wmem) / tb * (Twrite + wmem) / 2
+                + d['p_rr'] * d['t_read'] / tb * d['t_read'] / 2) if tb else 0
+        wbus = max(0.0, (Qbus - pbusy_bus)) * tbus + pbusy_bus * tres if N > 1 else 0.0
+
+        Umem = N * 0.25 * d['mem_factor'] * dmem / Rnew
+        Umem = min(Umem, 0.9999 * N)
+        pbusy_mem = max(0.0, (Umem - Umem / N) / (1 - Umem / N)) if N > 1 else 0.0
+        wmem = pbusy_mem * dmem / 2
+
+        if abs(Rnew - R) < tol:
+            R = Rnew
+            break
+        R = Rnew
+    return N * (tau + Tsup) / R
+
+
+def table_err(knobs, verbose=False):
+    err2, n, maxe = 0.0, 0, 0.0
+    for mods, tab in [('', T41A), ('1', T41B), ('14', T41C)]:
+        for share in (1, 5, 20):
+            d = derive(share, mods, knobs)
+            for i, N in enumerate(NS):
+                s = solve(N, d, knobs)
+                ref = tab[share][i]
+                e = (s - ref) / ref
+                err2 += e * e; n += 1; maxe = max(maxe, abs(e))
+                if verbose:
+                    print(f"mods={mods or '-':>2} share={share:>2}% N={N:>3} "
+                          f"mva={s:6.3f} paper={ref:6.3f} err={100*e:+6.2f}%")
+    return math.sqrt(err2 / n), maxe
+
+
+if __name__ == '__main__':
+    best = None
+    for Tm in [7.0, 7.5, 8.0, 8.5, 9.0, 9.5, 10.0]:
+        for Tc in [1.0, 2.0, 3.0, 4.0, 5.0]:
+            for Twb in [1.0, 2.0, 3.0, 4.0, 5.0, 6.0]:
+                k = dict(Tm=Tm, Tc=Tc, Twb=Twb)
+                rms, mx = table_err(k)
+                if best is None or rms < best[0]:
+                    best = (rms, mx, k)
+    rms, mx, k = best
+    print(f"BEST knobs={k} rms={100*rms:.2f}% max={100*mx:.2f}%")
+    table_err(k, verbose=True)

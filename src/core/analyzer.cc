@@ -1,0 +1,81 @@
+#include "core/analyzer.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+Analyzer::Analyzer(MvaOptions options, BusTiming timing)
+    : solver_(options), timing_(timing)
+{
+    timing_.validate();
+}
+
+MvaResult
+Analyzer::analyze(const std::string &protocol,
+                  const WorkloadParams &workload, unsigned n) const
+{
+    auto cfg = findProtocol(protocol);
+    if (!cfg) {
+        fatal("Analyzer: unknown protocol '%s' (try a catalog name like "
+              "'Illinois' or a mod string like '13')", protocol.c_str());
+    }
+    return analyze(*cfg, workload, n);
+}
+
+MvaResult
+Analyzer::analyze(const ProtocolConfig &protocol,
+                  const WorkloadParams &workload, unsigned n) const
+{
+    return solver_.solve(
+        DerivedInputs::compute(workload, protocol, timing_), n);
+}
+
+std::vector<MvaResult>
+Analyzer::sweep(const ProtocolConfig &protocol,
+                const WorkloadParams &workload,
+                const std::vector<unsigned> &ns) const
+{
+    return solver_.sweep(
+        DerivedInputs::compute(workload, protocol, timing_), ns);
+}
+
+std::vector<MvaResult>
+Analyzer::rankDesignSpace(const WorkloadParams &workload, unsigned n) const
+{
+    std::vector<MvaResult> results;
+    results.reserve(16);
+    for (unsigned idx = 0; idx < 16; ++idx)
+        results.push_back(
+            analyze(ProtocolConfig::fromIndex(idx), workload, n));
+    std::sort(results.begin(), results.end(),
+              [](const MvaResult &a, const MvaResult &b) {
+                  return a.speedup > b.speedup;
+              });
+    return results;
+}
+
+unsigned
+Analyzer::saturationPoint(const ProtocolConfig &protocol,
+                          const WorkloadParams &workload, double target,
+                          unsigned limit) const
+{
+    if (target <= 0.0 || target > 1.0)
+        fatal("Analyzer::saturationPoint: target must be in (0, 1]");
+    auto inputs = DerivedInputs::compute(workload, protocol, timing_);
+    // Utilization is monotone in N, so binary search.
+    unsigned lo = 1, hi = limit;
+    if (solver_.solve(inputs, hi).busUtil < target)
+        return 0;
+    while (lo < hi) {
+        unsigned mid = lo + (hi - lo) / 2;
+        if (solver_.solve(inputs, mid).busUtil >= target)
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+    return lo;
+}
+
+} // namespace snoop

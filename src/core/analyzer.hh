@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * The library's front door: one-call analysis of a protocol
+ * configuration under a workload, plus sweep helpers. Wraps the MVA
+ * solver (the paper's contribution) with workload derivation and
+ * protocol lookup so typical uses are three lines:
+ *
+ * @code
+ *   Analyzer analyzer;
+ *   auto r = analyzer.analyze("Illinois",
+ *                             presets::appendixA(SharingLevel::FivePercent),
+ *                             16);
+ *   std::cout << r.summary() << "\n";
+ * @endcode
+ */
+
+#include <string>
+#include <vector>
+
+#include "mva/solver.hh"
+#include "protocol/catalog.hh"
+#include "workload/params.hh"
+
+namespace snoop {
+
+/** High-level facade over the MVA model. */
+class Analyzer
+{
+  public:
+    /** @param options numerical options forwarded to the solver */
+    explicit Analyzer(MvaOptions options = {}, BusTiming timing = {});
+
+    /**
+     * Analyze a named protocol (catalog name or mod string - see
+     * findProtocol()); fatal() on an unknown name.
+     */
+    MvaResult analyze(const std::string &protocol,
+                      const WorkloadParams &workload, unsigned n) const;
+
+    /** Analyze an explicit protocol configuration. */
+    MvaResult analyze(const ProtocolConfig &protocol,
+                      const WorkloadParams &workload, unsigned n) const;
+
+    /** Speedup sweep over processor counts. */
+    std::vector<MvaResult> sweep(const ProtocolConfig &protocol,
+                                 const WorkloadParams &workload,
+                                 const std::vector<unsigned> &ns) const;
+
+    /**
+     * Evaluate all 16 modification combinations at one system size,
+     * sorted by descending speedup.
+     */
+    std::vector<MvaResult>
+    rankDesignSpace(const WorkloadParams &workload, unsigned n) const;
+
+    /**
+     * Smallest N at which bus utilization reaches @p target (default:
+     * 95%), searched up to @p limit; returns 0 if never reached.
+     * The capacity-planning primitive of the examples.
+     */
+    unsigned saturationPoint(const ProtocolConfig &protocol,
+                             const WorkloadParams &workload,
+                             double target = 0.95,
+                             unsigned limit = 4096) const;
+
+    /** The timing constants in use. */
+    const BusTiming &timing() const { return timing_; }
+
+  private:
+    MvaSolver solver_;
+    BusTiming timing_;
+};
+
+} // namespace snoop

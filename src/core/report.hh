@@ -1,0 +1,41 @@
+#pragma once
+
+/**
+ * @file
+ * Markdown report generation: one self-contained document per
+ * analysis - the workload, the derived model inputs, the speedup
+ * sweep, and (optionally) the MVA-vs-simulation validation - suitable
+ * for dropping into a design review.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/validation.hh"
+#include "protocol/config.hh"
+#include "workload/params.hh"
+
+namespace snoop {
+
+/** What to include in a report. */
+struct ReportSpec
+{
+    std::string title = "Protocol analysis";
+    WorkloadParams workload;
+    ProtocolConfig protocol;
+    BusTiming timing;
+    /** System sizes for the speedup sweep. */
+    std::vector<unsigned> ns = {1, 2, 4, 6, 8, 10, 15, 20, 100};
+    /** Also run the simulator at sizes <= validateUpTo (0 = skip). */
+    unsigned validateUpTo = 0;
+    uint64_t seed = 1;
+    uint64_t measuredRequests = 200000;
+};
+
+/** Produce the full markdown report text. */
+std::string generateReport(const ReportSpec &spec);
+
+/** Write the report to @p path (fatal() on I/O failure). */
+void writeReport(const ReportSpec &spec, const std::string &path);
+
+} // namespace snoop

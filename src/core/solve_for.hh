@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Inverse analysis: find the workload-parameter value at which a
+ * protocol reaches a target speedup - questions like "how good must
+ * the sw hit rate be before Dragon delivers 7x on 20 processors?".
+ * Bisection over the (monotone) speedup response; the forward model
+ * is cheap enough that each query costs microseconds.
+ */
+
+#include <optional>
+#include <string>
+
+#include "core/sweep.hh"
+
+namespace snoop {
+
+/** One inverse-analysis query. */
+struct SolveForQuery
+{
+    WorkloadParams base;      ///< all other parameters
+    ProtocolConfig protocol;
+    unsigned n = 16;          ///< system size
+    std::string paramName;    ///< parameter to solve for (display)
+    ParamSetter set;          ///< how to apply candidate values
+    double lo = 0.0;          ///< search interval
+    double hi = 1.0;
+    double targetSpeedup = 1.0;
+    double tolerance = 1e-6;  ///< interval width at termination
+};
+
+/** Result: the solving value, or nullopt if the target is outside the
+ *  speedup range attainable on [lo, hi]. */
+struct SolveForResult
+{
+    std::optional<double> value;
+    double speedupAtLo = 0.0;
+    double speedupAtHi = 0.0;
+};
+
+/**
+ * Bisect for the parameter value achieving the target speedup.
+ * Requires the speedup response over [lo, hi] to be monotone (either
+ * direction); fatal() on malformed queries.
+ */
+SolveForResult solveForParameter(const SolveForQuery &query,
+                                 const Analyzer &analyzer = Analyzer());
+
+} // namespace snoop

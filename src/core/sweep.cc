@@ -1,0 +1,133 @@
+#include "core/sweep.hh"
+
+#include <map>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+namespace {
+
+const std::map<std::string, ParamSetter> &
+setterRegistry()
+{
+    static const std::map<std::string, ParamSetter> registry = {
+        {"tau", [](WorkloadParams &p, double v) { p.tau = v; }},
+        {"h_private",
+         [](WorkloadParams &p, double v) { p.hPrivate = v; }},
+        {"h_sro", [](WorkloadParams &p, double v) { p.hSro = v; }},
+        {"h_sw", [](WorkloadParams &p, double v) { p.hSw = v; }},
+        {"r_private",
+         [](WorkloadParams &p, double v) { p.rPrivate = v; }},
+        {"r_sw", [](WorkloadParams &p, double v) { p.rSw = v; }},
+        {"amod_private",
+         [](WorkloadParams &p, double v) { p.amodPrivate = v; }},
+        {"amod_sw", [](WorkloadParams &p, double v) { p.amodSw = v; }},
+        {"csupply_sro",
+         [](WorkloadParams &p, double v) { p.csupplySro = v; }},
+        {"csupply_sw",
+         [](WorkloadParams &p, double v) { p.csupplySw = v; }},
+        {"wb_csupply",
+         [](WorkloadParams &p, double v) { p.wbCsupply = v; }},
+        {"rep_p", [](WorkloadParams &p, double v) { p.repP = v; }},
+        {"rep_sw", [](WorkloadParams &p, double v) { p.repSw = v; }},
+    };
+    return registry;
+}
+
+} // namespace
+
+ParamSetter
+findParamSetter(const std::string &name)
+{
+    auto it = setterRegistry().find(toLower(trim(name)));
+    return it == setterRegistry().end() ? nullptr : it->second;
+}
+
+std::vector<std::string>
+sweepableParams()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, setter] : setterRegistry())
+        names.push_back(name);
+    return names;
+}
+
+void
+SweepSpec::validate() const
+{
+    if (!set)
+        fatal("SweepSpec: no parameter setter (use findParamSetter)");
+    if (values.empty())
+        fatal("SweepSpec: no values to sweep");
+    if (protocols.empty())
+        fatal("SweepSpec: no protocols to evaluate");
+    if (n == 0)
+        fatal("SweepSpec: need at least one processor");
+}
+
+Table
+SweepResult::table() const
+{
+    std::vector<std::string> headers = {spec.paramName};
+    for (const auto &cfg : spec.protocols) {
+        auto names = namesForConfig(cfg);
+        headers.push_back(names.empty() ? cfg.name() : names.front());
+    }
+    Table t(headers);
+    t.setTitle(strprintf("speedup at N=%u while sweeping %s", spec.n,
+                         spec.paramName.c_str()));
+    for (size_t v = 0; v < spec.values.size(); ++v) {
+        std::vector<std::string> row = {
+            formatCompact(spec.values[v], 4)};
+        for (size_t p = 0; p < spec.protocols.size(); ++p)
+            row.push_back(formatDouble(results[v][p].speedup, 3));
+        t.addRow(row);
+    }
+    return t;
+}
+
+std::string
+SweepResult::csv() const
+{
+    return table().renderCsv();
+}
+
+std::vector<size_t>
+SweepResult::winners() const
+{
+    std::vector<size_t> out;
+    out.reserve(results.size());
+    for (const auto &row : results) {
+        size_t best = 0;
+        for (size_t p = 1; p < row.size(); ++p) {
+            if (row[p].speedup > row[best].speedup)
+                best = p;
+        }
+        out.push_back(best);
+    }
+    return out;
+}
+
+SweepResult
+runSweep(const SweepSpec &spec, const Analyzer &analyzer)
+{
+    spec.validate();
+    SweepResult res;
+    res.spec = spec;
+    res.results.reserve(spec.values.size());
+    for (double value : spec.values) {
+        WorkloadParams wl = spec.base;
+        spec.set(wl, value);
+        wl.validate();
+        std::vector<MvaResult> row;
+        row.reserve(spec.protocols.size());
+        for (const auto &cfg : spec.protocols)
+            row.push_back(analyzer.analyze(cfg, wl, spec.n));
+        res.results.push_back(std::move(row));
+    }
+    return res;
+}
+
+} // namespace snoop

@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * Parameter sweeps: evaluate protocols across a range of one workload
+ * parameter and tabulate the results - the "explore a large design
+ * space quickly and interactively" workflow the paper's conclusion
+ * advertises, packaged as a reusable facility.
+ */
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/analyzer.hh"
+#include "util/table.hh"
+
+namespace snoop {
+
+/** Sets one workload parameter to a value. */
+using ParamSetter = std::function<void(WorkloadParams &, double)>;
+
+/**
+ * Look up a setter for a parameter by its paper name: one of
+ * "tau", "h_private", "h_sro", "h_sw", "r_private", "r_sw",
+ * "amod_private", "amod_sw", "csupply_sro", "csupply_sw",
+ * "wb_csupply", "rep_p", "rep_sw". Returns nullptr if unknown.
+ */
+ParamSetter findParamSetter(const std::string &name);
+
+/** Names accepted by findParamSetter, for help text. */
+std::vector<std::string> sweepableParams();
+
+/** Specification of one sweep. */
+struct SweepSpec
+{
+    WorkloadParams base;            ///< starting workload
+    std::string paramName;          ///< swept parameter (display)
+    ParamSetter set;                ///< how to apply a value
+    std::vector<double> values;     ///< values to sweep
+    std::vector<ProtocolConfig> protocols; ///< columns
+    unsigned n = 16;                ///< system size
+
+    /** fatal() on malformed specs. */
+    void validate() const;
+};
+
+/** Results of a sweep: results[v][p] for value v, protocol p. */
+struct SweepResult
+{
+    SweepSpec spec;
+    std::vector<std::vector<MvaResult>> results;
+
+    /** Render as a table (one row per value, one column per protocol). */
+    Table table() const;
+
+    /** Emit as CSV (same layout as table()). */
+    std::string csv() const;
+
+    /**
+     * The protocol index with the highest speedup at each swept value
+     * (crossover detection).
+     */
+    std::vector<size_t> winners() const;
+};
+
+/** Run a sweep with the given analyzer (or a default one). */
+SweepResult runSweep(const SweepSpec &spec,
+                     const Analyzer &analyzer = Analyzer());
+
+} // namespace snoop

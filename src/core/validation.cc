@@ -1,0 +1,67 @@
+#include "core/validation.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "mva/solver.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+std::vector<ComparisonPoint>
+validate(const ValidationConfig &config)
+{
+    MvaSolver solver;
+    auto inputs = DerivedInputs::compute(config.workload, config.protocol,
+                                         config.timing);
+    std::vector<ComparisonPoint> points;
+    points.reserve(config.ns.size());
+    for (unsigned n : config.ns) {
+        ComparisonPoint p;
+        p.numProcessors = n;
+        p.mva = solver.solve(inputs, n);
+
+        SimConfig sim_cfg;
+        sim_cfg.numProcessors = n;
+        sim_cfg.workload = config.workload;
+        sim_cfg.protocol = config.protocol;
+        sim_cfg.timing = config.timing;
+        sim_cfg.seed = config.seed + n; // distinct but reproducible
+        sim_cfg.warmupRequests = config.warmupRequests;
+        sim_cfg.measuredRequests = config.measuredRequests;
+        p.sim = simulate(sim_cfg);
+        points.push_back(std::move(p));
+    }
+    return points;
+}
+
+Table
+comparisonTable(const std::vector<ComparisonPoint> &points,
+                const std::string &title)
+{
+    Table t({"N", "MVA speedup", "sim speedup", "sim 95% CI", "error"});
+    t.setTitle(title);
+    for (const auto &p : points) {
+        t.addRow({
+            strprintf("%u", p.numProcessors),
+            formatDouble(p.mva.speedup, 3),
+            formatDouble(p.sim.speedup, 3),
+            strprintf("[%.3f, %.3f]", p.sim.speedupCi.lower(),
+                      p.sim.speedupCi.upper()),
+            formatPercent(p.speedupError(), 2),
+        });
+    }
+    return t;
+}
+
+double
+maxAbsError(const std::vector<ComparisonPoint> &points)
+{
+    double worst = 0.0;
+    for (const auto &p : points)
+        worst = std::max(worst, std::fabs(p.speedupError()));
+    return worst;
+}
+
+} // namespace snoop

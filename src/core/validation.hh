@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * The MVA-vs-detailed-model validation harness: runs the analytical
+ * model and the discrete-event simulator on identical configurations
+ * and reports speedups side by side with relative errors - the
+ * methodology of the paper's Section 4.2/4.3 with the simulator in the
+ * GTPN's role.
+ */
+
+#include <string>
+#include <vector>
+
+#include "mva/result.hh"
+#include "sim/prob_sim.hh"
+#include "util/table.hh"
+
+namespace snoop {
+
+/** One MVA-vs-simulator comparison point. */
+struct ComparisonPoint
+{
+    unsigned numProcessors = 0;
+    MvaResult mva;
+    SimResult sim;
+
+    /** (MVA - sim) / sim speedup error. */
+    double speedupError() const
+    {
+        return sim.speedup != 0.0
+            ? (mva.speedup - sim.speedup) / sim.speedup : 0.0;
+    }
+
+    /** True if the MVA speedup lies inside the simulator's 95% CI. */
+    bool withinCi() const
+    {
+        return sim.speedupCi.contains(mva.speedup);
+    }
+};
+
+/** Options for a validation sweep. */
+struct ValidationConfig
+{
+    WorkloadParams workload;
+    ProtocolConfig protocol;
+    BusTiming timing;
+    std::vector<unsigned> ns = {1, 2, 4, 6, 8, 10};
+    uint64_t seed = 1;
+    uint64_t warmupRequests = 20000;
+    uint64_t measuredRequests = 300000;
+};
+
+/** Run the MVA and the simulator across @p config's sweep. */
+std::vector<ComparisonPoint> validate(const ValidationConfig &config);
+
+/**
+ * Render comparison points as a table (columns: N, MVA, sim, sim CI,
+ * rel. error).
+ */
+Table comparisonTable(const std::vector<ComparisonPoint> &points,
+                      const std::string &title);
+
+/** Largest absolute relative speedup error in @p points. */
+double maxAbsError(const std::vector<ComparisonPoint> &points);
+
+} // namespace snoop

@@ -1,0 +1,142 @@
+#include "markov/ctmc.hh"
+
+#include <cmath>
+
+#include "markov/dtmc.hh"
+#include "util/logging.hh"
+
+namespace snoop {
+
+Ctmc::Ctmc(size_t num_states) : numStates_(num_states)
+{
+    if (num_states == 0)
+        fatal("Ctmc: need at least one state");
+    exit_.assign(num_states, 0.0);
+}
+
+void
+Ctmc::addRate(size_t from, size_t to, double rate)
+{
+    if (from >= numStates_ || to >= numStates_)
+        fatal("Ctmc::addRate: state out of range (%zu -> %zu, n=%zu)",
+              from, to, numStates_);
+    if (from == to)
+        fatal("Ctmc::addRate: self-loop rates are meaningless in a "
+              "CTMC");
+    if (rate <= 0.0 || std::isnan(rate))
+        fatal("Ctmc::addRate: rate must be positive, got %g", rate);
+    rates_.push_back({from, to, rate});
+    exit_[from] += rate;
+}
+
+double
+Ctmc::exitRate(size_t state) const
+{
+    if (state >= numStates_)
+        panic("Ctmc::exitRate: state %zu out of range", state);
+    return exit_[state];
+}
+
+std::vector<double>
+Ctmc::stationary() const
+{
+    // Embedded jump chain: P(from -> to) = rate / exit(from), then
+    // weight by mean sojourn 1/exit and renormalize.
+    Dtmc jump(numStates_);
+    for (size_t s = 0; s < numStates_; ++s) {
+        if (exit_[s] <= 0.0)
+            fatal("Ctmc::stationary: state %zu is absorbing", s);
+    }
+    for (const auto &r : rates_)
+        jump.addTransition(r.from, r.to, r.rate / exit_[r.from]);
+    auto pi = jump.steadyStateGth();
+    double total = 0.0;
+    for (size_t s = 0; s < numStates_; ++s) {
+        pi[s] /= exit_[s];
+        total += pi[s];
+    }
+    for (double &p : pi)
+        p /= total;
+    return pi;
+}
+
+std::vector<double>
+Ctmc::transient(const std::vector<double> &initial, double t,
+                double epsilon) const
+{
+    if (initial.size() != numStates_)
+        fatal("Ctmc::transient: initial distribution has %zu entries "
+              "for %zu states", initial.size(), numStates_);
+    double mass = 0.0;
+    for (double p : initial) {
+        if (p < -1e-12)
+            fatal("Ctmc::transient: negative initial probability");
+        mass += p;
+    }
+    if (std::fabs(mass - 1.0) > 1e-9)
+        fatal("Ctmc::transient: initial distribution sums to %g", mass);
+    if (t < 0.0)
+        fatal("Ctmc::transient: negative time %g", t);
+    if (epsilon <= 0.0)
+        fatal("Ctmc::transient: epsilon must be positive");
+    if (t == 0.0)
+        return initial;
+
+    // Uniformization: P = I + Q/Lambda with Lambda >= max exit rate;
+    // pi(t) = sum_k Poisson(Lambda t, k) * initial * P^k.
+    double lambda = 0.0;
+    for (double e : exit_)
+        lambda = std::max(lambda, e);
+    if (lambda <= 0.0)
+        return initial; // no transitions at all
+    lambda *= 1.02; // headroom keeps P's diagonal strictly positive
+
+    std::vector<double> current = initial;
+    std::vector<double> result(numStates_, 0.0);
+    // Poisson weights computed iteratively to avoid overflow.
+    double lt = lambda * t;
+    double weight = std::exp(-lt);
+    double cumulative = weight;
+    for (size_t s = 0; s < numStates_; ++s)
+        result[s] += weight * current[s];
+
+    std::vector<double> next(numStates_, 0.0);
+    // Enough terms that the Poisson tail is below epsilon.
+    for (uint64_t k = 1; cumulative < 1.0 - epsilon; ++k) {
+        // step: next = current * P
+        for (size_t s = 0; s < numStates_; ++s)
+            next[s] = current[s] * (1.0 - exit_[s] / lambda);
+        for (const auto &r : rates_)
+            next[r.to] += current[r.from] * (r.rate / lambda);
+        current.swap(next);
+
+        weight *= lt / static_cast<double>(k);
+        cumulative += weight;
+        for (size_t s = 0; s < numStates_; ++s)
+            result[s] += weight * current[s];
+        if (k > 1000000)
+            fatal("Ctmc::transient: uniformization did not converge "
+                  "(Lambda*t = %g too large)", lt);
+    }
+    return result;
+}
+
+double
+Ctmc::mixingTime(const std::vector<double> &initial, double step,
+                 double t_max, double tolerance) const
+{
+    if (step <= 0.0 || t_max < step)
+        fatal("Ctmc::mixingTime: need 0 < step <= t_max");
+    auto pi = stationary();
+    for (double t = step; t <= t_max + 1e-12; t += step) {
+        auto p = transient(initial, t);
+        double dist = 0.0;
+        for (size_t s = 0; s < numStates_; ++s)
+            dist = std::max(dist, std::fabs(p[s] - pi[s]));
+        if (dist < tolerance)
+            return t;
+    }
+    return -1.0;
+}
+
+} // namespace snoop

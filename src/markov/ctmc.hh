@@ -1,0 +1,70 @@
+#pragma once
+
+/**
+ * @file
+ * Continuous-time Markov chains: stationary analysis via the embedded
+ * jump chain (reusing the DTMC solvers) and transient analysis via
+ * uniformization - the tool for questions the steady-state engines
+ * cannot answer, e.g. how long a detailed model takes to forget its
+ * initial state (which is what a simulator's warm-up period is).
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace snoop {
+
+/** A finite CTMC in sparse rate form. */
+class Ctmc
+{
+  public:
+    /** @param num_states state count (>= 1). */
+    explicit Ctmc(size_t num_states);
+
+    /** Add a transition from -> to at rate @p rate (> 0, from != to). */
+    void addRate(size_t from, size_t to, double rate);
+
+    /** Number of states. */
+    size_t numStates() const { return numStates_; }
+
+    /** Total exit rate of @p state. */
+    double exitRate(size_t state) const;
+
+    /**
+     * Stationary distribution: solved through the embedded jump chain
+     * weighted by mean sojourn times. The chain must be irreducible
+     * (fatal() otherwise, surfaced by the DTMC solver).
+     */
+    std::vector<double> stationary() const;
+
+    /**
+     * Transient distribution at time @p t >= 0 from @p initial, by
+     * uniformization with truncation error below @p epsilon.
+     * @p initial must be a distribution over the states.
+     */
+    std::vector<double> transient(const std::vector<double> &initial,
+                                  double t,
+                                  double epsilon = 1e-12) const;
+
+    /**
+     * Smallest t (among multiples of @p step) at which the transient
+     * distribution from @p initial is within @p tolerance (max norm)
+     * of stationary; returns -1 if not reached by @p t_max. A direct
+     * measure of the warm-up horizon.
+     */
+    double mixingTime(const std::vector<double> &initial, double step,
+                      double t_max, double tolerance = 1e-3) const;
+
+  private:
+    struct Rate
+    {
+        size_t from, to;
+        double rate;
+    };
+
+    size_t numStates_;
+    std::vector<Rate> rates_;
+    std::vector<double> exit_;
+};
+
+} // namespace snoop

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Steady-state analysis of finite discrete-time Markov chains - the
+ * numerical core of the GTPN engine (the embedded chain of the timed
+ * net is a DTMC whose stationary vector weights states by sojourn
+ * time).
+ *
+ * Two solvers are provided:
+ *  - GTH (Grassmann-Taksar-Heyman) state-reduction: direct,
+ *    subtraction-free, numerically robust; O(n^3), for chains up to a
+ *    few thousand states.
+ *  - Power iteration on a sparse transition list: for larger chains
+ *    where GTH is too expensive.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace snoop {
+
+/** One sparse transition: from -> to with probability prob. */
+struct Transition
+{
+    size_t from = 0;
+    size_t to = 0;
+    double prob = 0.0;
+};
+
+/**
+ * A finite DTMC in sparse form. Rows must sum to 1 (within 1e-9);
+ * validate() enforces this.
+ */
+class Dtmc
+{
+  public:
+    /** @param num_states state count (>= 1). */
+    explicit Dtmc(size_t num_states);
+
+    /** Add probability mass @p prob to the (from, to) transition. */
+    void addTransition(size_t from, size_t to, double prob);
+
+    /** Number of states. */
+    size_t numStates() const { return numStates_; }
+
+    /** Row-sum and range validation; fatal() on violation. */
+    void validate() const;
+
+    /**
+     * Stationary distribution by GTH state reduction. The chain must
+     * have a single recurrent class containing every state (fatal()
+     * if a zero pivot reveals otherwise).
+     */
+    std::vector<double> steadyStateGth() const;
+
+    /**
+     * Stationary distribution by power iteration with uniform
+     * damping-free updates. Converges for aperiodic chains; a half
+     * step of self-loop smoothing is applied to tolerate periodicity.
+     *
+     * @param tolerance     max-norm change threshold
+     * @param max_iterations iteration budget (fatal() if exceeded)
+     */
+    std::vector<double> steadyStatePower(double tolerance = 1e-12,
+                                         int max_iterations = 100000) const;
+
+    /** The raw transitions (for tests). */
+    const std::vector<Transition> &transitions() const
+    {
+        return transitions_;
+    }
+
+  private:
+    /** Dense row-major transition matrix copy. */
+    std::vector<double> dense() const;
+
+    size_t numStates_;
+    std::vector<Transition> transitions_;
+};
+
+} // namespace snoop

@@ -1,0 +1,223 @@
+#include "mva/multiclass.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+namespace {
+
+double
+pBusyFromUtil(double util, double customers)
+{
+    if (customers <= 1.0)
+        return 0.0;
+    double u = std::clamp(util, 0.0, 1.0);
+    double denom = 1.0 - u / customers;
+    if (denom <= 0.0)
+        return 1.0;
+    return std::clamp((u - u / customers) / denom, 0.0, 1.0);
+}
+
+constexpr double kAppendixBBlockCycles = 4.0;
+
+MulticlassResult
+solveOnce(const std::vector<ProcessorClass> &classes,
+          const MvaOptions &opts, double damping)
+{
+    size_t num_classes = classes.size();
+    const BusTiming &timing = classes.front().inputs.timing;
+    const double t_write = timing.tWrite;
+    const double t_supply = timing.tSupply;
+    const double d_mem = timing.dMem;
+    const double modules = static_cast<double>(timing.numModules);
+
+    double n_total = 0.0;
+    for (const auto &c : classes)
+        n_total += static_cast<double>(c.count);
+
+    // Appendix-B interference constants per class.
+    std::vector<double> p_k(num_classes), p_prime_k(num_classes),
+        t_int_k(num_classes);
+    double supplier_frac =
+        n_total > 1.0 ? std::min(1.0, 2.0 / (n_total - 1.0)) : 0.0;
+    for (size_t k = 0; k < num_classes; ++k) {
+        const auto &d = classes[k].inputs;
+        p_k[k] = d.pA + d.pB;
+        p_prime_k[k] = d.pB +
+            d.pA * supplier_frac * d.csupFrac * (1.0 - d.repTerm);
+        t_int_k[k] = p_k[k] > 0.0
+            ? 1.0 + (d.pA / p_k[k]) * supplier_frac * d.csupFrac *
+                (kAppendixBBlockCycles +
+                 d.wbCsupply * kAppendixBBlockCycles)
+            : 0.0;
+    }
+
+    std::vector<double> w_bus(num_classes, 0.0);
+    double w_mem = 0.0;
+    std::vector<double> r(num_classes);
+    for (size_t k = 0; k < num_classes; ++k)
+        r[k] = classes[k].inputs.tau + t_supply;
+
+    MulticlassResult res;
+    res.classes.resize(num_classes);
+
+    for (int it = 1; it <= opts.maxIterations; ++it) {
+        // Per-class bus cycle components at current waits.
+        std::vector<double> r_bc(num_classes), r_rr(num_classes);
+        for (size_t k = 0; k < num_classes; ++k) {
+            const auto &d = classes[k].inputs;
+            r_bc[k] = d.pBc * (w_bus[k] + w_mem + t_write);
+            r_rr[k] = d.pRr * (w_bus[k] + d.tRead);
+        }
+
+        // New response times via per-class arrival queues.
+        std::vector<double> r_new(num_classes);
+        double max_delta = 0.0;
+        for (size_t k = 0; k < num_classes; ++k) {
+            const auto &d = classes[k].inputs;
+            double q = 0.0;
+            for (size_t j = 0; j < num_classes; ++j) {
+                double pop = static_cast<double>(classes[j].count) -
+                    (j == k ? 1.0 : 0.0);
+                q += pop * (r_bc[j] + r_rr[j]) / r[j];
+            }
+            q = std::clamp(q, 0.0, n_total - 1.0);
+
+            double n_int = 0.0;
+            if (q > 0.0 && p_k[k] > 0.0) {
+                if (p_prime_k[k] >= 1.0)
+                    n_int = p_k[k] * q;
+                else if (p_prime_k[k] <= 0.0)
+                    n_int = p_k[k];
+                else
+                    n_int = p_k[k] *
+                        (1.0 - std::pow(p_prime_k[k], q)) /
+                        (1.0 - p_prime_k[k]);
+            }
+            double r_local = d.pLocal * n_int * t_int_k[k];
+            r_new[k] = d.tau + r_local + r_bc[k] + r_rr[k] + t_supply;
+            max_delta = std::max(
+                max_delta, std::fabs(r_new[k] - r[k]) /
+                    std::max(1.0, std::fabs(r[k])));
+
+            res.classes[k].responseTime = r_new[k];
+        }
+
+        // Shared-resource utilizations from the new response times.
+        double u_bus = 0.0, u_mem = 0.0;
+        double rate_total = 0.0;
+        double t_bus_num = 0.0, t_res_num = 0.0, t_res_den = 0.0;
+        for (size_t k = 0; k < num_classes; ++k) {
+            const auto &d = classes[k].inputs;
+            double pop = static_cast<double>(classes[k].count);
+            double demand =
+                d.pBc * (w_mem + t_write) + d.pRr * d.tRead;
+            u_bus += pop * demand / r_new[k];
+            u_mem += pop * (1.0 / modules) * d.memFactor * d_mem /
+                r_new[k];
+            res.classes[k].busDemandShare = pop * demand / r_new[k];
+
+            double lam_bc = pop * d.pBc / r_new[k];
+            double lam_rr = pop * d.pRr / r_new[k];
+            rate_total += lam_bc + lam_rr;
+            t_bus_num +=
+                lam_bc * (t_write + w_mem) + lam_rr * d.tRead;
+            // residual life: duration-weighted half-durations
+            t_res_num += lam_bc * (t_write + w_mem) *
+                    (t_write + w_mem) / 2.0 +
+                lam_rr * d.tRead * d.tRead / 2.0;
+            t_res_den +=
+                lam_bc * (t_write + w_mem) + lam_rr * d.tRead;
+        }
+        double t_bus = rate_total > 0.0 ? t_bus_num / rate_total : 0.0;
+        double t_res = t_res_den > 0.0 ? t_res_num / t_res_den : 0.0;
+        double p_busy_bus = pBusyFromUtil(u_bus, n_total);
+        double p_busy_mem = pBusyFromUtil(u_mem, n_total);
+        double w_mem_new = p_busy_mem * d_mem / 2.0;
+
+        for (size_t k = 0; k < num_classes; ++k) {
+            double q = 0.0;
+            for (size_t j = 0; j < num_classes; ++j) {
+                double pop = static_cast<double>(classes[j].count) -
+                    (j == k ? 1.0 : 0.0);
+                q += pop * (r_bc[j] + r_rr[j]) / r[j];
+            }
+            q = std::clamp(q, 0.0, n_total - 1.0);
+            double w_new = (n_total > 1.0)
+                ? std::max(0.0, q - p_busy_bus) * t_bus +
+                    p_busy_bus * t_res
+                : 0.0;
+            w_bus[k] = damping * w_new + (1.0 - damping) * w_bus[k];
+        }
+        w_mem = damping * w_mem_new + (1.0 - damping) * w_mem;
+        r = r_new;
+
+        res.iterations = it;
+        res.busUtil = std::min(u_bus, 1.0);
+        res.memUtil = std::min(u_mem, 1.0);
+        res.wMem = w_mem;
+        if (max_delta < opts.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+
+    double share_total = 0.0;
+    res.totalSpeedup = 0.0;
+    res.wBus = 0.0;
+    for (size_t k = 0; k < num_classes; ++k) {
+        const auto &cls = classes[k];
+        res.classes[k].name = cls.name;
+        res.classes[k].count = cls.count;
+        res.classes[k].speedup = static_cast<double>(cls.count) *
+            (cls.inputs.tau + t_supply) / r[k];
+        res.totalSpeedup += res.classes[k].speedup;
+        share_total += res.classes[k].busDemandShare;
+        // population-weighted mean bus wait
+        res.wBus += static_cast<double>(cls.count) * w_bus[k] / n_total;
+    }
+    if (share_total > 0.0) {
+        for (auto &c : res.classes)
+            c.busDemandShare /= share_total;
+    }
+    return res;
+}
+
+} // namespace
+
+MulticlassResult
+solveMulticlass(const std::vector<ProcessorClass> &classes,
+                const MvaOptions &options)
+{
+    if (classes.empty())
+        fatal("solveMulticlass: need at least one class");
+    for (const auto &c : classes) {
+        if (c.count == 0)
+            fatal("solveMulticlass: class '%s' has zero processors",
+                  c.name.c_str());
+        const BusTiming &a = classes.front().inputs.timing;
+        const BusTiming &b = c.inputs.timing;
+        if (std::fabs(a.tWrite - b.tWrite) > 1e-12 ||
+            std::fabs(a.tSupply - b.tSupply) > 1e-12 ||
+            std::fabs(a.dMem - b.dMem) > 1e-12 ||
+            a.numModules != b.numModules) {
+            fatal("solveMulticlass: classes disagree on bus timing");
+        }
+    }
+
+    MulticlassResult res = solveOnce(classes, options, options.damping);
+    for (double damping : {0.5, 0.25, 0.1, 0.05}) {
+        if (res.converged || damping >= options.damping)
+            break;
+        res = solveOnce(classes, options, damping);
+    }
+    if (!res.converged)
+        warn("solveMulticlass: no convergence after %d iterations",
+             options.maxIterations);
+    return res;
+}
+
+} // namespace snoop

@@ -1,0 +1,63 @@
+#pragma once
+
+/**
+ * @file
+ * The full set of performance measures produced by one MVA solve.
+ */
+
+#include <string>
+#include <vector>
+
+#include "workload/derived.hh"
+
+namespace snoop {
+
+/**
+ * Performance measures for one (workload, protocol, N) configuration,
+ * in the paper's notation.
+ */
+struct MvaResult
+{
+    unsigned numProcessors = 0; ///< N
+
+    // headline measures (Section 4)
+    double speedup = 0;         ///< N * (tau + T_supply) / R
+    double processingPower = 0; ///< N * tau / R (Section 4.4)
+    double responseTime = 0;    ///< R, mean cycles between requests
+
+    // response-time components, eq. (1)-(4)
+    double rLocal = 0;      ///< R_local
+    double rBroadcast = 0;  ///< R_broadcast
+    double rRemoteRead = 0; ///< R_RemoteRead
+
+    // bus submodel, eq. (5)-(10)
+    double wBus = 0;     ///< mean bus waiting time
+    double qBus = 0;     ///< mean queue length seen on arrival
+    double busUtil = 0;  ///< U_bus
+    double pBusyBus = 0; ///< P(arriving request finds the bus busy)
+    double tBus = 0;     ///< mean bus access time
+    double tResBus = 0;  ///< mean residual life of the access in service
+
+    // memory submodel, eq. (11)-(12)
+    double wMem = 0;     ///< mean memory-module waiting time
+    double memUtil = 0;  ///< U_mem, per-module utilization
+    double pBusyMem = 0; ///< P(request finds its module busy)
+
+    // cache-interference submodel, eq. (13) + Appendix B
+    double nInterference = 0; ///< mean consecutive interfering snoops
+    double tInterference = 0; ///< mean cycles per interfering snoop
+
+    // solver diagnostics (Section 3.2)
+    int iterations = 0;     ///< iterations to convergence
+    bool converged = false; ///< tolerance reached within the limit
+    /** |R_k - R_{k-1}| per iteration, for the convergence study. */
+    std::vector<double> convergenceTrace;
+
+    /** The derived inputs the solve consumed. */
+    DerivedInputs inputs;
+
+    /** One-line summary for logs and examples. */
+    std::string summary() const;
+};
+
+} // namespace snoop

@@ -1,0 +1,243 @@
+#include "mva/solver.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+std::string
+MvaResult::summary() const
+{
+    return strprintf(
+        "N=%u speedup=%.3f R=%.3f U_bus=%.3f w_bus=%.3f U_mem=%.3f "
+        "(%d iterations%s)",
+        numProcessors, speedup, responseTime, busUtil, wBus, memUtil,
+        iterations, converged ? "" : ", NOT converged");
+}
+
+MvaSolver::MvaSolver(MvaOptions opts) : opts_(opts)
+{
+    if (opts_.maxIterations < 1)
+        fatal("MvaSolver: maxIterations must be >= 1");
+    if (opts_.tolerance <= 0.0)
+        fatal("MvaSolver: tolerance must be positive");
+    if (opts_.damping <= 0.0 || opts_.damping > 1.0)
+        fatal("MvaSolver: damping must be in (0, 1]");
+}
+
+namespace {
+
+/**
+ * Block-transfer cycles in the Appendix-B t_interference expression
+ * (the literal 4.0 of the paper's appendix: one cache-block transfer).
+ */
+constexpr double kAppendixBBlockCycles = 4.0;
+
+/**
+ * P(an arriving request finds the server busy), estimated from the
+ * server utilization with the arriving customer removed - the
+ * correction the paper applies in eq. (8) for the bus and repeats for
+ * the memory modules.
+ */
+double
+pBusyFromUtilization(double util, unsigned n)
+{
+    if (n <= 1)
+        return 0.0;
+    // A utilization is a probability; iteration transients can push
+    // the raw estimate past 1, which the fixed point then corrects.
+    double u = std::clamp(util, 0.0, 1.0);
+    double denom = 1.0 - u / static_cast<double>(n);
+    if (denom <= 0.0)
+        return 1.0;
+    double p = (u - u / static_cast<double>(n)) / denom;
+    return std::clamp(p, 0.0, 1.0);
+}
+
+} // namespace
+
+MvaResult
+MvaSolver::solve(const DerivedInputs &d, unsigned n) const
+{
+    if (n == 0)
+        fatal("MvaSolver::solve: need at least one processor");
+
+    // The paper's plain successive substitution (Section 3.2) converges
+    // quickly below saturation. Deep in saturation it can cycle, so on
+    // a failed attempt we re-run the whole solve with a heavier fixed
+    // damping factor (geometric contraction restores convergence).
+    MvaResult res = solveOnce(d, n, 0.0);
+    for (double damping : {0.5, 0.25, 0.1, 0.05}) {
+        if (res.converged || damping >= opts_.damping)
+            break;
+        res = solveOnce(d, n, damping);
+    }
+    if (!res.converged) {
+        warn("MvaSolver: no convergence after %d iterations (N=%u, "
+             "protocol %s)", opts_.maxIterations, n,
+             d.protocol.name().c_str());
+    }
+    return res;
+}
+
+MvaResult
+MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
+                     double damping_override) const
+{
+
+    const double num_proc = static_cast<double>(n);
+    const double t_write = d.timing.tWrite;
+    const double t_supply = d.timing.tSupply;
+    const double d_mem = d.timing.dMem;
+    const double modules = static_cast<double>(d.timing.numModules);
+
+    MvaResult res;
+    res.numProcessors = n;
+    res.inputs = d;
+
+    // Section 3.2: start with all waiting times set to zero.
+    double w_bus = 0.0;
+    double w_mem = 0.0;
+    double r_total = d.tau + t_supply;
+
+    double damping = damping_override > 0.0 ? damping_override
+                                            : opts_.damping;
+
+    // Appendix B: p and the supplier-selection factor are fixed by the
+    // workload; p' and t_interference follow directly.
+    const double p = d.pA + d.pB;
+    const double supplier_frac =
+        n > 1 ? std::min(1.0, 2.0 / (num_proc - 1.0)) : 0.0;
+    const double p_prime = d.pB +
+        d.pA * supplier_frac * d.csupFrac * (1.0 - d.repTerm);
+    const double t_int = (p > 0.0)
+        ? 1.0 + (d.pA / p) * supplier_frac * d.csupFrac *
+            (kAppendixBBlockCycles +
+             d.wbCsupply * kAppendixBBlockCycles)
+        : 0.0;
+
+    for (int it = 1; it <= opts_.maxIterations; ++it) {
+        // --- Mean queue length seen by an arrival, eq. (6) -----------
+        double r_bc = d.pBc * (w_bus + w_mem + t_write);
+        double r_rr = d.pRr * (w_bus + d.tRead);
+        double q_bus = (n > 1)
+            ? (num_proc - 1.0) * (r_bc + r_rr) / r_total
+            : 0.0;
+        // Closed system: with the arriving cache removed, at most N-1
+        // requests can be queued. (Also bounds the iteration
+        // transients that otherwise oscillate at saturation.)
+        q_bus = std::min(q_bus, num_proc - 1.0);
+
+        // --- Cache interference, eq. (13) ----------------------------
+        double n_int = 0.0;
+        if (n > 1 && q_bus > 0.0 && p > 0.0) {
+            if (p_prime >= 1.0) {
+                n_int = p * q_bus;
+            } else if (p_prime <= 0.0) {
+                n_int = p;
+            } else {
+                n_int = p * (1.0 - std::pow(p_prime, q_bus)) /
+                    (1.0 - p_prime);
+            }
+        }
+
+        // --- Response time, eq. (1)-(4) ------------------------------
+        double r_local = d.pLocal * n_int * t_int;
+        double r_new = d.tau + r_local + r_bc + r_rr + t_supply;
+
+        // --- Bus submodel, eq. (7)-(10) ------------------------------
+        double bus_demand = d.pBc * (w_mem + t_write) + d.pRr * d.tRead;
+        double u_bus = num_proc * bus_demand / r_new;
+        double p_busy_bus = pBusyFromUtilization(u_bus, n);
+
+        double t_bus = 0.0, t_res = 0.0;
+        double p_bus_total = d.pBc + d.pRr;
+        if (p_bus_total > 0.0) {
+            // eq. (9): access time weighted by request mix
+            t_bus = (d.pBc * (t_write + w_mem) + d.pRr * d.tRead) /
+                p_bus_total;
+            // eq. (10): residual life weighted by time-in-service
+            double weight_bc = d.pBc * (t_write + w_mem);
+            double weight_rr = d.pRr * d.tRead;
+            double weight_total = weight_bc + weight_rr;
+            if (weight_total > 0.0) {
+                t_res = weight_bc / weight_total * (t_write + w_mem) / 2.0 +
+                    weight_rr / weight_total * d.tRead / 2.0;
+            }
+        }
+
+        // eq. (5): residual life of the request in service plus a full
+        // access time for every other queued request.
+        double w_bus_new = (n > 1)
+            ? std::max(0.0, q_bus - p_busy_bus) * t_bus +
+                p_busy_bus * t_res
+            : 0.0;
+
+        // --- Memory submodel, eq. (11)-(12) --------------------------
+        double u_mem = num_proc * (1.0 / modules) * d.memFactor * d_mem /
+            r_new;
+        double p_busy_mem = pBusyFromUtilization(u_mem, n);
+        double w_mem_new = p_busy_mem * d_mem / 2.0;
+
+        // --- Damped update and convergence check ---------------------
+        double w_bus_next = damping * w_bus_new + (1.0 - damping) * w_bus;
+        double w_mem_next = damping * w_mem_new + (1.0 - damping) * w_mem;
+        double delta = std::fabs(r_new - r_total);
+        if (opts_.recordTrace)
+            res.convergenceTrace.push_back(delta);
+
+        w_bus = w_bus_next;
+        w_mem = w_mem_next;
+        r_total = r_new;
+        res.iterations = it;
+
+        res.rLocal = r_local;
+        res.rBroadcast = r_bc;
+        res.rRemoteRead = r_rr;
+        res.qBus = q_bus;
+        res.busUtil = std::min(u_bus, 1.0);
+        res.pBusyBus = p_busy_bus;
+        res.tBus = t_bus;
+        res.tResBus = t_res;
+        res.memUtil = std::min(u_mem, 1.0);
+        res.pBusyMem = p_busy_mem;
+        res.nInterference = n_int;
+        res.tInterference = t_int;
+
+        if (delta < opts_.tolerance * std::max(1.0, std::fabs(r_total))) {
+            res.converged = true;
+            break;
+        }
+    }
+
+    res.wBus = w_bus;
+    res.wMem = w_mem;
+    res.responseTime = r_total;
+    res.speedup = num_proc * (d.tau + t_supply) / r_total;
+    res.processingPower = num_proc * d.tau / r_total;
+    return res;
+}
+
+MvaResult
+MvaSolver::solve(const WorkloadParams &params,
+                 const ProtocolConfig &protocol, unsigned n,
+                 const BusTiming &timing) const
+{
+    return solve(DerivedInputs::compute(params, protocol, timing), n);
+}
+
+std::vector<MvaResult>
+MvaSolver::sweep(const DerivedInputs &inputs,
+                 const std::vector<unsigned> &ns) const
+{
+    std::vector<MvaResult> out;
+    out.reserve(ns.size());
+    for (unsigned n : ns)
+        out.push_back(solve(inputs, n));
+    return out;
+}
+
+} // namespace snoop

@@ -1,0 +1,74 @@
+#pragma once
+
+/**
+ * @file
+ * The customized mean-value-analysis model of Section 3: response
+ * time equations (1)-(4), the bus waiting-time submodel (5)-(10), the
+ * memory-interference submodel (11)-(12), and the cache-interference
+ * submodel (13) + Appendix B, solved by fixed-point iteration from
+ * all-zero waiting times (Section 3.2).
+ */
+
+#include <vector>
+
+#include "mva/result.hh"
+#include "protocol/config.hh"
+#include "workload/derived.hh"
+#include "workload/params.hh"
+
+namespace snoop {
+
+/** Numerical options for the MVA fixed point. */
+struct MvaOptions
+{
+    int maxIterations = 500;   ///< iteration budget
+    double tolerance = 1e-10;  ///< |R_k - R_{k-1}| convergence threshold
+    /** Damping in (0,1]; 1 = plain successive substitution. */
+    double damping = 1.0;
+    /** Record the per-iteration residual trace in the result. */
+    bool recordTrace = false;
+};
+
+/**
+ * Solves the customized MVA model for one or more system sizes.
+ *
+ * @code
+ *   MvaSolver solver;
+ *   auto inputs = DerivedInputs::compute(
+ *       presets::appendixA(SharingLevel::FivePercent),
+ *       ProtocolConfig::fromModString("1"));
+ *   MvaResult r = solver.solve(inputs, 10);
+ * @endcode
+ */
+class MvaSolver
+{
+  public:
+    explicit MvaSolver(MvaOptions opts = {});
+
+    /** Solve for @p n processors; fatal() if n == 0. */
+    MvaResult solve(const DerivedInputs &inputs, unsigned n) const;
+
+    /** Convenience: derive inputs and solve in one call. */
+    MvaResult solve(const WorkloadParams &params,
+                    const ProtocolConfig &protocol, unsigned n,
+                    const BusTiming &timing = {}) const;
+
+    /** Solve a sweep over system sizes. */
+    std::vector<MvaResult> sweep(const DerivedInputs &inputs,
+                                 const std::vector<unsigned> &ns) const;
+
+    /** The options in use. */
+    const MvaOptions &options() const { return opts_; }
+
+  private:
+    /**
+     * One fixed-point run. @p damping_override replaces the configured
+     * damping when positive (used by the saturation fallback ladder).
+     */
+    MvaResult solveOnce(const DerivedInputs &inputs, unsigned n,
+                        double damping_override) const;
+
+    MvaOptions opts_;
+};
+
+} // namespace snoop

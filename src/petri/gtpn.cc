@@ -1,0 +1,322 @@
+#include "petri/gtpn.hh"
+
+#include <cmath>
+#include <map>
+#include <queue>
+
+#include "markov/dtmc.hh"
+#include "util/logging.hh"
+
+namespace snoop {
+
+PlaceId
+Gtpn::addPlace(const std::string &name, uint32_t initial_tokens)
+{
+    places_.push_back({name, initial_tokens});
+    return places_.size() - 1;
+}
+
+TransitionId
+Gtpn::addTransition(const std::string &name, double duration, double weight)
+{
+    if (duration <= 0.0)
+        fatal("Gtpn: transition '%s' needs a positive duration",
+              name.c_str());
+    if (weight <= 0.0)
+        fatal("Gtpn: transition '%s' needs a positive weight",
+              name.c_str());
+    transitions_.push_back({name, duration, weight, {}, {}});
+    return transitions_.size() - 1;
+}
+
+void
+Gtpn::addInput(TransitionId t, PlaceId place, uint32_t count)
+{
+    if (t >= transitions_.size())
+        fatal("Gtpn::addInput: bad transition id %zu", t);
+    if (place >= places_.size())
+        fatal("Gtpn::addInput: bad place id %zu", place);
+    if (count == 0)
+        fatal("Gtpn::addInput: zero-token arc is meaningless");
+    transitions_[t].inputs.emplace_back(place, count);
+}
+
+void
+Gtpn::addOutcome(TransitionId t, double probability,
+                 std::vector<std::pair<PlaceId, uint32_t>> outputs)
+{
+    if (t >= transitions_.size())
+        fatal("Gtpn::addOutcome: bad transition id %zu", t);
+    if (probability <= 0.0 || probability > 1.0 + 1e-12)
+        fatal("Gtpn::addOutcome: bad probability %g", probability);
+    for (const auto &[place, count] : outputs) {
+        (void)count;
+        if (place >= places_.size())
+            fatal("Gtpn::addOutcome: bad place id %zu", place);
+    }
+    transitions_[t].outcomes.push_back({probability, std::move(outputs)});
+}
+
+const std::string &
+Gtpn::placeName(PlaceId p) const
+{
+    if (p >= places_.size())
+        panic("Gtpn::placeName: bad place id %zu", p);
+    return places_[p].name;
+}
+
+const std::string &
+Gtpn::transitionName(TransitionId t) const
+{
+    if (t >= transitions_.size())
+        panic("Gtpn::transitionName: bad transition id %zu", t);
+    return transitions_[t].name;
+}
+
+bool
+Gtpn::enabled(const TransitionDef &t, const Marking &m) const
+{
+    for (const auto &[place, count] : t.inputs) {
+        if (m[place] < count)
+            return false;
+    }
+    return true;
+}
+
+void
+Gtpn::validate() const
+{
+    if (places_.empty())
+        fatal("Gtpn: no places defined");
+    if (transitions_.empty())
+        fatal("Gtpn: no transitions defined");
+    for (const auto &t : transitions_) {
+        if (t.inputs.empty())
+            fatal("Gtpn: transition '%s' has no input arcs (would be "
+                  "always enabled)", t.name.c_str());
+        double total = 0.0;
+        for (const auto &o : t.outcomes)
+            total += o.probability;
+        if (std::fabs(total - 1.0) > 1e-9)
+            fatal("Gtpn: outcome probabilities of '%s' sum to %g, not 1",
+                  t.name.c_str(), total);
+    }
+}
+
+namespace {
+
+/** Reachability-graph node bookkeeping shared by the BFS. */
+struct Explorer
+{
+    std::map<std::vector<uint32_t>, size_t> index;
+    std::vector<std::vector<uint32_t>> markings;
+    std::queue<size_t> frontier;
+
+    size_t
+    intern(const std::vector<uint32_t> &m)
+    {
+        auto [it, inserted] = index.emplace(m, markings.size());
+        if (inserted) {
+            markings.push_back(m);
+            frontier.push(it->second);
+        }
+        return it->second;
+    }
+};
+
+} // namespace
+
+size_t
+Gtpn::countReachableStates(size_t max_states) const
+{
+    validate();
+    Explorer ex;
+    Marking init(places_.size());
+    for (size_t p = 0; p < places_.size(); ++p)
+        init[p] = places_[p].initial;
+    ex.intern(init);
+    while (!ex.frontier.empty()) {
+        size_t s = ex.frontier.front();
+        ex.frontier.pop();
+        Marking m = ex.markings[s];
+        for (const auto &t : transitions_) {
+            if (!enabled(t, m))
+                continue;
+            Marking after = m;
+            for (const auto &[place, count] : t.inputs)
+                after[place] -= count;
+            for (const auto &o : t.outcomes) {
+                Marking next = after;
+                for (const auto &[place, count] : o.outputs)
+                    next[place] += count;
+                ex.intern(next);
+                if (ex.markings.size() > max_states)
+                    fatal("Gtpn: more than %zu reachable markings",
+                          max_states);
+            }
+        }
+    }
+    return ex.markings.size();
+}
+
+Gtpn::ExportedChain
+Gtpn::toCtmc(size_t max_states) const
+{
+    validate();
+    Explorer ex;
+    Marking init(places_.size());
+    for (size_t p = 0; p < places_.size(); ++p)
+        init[p] = places_[p].initial;
+    ex.intern(init);
+
+    // (from, to, rate) accumulated across transitions and outcomes.
+    std::vector<std::tuple<size_t, size_t, double>> edges;
+    while (!ex.frontier.empty()) {
+        size_t s = ex.frontier.front();
+        ex.frontier.pop();
+        Marking m = ex.markings[s];
+        bool any = false;
+        for (const auto &t : transitions_) {
+            if (!enabled(t, m))
+                continue;
+            any = true;
+            double rate = t.weight / t.duration;
+            Marking after = m;
+            for (const auto &[place, count] : t.inputs)
+                after[place] -= count;
+            for (const auto &o : t.outcomes) {
+                Marking next = after;
+                for (const auto &[place, count] : o.outputs)
+                    next[place] += count;
+                size_t idx = ex.intern(next);
+                if (ex.markings.size() > max_states)
+                    fatal("Gtpn::toCtmc: more than %zu reachable "
+                          "markings", max_states);
+                if (idx != s)
+                    edges.emplace_back(s, idx, rate * o.probability);
+            }
+        }
+        if (!any)
+            fatal("Gtpn::toCtmc: deadlock marking reached");
+    }
+
+    ExportedChain out{Ctmc(ex.markings.size()), std::move(ex.markings)};
+    for (const auto &[from, to, rate] : edges)
+        out.chain.addRate(from, to, rate);
+    return out;
+}
+
+GtpnAnalysis
+Gtpn::analyze(size_t max_states) const
+{
+    validate();
+
+    Explorer ex;
+    Marking init(places_.size());
+    for (size_t p = 0; p < places_.size(); ++p)
+        init[p] = places_[p].initial;
+    ex.intern(init);
+
+    // Per-state choice structure for the embedded chain: the enabled
+    // transitions race by weight; the chosen transition then selects
+    // an outcome bundle.
+    struct Edge
+    {
+        size_t to;
+        double prob;
+        size_t transition;
+    };
+    std::vector<std::vector<Edge>> edges;
+    std::vector<double> sojourn; // mean holding time per marking
+
+    while (!ex.frontier.empty()) {
+        size_t s = ex.frontier.front();
+        ex.frontier.pop();
+        if (edges.size() <= s) {
+            edges.resize(ex.markings.size());
+            sojourn.resize(ex.markings.size(), 0.0);
+        }
+        Marking m = ex.markings[s];
+
+        // Race semantics: enabled transitions fire at rate
+        // weight / duration; the exit rate of the marking is the sum.
+        double exit_rate = 0.0;
+        for (const auto &t : transitions_) {
+            if (enabled(t, m))
+                exit_rate += t.weight / t.duration;
+        }
+        if (exit_rate <= 0.0)
+            fatal("Gtpn: deadlock marking reached (no transition enabled)");
+
+        for (size_t ti = 0; ti < transitions_.size(); ++ti) {
+            const auto &t = transitions_[ti];
+            if (!enabled(t, m))
+                continue;
+            double p_choose = (t.weight / t.duration) / exit_rate;
+            Marking after = m;
+            for (const auto &[place, count] : t.inputs)
+                after[place] -= count;
+            for (const auto &o : t.outcomes) {
+                Marking next = after;
+                for (const auto &[place, count] : o.outputs)
+                    next[place] += count;
+                size_t idx = ex.intern(next);
+                if (ex.markings.size() > max_states)
+                    fatal("Gtpn: more than %zu reachable markings "
+                          "(state-space explosion)", max_states);
+                if (edges.size() <= s)
+                    panic("Gtpn: edge bookkeeping out of sync");
+                edges[s].push_back({idx, p_choose * o.probability, ti});
+            }
+        }
+        // Exponential race: the sojourn in the marking is 1/exit-rate.
+        sojourn[s] = 1.0 / exit_rate;
+    }
+
+    size_t n = ex.markings.size();
+    edges.resize(n);
+    sojourn.resize(n, 0.0);
+
+    // Embedded DTMC over markings.
+    Dtmc chain(n);
+    for (size_t s = 0; s < n; ++s) {
+        for (const auto &e : edges[s])
+            chain.addTransition(s, e.to, e.prob);
+    }
+    std::vector<double> pi = chain.steadyStateGth();
+
+    // Semi-Markov conversion: time-stationary weight of a marking is
+    // pi_s * h_s, normalized.
+    double mean_cycle = 0.0;
+    for (size_t s = 0; s < n; ++s)
+        mean_cycle += pi[s] * sojourn[s];
+    if (mean_cycle <= 0.0)
+        panic("Gtpn: zero mean sojourn time");
+
+    GtpnAnalysis a;
+    a.numStates = n;
+    a.meanCycleTime = mean_cycle;
+    a.meanTokens.assign(places_.size(), 0.0);
+    a.throughput.assign(transitions_.size(), 0.0);
+    a.utilization.assign(transitions_.size(), 0.0);
+
+    for (size_t s = 0; s < n; ++s) {
+        double tw = pi[s] * sojourn[s] / mean_cycle;
+        for (size_t p = 0; p < places_.size(); ++p) {
+            a.meanTokens[p] +=
+                tw * static_cast<double>(ex.markings[s][p]);
+        }
+        for (const auto &e : edges[s]) {
+            // firings of transition e.transition per embedded step
+            a.throughput[e.transition] += pi[s] * e.prob;
+        }
+    }
+    for (size_t t = 0; t < transitions_.size(); ++t) {
+        // steps per unit time = 1 / mean_cycle
+        a.throughput[t] /= mean_cycle;
+        a.utilization[t] = a.throughput[t] * transitions_[t].duration;
+    }
+    return a;
+}
+
+} // namespace snoop

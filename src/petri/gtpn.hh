@@ -1,0 +1,172 @@
+#pragma once
+
+/**
+ * @file
+ * A timed Petri-net engine in the spirit of the Generalized Timed
+ * Petri Nets of [HoVe85], the formalism behind the paper's detailed
+ * baseline model [VeHo86].
+ *
+ * Supported semantics (a deliberately tractable subset, documented in
+ * DESIGN.md):
+ *  - places hold non-negative integer token counts;
+ *  - transitions have exponentially distributed firing times with the
+ *    given mean duration, racing concurrently when several are
+ *    enabled (stochastic-Petri-net race semantics, so concurrent
+ *    activity - e.g. processors executing in parallel - is modeled
+ *    exactly);
+ *  - a firing consumes the input tokens and deposits outputs according
+ *    to a probabilistic outcome bundle (the "generalized" branching of
+ *    GTPN).
+ *
+ * [HoVe85]'s deterministic firing times are *not* reproduced here -
+ * exact deterministic-time analysis needs the much larger
+ * (marking x residual-time) state space; the discrete-event simulator
+ * covers deterministic timing instead, and this engine covers the
+ * exact-state-space analytical baseline.
+ *
+ * Analysis builds the reachability graph, forms the embedded Markov
+ * chain of the underlying CTMC, solves it with the GTH solver, and
+ * converts stationary probabilities into time-weighted performance
+ * measures by sojourn-time weighting. Solution cost grows with the
+ * state space - the very "state-space explosion" the paper's MVA
+ * model exists to avoid; the engine exists to demonstrate and
+ * validate that trade-off at small scale.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "markov/ctmc.hh"
+
+namespace snoop {
+
+/** Identifier types for readability. */
+using PlaceId = size_t;
+using TransitionId = size_t;
+
+/** One probabilistic outcome of a transition firing. */
+struct Outcome
+{
+    double probability = 1.0;
+    /** (place, tokens deposited) pairs. */
+    std::vector<std::pair<PlaceId, uint32_t>> outputs;
+};
+
+/** Performance measures from steady-state GTPN analysis. */
+struct GtpnAnalysis
+{
+    size_t numStates = 0;          ///< reachable markings
+    double meanCycleTime = 0.0;    ///< mean sojourn per embedded step
+    /** Long-run mean token count per place (source-marking convention:
+     *  tokens in flight during a firing count in the marking the
+     *  firing left). */
+    std::vector<double> meanTokens;
+    /** Long-run firings per unit time, per transition. */
+    std::vector<double> throughput;
+    /** Fraction of time each transition is enabled (equivalently,
+     *  throughput x mean duration for unit-weight transitions). */
+    std::vector<double> utilization;
+};
+
+/**
+ * A timed Petri net under construction and its analyzer.
+ *
+ * @code
+ *   Gtpn net;
+ *   auto idle = net.addPlace("idle", 1);
+ *   auto busy = net.addPlace("busy", 0);
+ *   auto go = net.addTransition("go", 2.0);
+ *   net.addInput(go, idle);
+ *   net.addOutcome(go, 1.0, {{busy, 1}});
+ *   ...
+ *   GtpnAnalysis a = net.analyze();
+ * @endcode
+ */
+class Gtpn
+{
+  public:
+    /** Add a place with an initial token count; returns its id. */
+    PlaceId addPlace(const std::string &name, uint32_t initial_tokens);
+
+    /**
+     * Add a transition.
+     * @param name     label for reports
+     * @param duration mean (exponentially distributed) firing time (> 0)
+     * @param weight   rate multiplier: the firing rate is
+     *                 weight / duration (> 0)
+     */
+    TransitionId addTransition(const std::string &name, double duration,
+                               double weight = 1.0);
+
+    /** Require @p count tokens in @p place to enable @p t. */
+    void addInput(TransitionId t, PlaceId place, uint32_t count = 1);
+
+    /**
+     * Add a probabilistic outcome bundle; the outcome probabilities of
+     * each transition must sum to 1 by analysis time.
+     */
+    void addOutcome(TransitionId t, double probability,
+                    std::vector<std::pair<PlaceId, uint32_t>> outputs);
+
+    /** Number of places added so far. */
+    size_t numPlaces() const { return places_.size(); }
+
+    /** Number of transitions added so far. */
+    size_t numTransitions() const { return transitions_.size(); }
+
+    /** Place name (for reports). */
+    const std::string &placeName(PlaceId p) const;
+
+    /** Transition name (for reports). */
+    const std::string &transitionName(TransitionId t) const;
+
+    /**
+     * Build the reachability graph and solve for steady state.
+     * fatal() on deadlock (a reachable marking with no enabled
+     * transition) or if more than @p max_states markings are reachable.
+     */
+    GtpnAnalysis analyze(size_t max_states = 200000) const;
+
+    /** Count reachable markings without solving (for cost studies). */
+    size_t countReachableStates(size_t max_states = 2000000) const;
+
+    /**
+     * Export the underlying CTMC over reachable markings, for
+     * transient / mixing-time analysis (markov/ctmc.hh). The returned
+     * markings vector maps CTMC state indices back to markings; the
+     * initial marking is always state 0.
+     */
+    struct ExportedChain
+    {
+        Ctmc chain;
+        std::vector<std::vector<uint32_t>> markings;
+    };
+    ExportedChain toCtmc(size_t max_states = 200000) const;
+
+  private:
+    struct TransitionDef
+    {
+        std::string name;
+        double duration;
+        double weight;
+        std::vector<std::pair<PlaceId, uint32_t>> inputs;
+        std::vector<Outcome> outcomes;
+    };
+
+    struct PlaceDef
+    {
+        std::string name;
+        uint32_t initial;
+    };
+
+    using Marking = std::vector<uint32_t>;
+
+    bool enabled(const TransitionDef &t, const Marking &m) const;
+    void validate() const;
+
+    std::vector<PlaceDef> places_;
+    std::vector<TransitionDef> transitions_;
+};
+
+} // namespace snoop

@@ -1,0 +1,72 @@
+#include "protocol/catalog.hh"
+
+#include <algorithm>
+
+#include "util/strutil.hh"
+
+namespace snoop {
+
+const std::vector<NamedProtocol> &
+protocolCatalog()
+{
+    static const std::vector<NamedProtocol> catalog = {
+        {"WriteOnce", ProtocolConfig::withMods(false, false, false, false),
+         "[Good83] Goodman, ISCA 1983",
+         "the baseline copy-back invalidation protocol"},
+        {"Synapse", ProtocolConfig::withMods(false, false, true, false),
+         "[Fran84] Frank, Electronics 1984",
+         "invalidation on first write; no exclusive-on-miss"},
+        {"Illinois", ProtocolConfig::withMods(true, false, true, false),
+         "[PaPa84] Papamarcos/Patel, ISCA 1984",
+         "its flush-and-supply-in-one-transaction is similar to mod2 "
+         "but modeled as the memory-update path (Section 2.2)"},
+        {"Berkeley", ProtocolConfig::withMods(false, true, true, false),
+         "[KEWP85] Katz et al., ISCA 1985",
+         "ownership-based direct supply"},
+        {"Dragon", ProtocolConfig::withMods(true, true, true, true),
+         "[McCr84] McCreight, 1984", "broadcast-update protocol"},
+        {"RWB", ProtocolConfig::withMods(true, false, true, true),
+         "[RuSe84] Rudolph/Segall, ISCA 1984",
+         "can switch between invalidate and broadcast; modeled in "
+         "broadcast mode"},
+        {"WriteThrough", ProtocolConfig::withMods(false, false, false, true),
+         "[Smit82] survey",
+         "mod4 without mod1 degenerates to write-through (Section 2.2)"},
+    };
+    return catalog;
+}
+
+std::optional<ProtocolConfig>
+findProtocol(const std::string &name)
+{
+    std::string key = toLower(trim(name));
+    key.erase(std::remove_if(key.begin(), key.end(),
+                             [](char c) { return c == '-' || c == '_'; }),
+              key.end());
+    for (const auto &p : protocolCatalog()) {
+        std::string cname = toLower(p.name);
+        if (key == cname)
+            return p.config;
+    }
+    // Accept a bare modification string, including the empty string
+    // (plain Write-Once) only when explicitly "writeonce" above.
+    if (!key.empty() &&
+        std::all_of(key.begin(), key.end(),
+                    [](char c) { return c >= '1' && c <= '4'; })) {
+        return ProtocolConfig::fromModString(key);
+    }
+    return std::nullopt;
+}
+
+std::vector<std::string>
+namesForConfig(const ProtocolConfig &c)
+{
+    std::vector<std::string> names;
+    for (const auto &p : protocolCatalog()) {
+        if (p.config == c)
+            names.push_back(p.name);
+    }
+    return names;
+}
+
+} // namespace snoop

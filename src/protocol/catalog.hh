@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * The catalog of published snooping protocols expressed as points in
+ * the Write-Once modification space, following Section 2.2.
+ */
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "protocol/config.hh"
+
+namespace snoop {
+
+/** A published protocol and its position in the modification space. */
+struct NamedProtocol
+{
+    std::string name;       ///< canonical name, e.g. "Illinois"
+    ProtocolConfig config;  ///< modification flags
+    std::string citation;   ///< original proposal
+    std::string notes;      ///< caveats on the mapping
+};
+
+/**
+ * All published protocols the paper discusses, each mapped onto the
+ * modification flags per Section 2.2:
+ *  - Write-Once:    no modifications                     [Good83]
+ *  - Synapse:       mod3                                 [Fran84]
+ *  - Illinois:      mods 1, 3 (its combined flush-and-supply is noted
+ *                   as "another optimization similar to" mod2)
+ *                                                        [PaPa84]
+ *  - Berkeley:      mods 2, 3                            [KEWP85]
+ *  - Dragon:        mods 1, 2, 3, 4                      [McCr84]
+ *  - RWB:           mods 1, 3, 4                         [RuSe84]
+ *  - Write-Through: the degenerate mod4-without-mod1 point
+ *                   (Section 2.2: "this modification alone reduces the
+ *                   Write-Once protocol to a write-through protocol")
+ */
+const std::vector<NamedProtocol> &protocolCatalog();
+
+/**
+ * Case-insensitive lookup. Accepts catalog names ("illinois"),
+ * "writeonce"/"write-once", and mod strings ("13"). Returns nullopt if
+ * unrecognized.
+ */
+std::optional<ProtocolConfig> findProtocol(const std::string &name);
+
+/** Catalog names of all protocols that include config @p c exactly. */
+std::vector<std::string> namesForConfig(const ProtocolConfig &c);
+
+} // namespace snoop

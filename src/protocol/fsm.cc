@@ -1,0 +1,255 @@
+#include "protocol/fsm.hh"
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+std::string
+to_string(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid:
+        return "I";
+      case LineState::SharedClean:
+        return "SC";
+      case LineState::ExclusiveClean:
+        return "EC";
+      case LineState::ExclusiveDirty:
+        return "ED";
+      case LineState::SharedDirty:
+        return "SD";
+    }
+    panic("to_string(LineState): bad state %d", static_cast<int>(s));
+}
+
+bool
+isValid(LineState s)
+{
+    return s != LineState::Invalid;
+}
+
+bool
+isExclusive(LineState s)
+{
+    return s == LineState::ExclusiveClean || s == LineState::ExclusiveDirty;
+}
+
+bool
+isDirty(LineState s)
+{
+    return s == LineState::ExclusiveDirty || s == LineState::SharedDirty;
+}
+
+std::string
+to_string(BusOp op)
+{
+    switch (op) {
+      case BusOp::None:
+        return "None";
+      case BusOp::Read:
+        return "Read";
+      case BusOp::ReadMod:
+        return "ReadMod";
+      case BusOp::Invalidate:
+        return "Invalidate";
+      case BusOp::WriteWord:
+        return "WriteWord";
+      case BusOp::WriteBlock:
+        return "WriteBlock";
+    }
+    panic("to_string(BusOp): bad op %d", static_cast<int>(op));
+}
+
+ProcAction
+onProcessorRead(LineState s, const ProtocolConfig &cfg)
+{
+    (void)cfg;
+    ProcAction a;
+    if (s == LineState::Invalid) {
+        // Read miss: the fill state depends on the shared line and is
+        // resolved by fillState() when the transaction completes.
+        a.busOp = BusOp::Read;
+        a.next = LineState::SharedClean;
+        return a;
+    }
+    // Read hits are always local and leave the state unchanged.
+    a.busOp = BusOp::None;
+    a.next = s;
+    return a;
+}
+
+ProcAction
+onProcessorWrite(LineState s, const ProtocolConfig &cfg)
+{
+    ProcAction a;
+    switch (s) {
+      case LineState::Invalid:
+        // Write miss: read-with-intent-to-modify.
+        a.busOp = BusOp::ReadMod;
+        a.next = LineState::ExclusiveDirty;
+        return a;
+
+      case LineState::ExclusiveClean:
+        // Exclusive: writes are purely local; the block becomes dirty.
+        a.busOp = BusOp::None;
+        a.next = LineState::ExclusiveDirty;
+        return a;
+
+      case LineState::ExclusiveDirty:
+        a.busOp = BusOp::None;
+        a.next = LineState::ExclusiveDirty;
+        return a;
+
+      case LineState::SharedClean:
+      case LineState::SharedDirty:
+        // Non-exclusive: the consistency protocol must notify other
+        // caches.
+        if (cfg.mod4) {
+            // Broadcast the word; other copies update and stay valid.
+            a.busOp = BusOp::WriteWord;
+            a.updatesMemory = cfg.broadcastUpdatesMemory();
+            if (cfg.broadcasterTakesOwnership()) {
+                a.next = LineState::SharedDirty;
+            } else if (a.updatesMemory) {
+                // Memory was updated; previously-owned data is now clean
+                // (a SharedDirty owner's word broadcast refreshes memory
+                // for that word only, but the probabilistic model does
+                // not track word granularity; we keep dirty lines dirty
+                // to stay conservative about write-backs).
+                a.next = isDirty(s) ? LineState::SharedDirty
+                                    : LineState::SharedClean;
+            } else {
+                a.next = s;
+            }
+            return a;
+        }
+        if (cfg.mod3) {
+            // Invalidate other copies; the write stays local, so the
+            // block is now exclusive and dirty.
+            a.busOp = BusOp::Invalidate;
+            a.updatesMemory = false;
+            a.next = LineState::ExclusiveDirty;
+            return a;
+        }
+        // Plain Write-Once: write the word through to memory; other
+        // copies invalidate on observing it. The block becomes
+        // exclusive and - for a previously clean block - stays clean
+        // (memory now has the word: the "write once" state).
+        a.busOp = BusOp::WriteWord;
+        a.updatesMemory = true;
+        a.next = (s == LineState::SharedDirty) ? LineState::ExclusiveDirty
+                                               : LineState::ExclusiveClean;
+        return a;
+    }
+    panic("onProcessorWrite: bad state %d", static_cast<int>(s));
+}
+
+LineState
+fillState(bool is_write, bool other_copies, const ProtocolConfig &cfg)
+{
+    if (is_write) {
+        // ReadMod invalidated every other copy.
+        return LineState::ExclusiveDirty;
+    }
+    if (cfg.mod1 && !other_copies) {
+        // Nobody raised the shared line: load exclusive.
+        return LineState::ExclusiveClean;
+    }
+    return LineState::SharedClean;
+}
+
+SnoopAction
+onSnoop(LineState s, BusOp op, const ProtocolConfig &cfg)
+{
+    if (s == LineState::Invalid)
+        panic("onSnoop: dual directory must filter snoops on absent lines");
+
+    SnoopAction a;
+    switch (op) {
+      case BusOp::Read:
+        if (isDirty(s)) {
+            a.mustRespond = true;
+            a.fullDuration = true;
+            if (cfg.mod2) {
+                // Supply the block directly; keep (or take) ownership.
+                a.suppliesData = true;
+                a.next = LineState::SharedDirty;
+            } else {
+                // Write-Once: flush to memory, then memory supplies.
+                a.flushesToMemory = true;
+                a.next = LineState::SharedClean;
+            }
+        } else {
+            // A clean holder merely loses exclusivity; the bus-side
+            // directory handles the shared line with no processor-
+            // visible action.
+            a.mustRespond = false;
+            a.next = LineState::SharedClean;
+        }
+        return a;
+
+      case BusOp::ReadMod:
+        if (isDirty(s)) {
+            a.mustRespond = true;
+            a.fullDuration = true;
+            if (cfg.mod2)
+                a.suppliesData = true;
+            else
+                a.flushesToMemory = true;
+        } else {
+            // Invalidating a clean copy is an action of shorter
+            // duration than the transaction (Section 3.1 example).
+            a.mustRespond = true;
+            a.fullDuration = false;
+        }
+        a.next = LineState::Invalid;
+        return a;
+
+      case BusOp::Invalidate:
+        a.mustRespond = true;
+        a.fullDuration = false;
+        a.next = LineState::Invalid;
+        return a;
+
+      case BusOp::WriteWord:
+        if (cfg.mod4) {
+            // Broadcast update: copies stay valid and take the word
+            // for the whole transaction.
+            a.mustRespond = true;
+            a.fullDuration = true;
+            if (cfg.broadcasterTakesOwnership() && isDirty(s)) {
+                // Ownership migrates to the broadcaster.
+                a.next = LineState::SharedClean;
+            } else {
+                a.next = (s == LineState::SharedDirty)
+                    ? LineState::SharedDirty : LineState::SharedClean;
+            }
+        } else {
+            // Write-Once write-through: observing caches invalidate.
+            a.mustRespond = true;
+            a.fullDuration = false;
+            a.next = LineState::Invalid;
+        }
+        return a;
+
+      case BusOp::WriteBlock:
+        // A replacement write-back targets main memory only; other
+        // caches cannot hold the block dirty, and clean holders need
+        // no action.
+        a.mustRespond = false;
+        a.next = s;
+        return a;
+
+      case BusOp::None:
+        break;
+    }
+    panic("onSnoop: bad bus op %d", static_cast<int>(op));
+}
+
+BusOp
+evictionOp(LineState s)
+{
+    return isDirty(s) ? BusOp::WriteBlock : BusOp::None;
+}
+
+} // namespace snoop

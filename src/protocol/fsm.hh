@@ -1,0 +1,146 @@
+#pragma once
+
+/**
+ * @file
+ * The per-line snooping state machine for Write-Once and its four
+ * modifications.
+ *
+ * Section 2.1 of the paper defines line state as three bits:
+ * valid/invalid, exclusive/non-exclusive, and wback/no-wback (dirty
+ * relative to main memory). We enumerate the reachable combinations:
+ *
+ *   Invalid
+ *   SharedClean     valid, non-exclusive, no-wback
+ *   ExclusiveClean  valid, exclusive,     no-wback  (after a write-once
+ *                   write-through, or a mod1 exclusive load)
+ *   ExclusiveDirty  valid, exclusive,     wback
+ *   SharedDirty     valid, non-exclusive, wback     (ownership; reachable
+ *                   only with mod2 supply or the mod3+mod4 broadcast)
+ *
+ * Two transition functions are exposed: the processor side (what bus
+ * transaction, if any, a processor access requires and the resulting
+ * state) and the snoop side (how a cache holding the line reacts to a
+ * transaction it observes on the bus). The same functions drive the
+ * discrete-event simulator and the FSM unit/property tests, so the
+ * analytical model and the simulator always describe the same
+ * protocol.
+ */
+
+#include <string>
+
+#include "protocol/config.hh"
+
+namespace snoop {
+
+/** The reachable 3-bit line states (see file comment). */
+enum class LineState {
+    Invalid,
+    SharedClean,
+    ExclusiveClean,
+    ExclusiveDirty,
+    SharedDirty,
+};
+
+/** Short display name, e.g. "EC" for ExclusiveClean. */
+std::string to_string(LineState s);
+
+/** True if the state has the valid bit set. */
+bool isValid(LineState s);
+
+/** True if the state has the exclusive bit set. */
+bool isExclusive(LineState s);
+
+/** True if the state has the wback (dirty) bit set. */
+bool isDirty(LineState s);
+
+/** The five bus transaction types of Section 2.1. */
+enum class BusOp {
+    None,       ///< no bus transaction required
+    Read,       ///< block read (processor read miss)
+    ReadMod,    ///< read-with-intent-to-modify (processor write miss)
+    Invalidate, ///< invalidation broadcast (mod3 first write)
+    WriteWord,  ///< word broadcast (Write-Once first write / mod4 update)
+    WriteBlock, ///< block write-back to main memory
+};
+
+/** Short display name, e.g. "ReadMod". */
+std::string to_string(BusOp op);
+
+/**
+ * What the processor side of a cache must do for an access to a line
+ * in a given state.
+ */
+struct ProcAction
+{
+    BusOp busOp = BusOp::None;       ///< transaction to issue, if any
+    LineState next = LineState::Invalid; ///< line state once complete
+    /** Broadcast updates main memory (write-word vs pure invalidate). */
+    bool updatesMemory = false;
+};
+
+/**
+ * How a cache holding @p state reacts to bus transaction @p op for the
+ * same block issued by another cache.
+ */
+struct SnoopAction
+{
+    LineState next = LineState::Invalid; ///< state after the snoop
+    /**
+     * The cache must take some action (invalidate, update, supply),
+     * delaying its processor per the dual-directory rule of
+     * Section 2.1. False means the snoop is absorbed by the bus-side
+     * directory with no processor-visible effect.
+     */
+    bool mustRespond = false;
+    /** The response occupies the cache for the whole transaction. */
+    bool fullDuration = false;
+    /** This cache supplies the block directly (mod2 ownership path). */
+    bool suppliesData = false;
+    /**
+     * This cache must first flush the dirty block to main memory
+     * (the Write-Once "interrupt the transaction and write the block
+     * to main memory" path).
+     */
+    bool flushesToMemory = false;
+};
+
+/**
+ * Processor read access to a line in state @p s.
+ * A miss (s == Invalid) issues BusOp::Read; hits are local.
+ */
+ProcAction onProcessorRead(LineState s, const ProtocolConfig &cfg);
+
+/**
+ * Processor write access to a line in state @p s.
+ *
+ * On a miss this issues BusOp::ReadMod. On a hit to a non-exclusive or
+ * clean line the consistency action depends on the modifications:
+ * plain Write-Once writes the word through (BusOp::WriteWord,
+ * -> ExclusiveClean); mod3 invalidates instead (-> ExclusiveDirty);
+ * mod4 broadcasts and keeps copies valid.
+ */
+ProcAction onProcessorWrite(LineState s, const ProtocolConfig &cfg);
+
+/**
+ * State in which a miss fill completes in the requesting cache.
+ *
+ * @param is_write     the miss was a write (BusOp::ReadMod)
+ * @param other_copies some other cache raised the shared line
+ */
+LineState fillState(bool is_write, bool other_copies,
+                    const ProtocolConfig &cfg);
+
+/**
+ * Snoop reaction of a cache holding the block in state @p s to bus
+ * transaction @p op from another cache. @p s must be a valid state
+ * (snoops on blocks not present are filtered by the dual directory).
+ */
+SnoopAction onSnoop(LineState s, BusOp op, const ProtocolConfig &cfg);
+
+/**
+ * Bus transaction required to evict a line in state @p s
+ * (BusOp::WriteBlock if dirty, otherwise none).
+ */
+BusOp evictionOp(LineState s);
+
+} // namespace snoop

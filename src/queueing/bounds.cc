@@ -1,0 +1,66 @@
+#include "queueing/bounds.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+namespace {
+
+void
+split(const std::vector<ServiceCenter> &centers, double &demand,
+      double &d_max, double &think)
+{
+    demand = 0.0;
+    d_max = 0.0;
+    think = 0.0;
+    for (const auto &c : centers) {
+        if (c.demand < 0.0)
+            fatal("bounds: center '%s' has negative demand",
+                  c.name.c_str());
+        if (c.type == CenterType::Delay) {
+            think += c.demand;
+        } else {
+            demand += c.demand;
+            d_max = std::max(d_max, c.demand);
+        }
+    }
+}
+
+} // namespace
+
+ThroughputBounds
+asymptoticBounds(const std::vector<ServiceCenter> &centers,
+                 unsigned population)
+{
+    double demand, d_max, think;
+    split(centers, demand, d_max, think);
+    ThroughputBounds b;
+    double n = static_cast<double>(population);
+    if (population == 0)
+        return b;
+    double denom_lower = n * demand + think;
+    b.lower = denom_lower > 0.0 ? n / denom_lower : 0.0;
+    double light = demand + think > 0.0
+        ? n / (demand + think) : 0.0;
+    double heavy = d_max > 0.0 ? 1.0 / d_max : light;
+    b.upper = std::min(light, heavy);
+    if (demand + think <= 0.0) {
+        // no demands at all: bounds degenerate to zero
+        b.upper = 0.0;
+    }
+    return b;
+}
+
+double
+saturationPopulation(const std::vector<ServiceCenter> &centers)
+{
+    double demand, d_max, think;
+    split(centers, demand, d_max, think);
+    if (d_max <= 0.0)
+        return 0.0;
+    return (demand + think) / d_max;
+}
+
+} // namespace snoop

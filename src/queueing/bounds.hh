@@ -1,0 +1,34 @@
+#pragma once
+
+/**
+ * @file
+ * Asymptotic and balanced-system bounds on closed-network throughput
+ * ([LZGS84] ch. 5) - quick sanity envelopes for both the classic MVA
+ * solvers and the customized cache model.
+ */
+
+#include <vector>
+
+#include "queueing/mva_closed.hh"
+
+namespace snoop {
+
+/** Throughput bounds at a given population. */
+struct ThroughputBounds
+{
+    double lower = 0.0; ///< pessimistic bound
+    double upper = 0.0; ///< optimistic bound
+};
+
+/**
+ * Asymptotic bounds: X(N) <= min(N / (D + Z), 1 / D_max) and
+ * X(N) >= N / (N * D + Z) where D is the total demand, D_max the
+ * bottleneck demand, and Z the total delay (think) time.
+ */
+ThroughputBounds asymptoticBounds(const std::vector<ServiceCenter> &centers,
+                                  unsigned population);
+
+/** The population N* where the asymptotic bound regimes cross. */
+double saturationPopulation(const std::vector<ServiceCenter> &centers);
+
+} // namespace snoop

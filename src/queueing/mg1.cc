@@ -1,0 +1,72 @@
+#include "queueing/mg1.hh"
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+double
+meanResidualLife(double mean, double second_moment)
+{
+    if (mean <= 0.0)
+        fatal("meanResidualLife: mean must be positive");
+    if (second_moment < mean * mean)
+        fatal("meanResidualLife: E[S^2]=%g below (E[S])^2=%g",
+              second_moment, mean * mean);
+    return second_moment / (2.0 * mean);
+}
+
+double
+meanResidualLifeDeterministic(double mean)
+{
+    return meanResidualLife(mean, mean * mean);
+}
+
+double
+meanResidualLifeExponential(double mean)
+{
+    return meanResidualLife(mean, 2.0 * mean * mean);
+}
+
+namespace {
+
+double
+checkRho(double lambda, double mu)
+{
+    if (lambda < 0.0 || mu <= 0.0)
+        fatal("M/M/1: need lambda >= 0 and mu > 0");
+    double rho = lambda / mu;
+    if (rho >= 1.0)
+        fatal("M/M/1: unstable (rho = %g >= 1)", rho);
+    return rho;
+}
+
+} // namespace
+
+double
+mm1WaitingTime(double lambda, double mu)
+{
+    double rho = checkRho(lambda, mu);
+    return rho / (mu * (1.0 - rho));
+}
+
+double
+mm1NumberInSystem(double lambda, double mu)
+{
+    double rho = checkRho(lambda, mu);
+    return rho / (1.0 - rho);
+}
+
+double
+mg1WaitingTime(double lambda, double mean_service, double second_moment)
+{
+    if (lambda < 0.0)
+        fatal("M/G/1: arrival rate must be non-negative");
+    if (mean_service <= 0.0)
+        fatal("M/G/1: mean service time must be positive");
+    double rho = lambda * mean_service;
+    if (rho >= 1.0)
+        fatal("M/G/1: unstable (rho = %g >= 1)", rho);
+    return lambda * second_moment / (2.0 * (1.0 - rho));
+}
+
+} // namespace snoop

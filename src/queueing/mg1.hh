@@ -1,0 +1,35 @@
+#pragma once
+
+/**
+ * @file
+ * Open-system formulas: M/M/1, M/G/1 (Pollaczek-Khinchine), and the
+ * mean residual life that underlies the paper's eq. (10).
+ */
+
+namespace snoop {
+
+/** Mean residual (remaining) service time of the job in service,
+ *  E[S^2] / (2 E[S]), for a service time with the given first two
+ *  moments. For a deterministic service time this is S/2 - exactly the
+ *  "t/2" residual terms of the paper's eq. (10). */
+double meanResidualLife(double mean, double second_moment);
+
+/** Residual life of a deterministic service time (mean/2). */
+double meanResidualLifeDeterministic(double mean);
+
+/** Residual life of an exponential service time (equal to the mean). */
+double meanResidualLifeExponential(double mean);
+
+/** M/M/1 mean waiting time (time in queue, excluding service) at
+ *  arrival rate lambda and service rate mu; fatal if unstable. */
+double mm1WaitingTime(double lambda, double mu);
+
+/** M/M/1 mean number in system. */
+double mm1NumberInSystem(double lambda, double mu);
+
+/** M/G/1 mean waiting time by Pollaczek-Khinchine:
+ *  W = lambda * E[S^2] / (2 (1 - rho)). */
+double mg1WaitingTime(double lambda, double mean_service,
+                      double second_moment);
+
+} // namespace snoop

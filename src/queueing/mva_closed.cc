@@ -1,0 +1,124 @@
+#include "queueing/mva_closed.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+namespace {
+
+void
+checkCenters(const std::vector<ServiceCenter> &centers)
+{
+    if (centers.empty())
+        fatal("closed MVA: need at least one service center");
+    for (const auto &c : centers) {
+        if (c.demand < 0.0 || std::isnan(c.demand))
+            fatal("closed MVA: center '%s' has bad demand %g",
+                  c.name.c_str(), c.demand);
+    }
+}
+
+NetworkMetrics
+assemble(const std::vector<ServiceCenter> &centers, unsigned n,
+         const std::vector<double> &residence,
+         const std::vector<double> &queue, double throughput)
+{
+    NetworkMetrics m;
+    m.population = n;
+    m.throughput = throughput;
+    m.cycleTime = throughput > 0.0
+        ? static_cast<double>(n) / throughput : 0.0;
+    m.centers.resize(centers.size());
+    for (size_t k = 0; k < centers.size(); ++k) {
+        m.centers[k].residenceTime = residence[k];
+        m.centers[k].queueLength = queue[k];
+        m.centers[k].utilization = centers[k].type == CenterType::Delay
+            ? 0.0 : throughput * centers[k].demand;
+    }
+    return m;
+}
+
+} // namespace
+
+NetworkMetrics
+exactMva(const std::vector<ServiceCenter> &centers, unsigned population)
+{
+    checkCenters(centers);
+    size_t num_centers = centers.size();
+    std::vector<double> queue(num_centers, 0.0);
+    std::vector<double> residence(num_centers, 0.0);
+    double throughput = 0.0;
+
+    for (unsigned n = 1; n <= population; ++n) {
+        double total = 0.0;
+        for (size_t k = 0; k < num_centers; ++k) {
+            if (centers[k].type == CenterType::Delay)
+                residence[k] = centers[k].demand;
+            else
+                residence[k] = centers[k].demand * (1.0 + queue[k]);
+            total += residence[k];
+        }
+        throughput = total > 0.0 ? static_cast<double>(n) / total : 0.0;
+        for (size_t k = 0; k < num_centers; ++k)
+            queue[k] = throughput * residence[k];
+    }
+    return assemble(centers, population, residence, queue, throughput);
+}
+
+NetworkMetrics
+approximateMva(const std::vector<ServiceCenter> &centers,
+               unsigned population, double tolerance, int max_iterations)
+{
+    checkCenters(centers);
+    if (tolerance <= 0.0)
+        fatal("approximate MVA: tolerance must be positive");
+    if (max_iterations < 1)
+        fatal("approximate MVA: need at least one iteration");
+
+    size_t num_centers = centers.size();
+    NetworkMetrics m;
+    if (population == 0) {
+        m = assemble(centers, 0,
+                     std::vector<double>(num_centers, 0.0),
+                     std::vector<double>(num_centers, 0.0), 0.0);
+        return m;
+    }
+
+    double n = static_cast<double>(population);
+    // Start with customers spread evenly over the centers.
+    std::vector<double> queue(num_centers, n / static_cast<double>(
+                                               num_centers));
+    std::vector<double> residence(num_centers, 0.0);
+    double throughput = 0.0;
+    int it = 0;
+    for (it = 1; it <= max_iterations; ++it) {
+        double total = 0.0;
+        for (size_t k = 0; k < num_centers; ++k) {
+            if (centers[k].type == CenterType::Delay) {
+                residence[k] = centers[k].demand;
+            } else {
+                // Schweitzer: arriving customer sees (N-1)/N of the
+                // time-averaged queue.
+                double seen = queue[k] * (n - 1.0) / n;
+                residence[k] = centers[k].demand * (1.0 + seen);
+            }
+            total += residence[k];
+        }
+        throughput = total > 0.0 ? n / total : 0.0;
+        double delta = 0.0;
+        for (size_t k = 0; k < num_centers; ++k) {
+            double next = throughput * residence[k];
+            delta = std::max(delta, std::fabs(next - queue[k]));
+            queue[k] = next;
+        }
+        if (delta < tolerance)
+            break;
+    }
+    m = assemble(centers, population, residence, queue, throughput);
+    m.iterations = std::min(it, max_iterations);
+    return m;
+}
+
+} // namespace snoop

@@ -1,0 +1,137 @@
+#include "queueing/mva_load_dependent.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+LoadDependentCenter
+LoadDependentCenter::multiServer(const std::string &name, double demand,
+                                 unsigned servers,
+                                 unsigned max_population)
+{
+    if (servers == 0)
+        fatal("multiServer: need at least one server");
+    LoadDependentCenter c;
+    c.name = name;
+    c.demand = demand;
+    c.rateMultipliers.reserve(max_population);
+    for (unsigned j = 1; j <= std::max(max_population, servers); ++j)
+        c.rateMultipliers.push_back(
+            static_cast<double>(std::min(j, servers)));
+    return c;
+}
+
+namespace {
+
+double
+alpha(const LoadDependentCenter &c, unsigned j)
+{
+    if (c.rateMultipliers.empty())
+        return 1.0;
+    size_t idx = std::min<size_t>(j, c.rateMultipliers.size()) - 1;
+    double a = c.rateMultipliers[idx];
+    if (a <= 0.0)
+        fatal("load-dependent center '%s': non-positive rate "
+              "multiplier at j=%u", c.name.c_str(), j);
+    return a;
+}
+
+} // namespace
+
+LoadDependentResult
+exactMvaLoadDependent(const std::vector<ServiceCenter> &fixed,
+                      const std::vector<LoadDependentCenter> &load_dep,
+                      unsigned population)
+{
+    for (const auto &c : fixed) {
+        if (c.demand < 0.0 || std::isnan(c.demand))
+            fatal("exactMvaLoadDependent: center '%s' has bad demand",
+                  c.name.c_str());
+    }
+    for (const auto &c : load_dep) {
+        if (c.demand < 0.0 || std::isnan(c.demand))
+            fatal("exactMvaLoadDependent: center '%s' has bad demand",
+                  c.name.c_str());
+    }
+    if (fixed.empty() && load_dep.empty())
+        fatal("exactMvaLoadDependent: need at least one center");
+
+    size_t nf = fixed.size(), nl = load_dep.size();
+    std::vector<double> fixed_q(nf, 0.0);
+    std::vector<double> fixed_r(nf, 0.0);
+    // marginal[k][j] = P(j customers at load-dependent center k), at
+    // the previous population level.
+    std::vector<std::vector<double>> marginal(
+        nl, std::vector<double>(population + 1, 0.0));
+    for (auto &m : marginal)
+        m[0] = 1.0;
+    std::vector<double> ld_r(nl, 0.0);
+
+    double throughput = 0.0;
+    for (unsigned n = 1; n <= population; ++n) {
+        double total = 0.0;
+        for (size_t k = 0; k < nf; ++k) {
+            fixed_r[k] = fixed[k].type == CenterType::Delay
+                ? fixed[k].demand
+                : fixed[k].demand * (1.0 + fixed_q[k]);
+            total += fixed_r[k];
+        }
+        for (size_t k = 0; k < nl; ++k) {
+            double r = 0.0;
+            for (unsigned j = 1; j <= n; ++j) {
+                r += static_cast<double>(j) / alpha(load_dep[k], j) *
+                    marginal[k][j - 1];
+            }
+            ld_r[k] = load_dep[k].demand * r;
+            total += ld_r[k];
+        }
+        if (total <= 0.0) {
+            throughput = 0.0;
+            break;
+        }
+        throughput = static_cast<double>(n) / total;
+        for (size_t k = 0; k < nf; ++k) {
+            fixed_q[k] = fixed[k].type == CenterType::Delay
+                ? throughput * fixed_r[k] // mean in "service"
+                : throughput * fixed_r[k];
+        }
+        for (size_t k = 0; k < nl; ++k) {
+            std::vector<double> next(population + 1, 0.0);
+            double tail = 0.0;
+            for (unsigned j = n; j >= 1; --j) {
+                next[j] = load_dep[k].demand / alpha(load_dep[k], j) *
+                    throughput * marginal[k][j - 1];
+                tail += next[j];
+            }
+            next[0] = std::max(0.0, 1.0 - tail);
+            marginal[k] = std::move(next);
+        }
+    }
+
+    LoadDependentResult res;
+    res.population = population;
+    res.throughput = throughput;
+    res.fixedCenters.resize(nf);
+    for (size_t k = 0; k < nf; ++k) {
+        res.fixedCenters[k].residenceTime = fixed_r[k];
+        res.fixedCenters[k].queueLength = fixed_q[k];
+        res.fixedCenters[k].utilization =
+            fixed[k].type == CenterType::Delay
+            ? 0.0 : throughput * fixed[k].demand;
+    }
+    res.ldCenters.resize(nl);
+    for (size_t k = 0; k < nl; ++k) {
+        res.ldCenters[k].residenceTime = ld_r[k];
+        double q = 0.0;
+        for (unsigned j = 1; j <= population; ++j)
+            q += static_cast<double>(j) * marginal[k][j];
+        res.ldCenters[k].queueLength = q;
+        res.ldCenters[k].utilization = 1.0 - marginal[k][0];
+        res.ldCenters[k].marginal = marginal[k];
+    }
+    return res;
+}
+
+} // namespace snoop

@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * Exact MVA for closed single-class networks with load-dependent
+ * service centers ([LZGS84] ch. 8): centers whose service rate varies
+ * with the number of customers present. The main use here is
+ * multi-server centers - e.g. the m interleaved memory modules of the
+ * paper's machine as one m-server center - but arbitrary rate
+ * functions are supported.
+ *
+ * The algorithm carries the marginal queue-length distribution of each
+ * load-dependent center through the population recursion, so cost is
+ * O(N^2) per such center instead of O(N).
+ */
+
+#include <string>
+#include <vector>
+
+#include "queueing/mva_closed.hh"
+
+namespace snoop {
+
+/** One load-dependent service center. */
+struct LoadDependentCenter
+{
+    std::string name;
+    /** Service demand per visit cycle at rate multiplier 1. */
+    double demand = 0.0;
+    /**
+     * Rate multiplier alpha(j) when j customers are present,
+     * j = 1..size(). Populations beyond the vector use the last value.
+     * Empty means constant rate (alpha = 1, a plain queueing center).
+     * A c-server center uses alpha(j) = min(j, c).
+     */
+    std::vector<double> rateMultipliers;
+
+    /** Convenience: a c-server center. */
+    static LoadDependentCenter multiServer(const std::string &name,
+                                           double demand, unsigned servers,
+                                           unsigned max_population);
+};
+
+/** Per-center results including the marginal distribution. */
+struct LoadDependentMetrics
+{
+    double residenceTime = 0.0;
+    double queueLength = 0.0;
+    double utilization = 0.0; ///< P(center non-empty)
+    /** P(j customers present), j = 0..N. */
+    std::vector<double> marginal;
+};
+
+/** Network-level results. */
+struct LoadDependentResult
+{
+    unsigned population = 0;
+    double throughput = 0.0;
+    std::vector<CenterMetrics> fixedCenters;   ///< same order as input
+    std::vector<LoadDependentMetrics> ldCenters; ///< same order as input
+};
+
+/**
+ * Exact MVA with both fixed-rate centers (delay or queueing) and
+ * load-dependent centers.
+ *
+ * @param fixed      delay / constant-rate queueing centers
+ * @param load_dep   load-dependent centers
+ * @param population customer count
+ */
+LoadDependentResult
+exactMvaLoadDependent(const std::vector<ServiceCenter> &fixed,
+                      const std::vector<LoadDependentCenter> &load_dep,
+                      unsigned population);
+
+} // namespace snoop

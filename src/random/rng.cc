@@ -1,0 +1,150 @@
+#include "random/rng.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+namespace {
+inline uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &word : s_)
+        word = splitMix64(sm);
+    // xoshiro256** must not start from the all-zero state; SplitMix64
+    // cannot produce four zero outputs in a row, but guard anyway.
+    if (s_[0] == 0 && s_[1] == 0 && s_[2] == 0 && s_[3] == 0)
+        s_[0] = 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t
+Rng::next()
+{
+    uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+double
+Rng::uniform()
+{
+    // 53 high bits -> double in [0, 1)
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::uniform(double lo, double hi)
+{
+    if (!(lo <= hi))
+        panic("Rng::uniform: empty range [%g, %g)", lo, hi);
+    return lo + (hi - lo) * uniform();
+}
+
+uint64_t
+Rng::uniformInt(uint64_t n)
+{
+    if (n == 0)
+        panic("Rng::uniformInt: n must be positive");
+    // Lemire rejection-free-ish bounded sampling with rejection to
+    // remove modulo bias.
+    uint64_t threshold = (0 - n) % n;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % n;
+    }
+}
+
+bool
+Rng::bernoulli(double p)
+{
+    if (p <= 0.0)
+        return false;
+    if (p >= 1.0)
+        return true;
+    return uniform() < p;
+}
+
+double
+Rng::exponential(double mean)
+{
+    if (mean <= 0.0)
+        panic("Rng::exponential: mean must be positive, got %g", mean);
+    double u = uniform();
+    // uniform() can return exactly 0; avoid log(0)
+    while (u <= 0.0)
+        u = uniform();
+    return -mean * std::log(u);
+}
+
+uint64_t
+Rng::geometric(double p)
+{
+    if (p <= 0.0 || p > 1.0)
+        panic("Rng::geometric: p must be in (0, 1], got %g", p);
+    if (p == 1.0)
+        return 1;
+    double u = uniform();
+    while (u <= 0.0)
+        u = uniform();
+    double v = std::ceil(std::log(u) / std::log1p(-p));
+    return v < 1.0 ? 1 : static_cast<uint64_t>(v);
+}
+
+size_t
+Rng::discrete(const std::vector<double> &weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        if (w < 0.0 || std::isnan(w))
+            panic("Rng::discrete: negative or NaN weight %g", w);
+        total += w;
+    }
+    if (weights.empty() || total <= 0.0)
+        panic("Rng::discrete: weights must have a positive sum");
+    double x = uniform() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        acc += weights[i];
+        if (x < acc)
+            return i;
+    }
+    // floating-point slack: return the last index with nonzero weight
+    for (size_t i = weights.size(); i-- > 0;) {
+        if (weights[i] > 0.0)
+            return i;
+    }
+    return weights.size() - 1;
+}
+
+Rng
+Rng::fork()
+{
+    uint64_t seed = next();
+    return Rng(seed);
+}
+
+} // namespace snoop

@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic random-number generation for the simulator and the
+ * stochastic workload generator.
+ *
+ * The generator is xoshiro256** (Blackman/Vigna), seeded through
+ * SplitMix64 so that any 64-bit seed yields a well-mixed state.
+ * Rng::fork() derives statistically independent substreams so each
+ * simulator component (every processor's reference stream, every
+ * think-time sampler) has its own stream and results do not depend on
+ * event interleaving.
+ */
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace snoop {
+
+/**
+ * SplitMix64 step: advances @p state and returns the next output.
+ * Exposed for seeding and for tests.
+ */
+uint64_t splitMix64(uint64_t &state);
+
+/**
+ * A seedable, forkable PRNG with the distributions the library needs.
+ */
+class Rng
+{
+  public:
+    /** Construct from a 64-bit seed (any value, including 0, is fine). */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit output. */
+    uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); @p n must be positive. */
+    uint64_t uniformInt(uint64_t n);
+
+    /** True with probability @p p (clamped to [0, 1]). */
+    bool bernoulli(double p);
+
+    /** Exponentially distributed value with mean @p mean (> 0). */
+    double exponential(double mean);
+
+    /**
+     * Geometric number of trials >= 1 with success probability @p p;
+     * mean 1/p. Matches the discrete-time interpretation used when an
+     * exponential burst is mapped onto integer cycles.
+     */
+    uint64_t geometric(double p);
+
+    /**
+     * Sample an index with probability proportional to @p weights.
+     * All weights must be non-negative with a positive sum.
+     */
+    size_t discrete(const std::vector<double> &weights);
+
+    /**
+     * Derive an independent substream. The child stream is seeded from
+     * this stream's output via SplitMix64, so forking is deterministic.
+     */
+    Rng fork();
+
+    /** The state, for checkpoint tests. */
+    std::array<uint64_t, 4> state() const { return s_; }
+
+  private:
+    std::array<uint64_t, 4> s_;
+};
+
+} // namespace snoop

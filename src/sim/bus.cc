@@ -1,0 +1,65 @@
+#include "sim/bus.hh"
+
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+
+namespace snoop {
+
+Bus::Bus(EventQueue &events, BusDiscipline discipline, uint64_t seed)
+    : events_(events), discipline_(discipline), rng_(seed),
+      busyTime_(0.0, 0.0)
+{
+}
+
+void
+Bus::request(Grant grant)
+{
+    double now = events_.now();
+    if (!busy_) {
+        busy_ = true;
+        busyTime_.update(now, 1.0);
+        waits_.add(0.0);
+        grant(now);
+        return;
+    }
+    queue_.push_back({now, std::move(grant)});
+}
+
+void
+Bus::releaseAt(double when)
+{
+    if (!busy_)
+        panic("Bus::releaseAt: bus is not held");
+    if (when < events_.now())
+        panic("Bus::releaseAt: release in the past");
+    events_.schedule(when, [this] {
+        double now = events_.now();
+        if (queue_.empty()) {
+            busy_ = false;
+            busyTime_.update(now, 0.0);
+            return;
+        }
+        grantNext(now);
+    });
+}
+
+void
+Bus::grantNext(double when)
+{
+    size_t pick = 0;
+    if (discipline_ == BusDiscipline::RandomOrder && queue_.size() > 1)
+        pick = static_cast<size_t>(rng_.uniformInt(queue_.size()));
+    Pending p = std::move(queue_[pick]);
+    queue_.erase(queue_.begin() + static_cast<long>(pick));
+    waits_.add(when - p.enqueueTime);
+    p.grant(when);
+}
+
+void
+Bus::resetStats(double now)
+{
+    waits_.reset();
+    busyTime_.resetWindow(now);
+}
+
+} // namespace snoop

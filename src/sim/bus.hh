@@ -1,0 +1,97 @@
+#pragma once
+
+/**
+ * @file
+ * The shared bus: a single FCFS server (Section 2.1 schedules requests
+ * first-come first-served) with busy-time accounting.
+ */
+
+#include <deque>
+#include <functional>
+
+#include "random/rng.hh"
+#include "stats/accumulator.hh"
+#include "stats/time_weighted.hh"
+
+namespace snoop {
+
+class EventQueue;
+
+/**
+ * Bus scheduling disciplines. Section 2.1 of the paper: "Bus requests
+ * are served in random order in the GTPN model, but are assumed to be
+ * scheduled in first-come first-served order in the mean-value model
+ * ... Both scheduling disciplines have the same mean waiting time" -
+ * the simulator supports both so that claim is testable.
+ */
+enum class BusDiscipline {
+    Fcfs,        ///< first-come first-served (the MVA's assumption)
+    RandomOrder, ///< uniformly random among waiters (the GTPN's)
+};
+
+/**
+ * The shared bus. Users enqueue a request with a callback that is
+ * invoked when the request is granted; the callback performs the
+ * transaction and must eventually call releaseAt().
+ */
+class Bus
+{
+  public:
+    /**
+     * @param events     the event queue driving the simulation
+     * @param discipline grant order among queued requests
+     * @param seed       seed for the RandomOrder discipline
+     */
+    explicit Bus(EventQueue &events,
+                 BusDiscipline discipline = BusDiscipline::Fcfs,
+                 uint64_t seed = 1);
+
+    /** A request granted the bus; receives the grant time. */
+    using Grant = std::function<void(double grant_time)>;
+
+    /** Enqueue a request; @p grant runs when the bus is acquired. */
+    void request(Grant grant);
+
+    /**
+     * Release the bus at absolute time @p when (>= now). The next
+     * queued request, if any, is granted at that time.
+     */
+    void releaseAt(double when);
+
+    /** Requests waiting (not counting the one in service). */
+    size_t queueLength() const { return queue_.size(); }
+
+    /** True while a transaction holds the bus. */
+    bool busy() const { return busy_; }
+
+    /** Mean wait from request to grant, over the current window. */
+    const Accumulator &waitStats() const { return waits_; }
+
+    /** Bus utilization over the current window. */
+    double utilization(double now) const
+    {
+        return busyTime_.timeAverage(now);
+    }
+
+    /** Restart measurement windows (end of warm-up). */
+    void resetStats(double now);
+
+  private:
+    struct Pending
+    {
+        double enqueueTime;
+        Grant grant;
+    };
+
+    void grantNext(double when);
+
+    EventQueue &events_;
+    BusDiscipline discipline_;
+    Rng rng_;
+    std::deque<Pending> queue_;
+    bool busy_ = false;
+    Accumulator waits_;
+    TimeWeighted busyTime_;
+};
+
+} // namespace snoop

@@ -1,0 +1,110 @@
+#include "sim/cache.hh"
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+CacheArray::CacheArray(unsigned num_sets, unsigned ways)
+    : numSets_(num_sets), ways_(ways)
+{
+    if (num_sets == 0 || ways == 0)
+        fatal("CacheArray: need at least one set and one way");
+    lines_.assign(static_cast<size_t>(num_sets) * ways, Line{});
+}
+
+CacheArray::Line *
+CacheArray::find(uint64_t block)
+{
+    size_t base = setIndex(block) * ways_;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + w];
+        if (line.state != LineState::Invalid && line.block == block)
+            return &line;
+    }
+    return nullptr;
+}
+
+const CacheArray::Line *
+CacheArray::find(uint64_t block) const
+{
+    return const_cast<CacheArray *>(this)->find(block);
+}
+
+LineState
+CacheArray::lookup(uint64_t block) const
+{
+    const Line *line = find(block);
+    return line ? line->state : LineState::Invalid;
+}
+
+void
+CacheArray::setState(uint64_t block, LineState state)
+{
+    Line *line = find(block);
+    if (!line)
+        panic("CacheArray::setState: block %llu not resident",
+              static_cast<unsigned long long>(block));
+    line->state = state;
+}
+
+void
+CacheArray::touch(uint64_t block)
+{
+    Line *line = find(block);
+    if (!line)
+        panic("CacheArray::touch: block %llu not resident",
+              static_cast<unsigned long long>(block));
+    line->lastUse = ++clock_;
+}
+
+CacheArray::Eviction
+CacheArray::fill(uint64_t block, LineState state)
+{
+    if (state == LineState::Invalid)
+        panic("CacheArray::fill: cannot fill an Invalid line");
+    if (find(block))
+        panic("CacheArray::fill: block %llu already resident",
+              static_cast<unsigned long long>(block));
+    size_t base = setIndex(block) * ways_;
+    Line *victim = &lines_[base];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Line &line = lines_[base + w];
+        if (line.state == LineState::Invalid) {
+            victim = &line;
+            break;
+        }
+        if (line.lastUse < victim->lastUse)
+            victim = &line;
+    }
+    Eviction ev;
+    if (victim->state != LineState::Invalid) {
+        ev.valid = true;
+        ev.block = victim->block;
+        ev.state = victim->state;
+    }
+    victim->block = block;
+    victim->state = state;
+    victim->lastUse = ++clock_;
+    return ev;
+}
+
+size_t
+CacheArray::validLines() const
+{
+    size_t n = 0;
+    for (const Line &line : lines_)
+        n += (line.state != LineState::Invalid);
+    return n;
+}
+
+void
+CacheArray::forEachValid(
+    const std::function<void(uint64_t, LineState)> &fn) const
+{
+    for (const Line &line : lines_) {
+        if (line.state != LineState::Invalid)
+            fn(line.block, line.state);
+    }
+}
+
+} // namespace snoop

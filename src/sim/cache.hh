@@ -1,0 +1,91 @@
+#pragma once
+
+/**
+ * @file
+ * A set-associative cache directory with LRU replacement and the
+ * 3-bit line states of Section 2.1, used by the trace-driven simulator
+ * mode (an extension beyond the paper's probabilistic workload).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "protocol/fsm.hh"
+
+namespace snoop {
+
+/** Tag/state array of one processor's cache. */
+class CacheArray
+{
+  public:
+    /**
+     * @param num_sets number of sets (>= 1)
+     * @param ways     associativity (>= 1)
+     */
+    CacheArray(unsigned num_sets, unsigned ways);
+
+    /** State of @p block (Invalid if not present). */
+    LineState lookup(uint64_t block) const;
+
+    /** True if @p block is present in a valid state. */
+    bool contains(uint64_t block) const
+    {
+        return lookup(block) != LineState::Invalid;
+    }
+
+    /**
+     * Set the state of a resident block (panics if absent); setting
+     * Invalid removes the line.
+     */
+    void setState(uint64_t block, LineState state);
+
+    /** Mark @p block most-recently-used (panics if absent). */
+    void touch(uint64_t block);
+
+    /** Result of a fill: what (if anything) was evicted. */
+    struct Eviction
+    {
+        bool valid = false;       ///< an occupied line was evicted
+        uint64_t block = 0;       ///< its block id
+        LineState state = LineState::Invalid; ///< its state
+    };
+
+    /**
+     * Insert @p block in @p state, evicting the LRU line of the set if
+     * full. The block must not already be resident.
+     */
+    Eviction fill(uint64_t block, LineState state);
+
+    /** Number of valid lines (for tests). */
+    size_t validLines() const;
+
+    /** Invoke @p fn for every valid line (block, state). */
+    void
+    forEachValid(const std::function<void(uint64_t, LineState)> &fn) const;
+
+    unsigned numSets() const { return numSets_; }
+    unsigned ways() const { return ways_; }
+
+  private:
+    struct Line
+    {
+        uint64_t block = 0;
+        LineState state = LineState::Invalid;
+        uint64_t lastUse = 0;
+    };
+
+    size_t setIndex(uint64_t block) const
+    {
+        return static_cast<size_t>(block % numSets_);
+    }
+    Line *find(uint64_t block);
+    const Line *find(uint64_t block) const;
+
+    unsigned numSets_;
+    unsigned ways_;
+    uint64_t clock_ = 0;
+    std::vector<Line> lines_; // numSets_ * ways_, row-major by set
+};
+
+} // namespace snoop

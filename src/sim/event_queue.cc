@@ -1,0 +1,47 @@
+#include "sim/event_queue.hh"
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+void
+EventQueue::schedule(double when, Action action)
+{
+    if (when < now_)
+        panic("EventQueue: scheduling into the past (%g < %g)", when, now_);
+    heap_.push({when, seq_++, std::move(action)});
+}
+
+void
+EventQueue::scheduleAfter(double delay, Action action)
+{
+    if (delay < 0.0)
+        panic("EventQueue: negative delay %g", delay);
+    schedule(now_ + delay, std::move(action));
+}
+
+void
+EventQueue::runNext()
+{
+    if (heap_.empty())
+        panic("EventQueue: runNext on empty queue");
+    // priority_queue::top returns const ref; move out via const_cast is
+    // UB-adjacent, so copy the action handle instead (shared_ptr-backed
+    // std::function copies are cheap relative to simulation work).
+    Entry e = heap_.top();
+    heap_.pop();
+    now_ = e.time;
+    e.action();
+}
+
+void
+EventQueue::runUntil(const std::function<bool()> &predicate)
+{
+    while (!heap_.empty()) {
+        runNext();
+        if (predicate())
+            return;
+    }
+}
+
+} // namespace snoop

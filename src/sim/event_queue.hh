@@ -1,0 +1,72 @@
+#pragma once
+
+/**
+ * @file
+ * The discrete-event core: a time-ordered queue of callbacks with
+ * stable FIFO ordering for simultaneous events.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace snoop {
+
+/**
+ * A priority queue of (time, action) events. Events at equal times
+ * fire in insertion order, which keeps the simulators deterministic.
+ */
+class EventQueue
+{
+  public:
+    using Action = std::function<void()>;
+
+    /** Schedule @p action at absolute time @p when (>= now()). */
+    void schedule(double when, Action action);
+
+    /** Schedule @p action @p delay after now(). */
+    void scheduleAfter(double delay, Action action);
+
+    /** Current simulated time (last popped event time). */
+    double now() const { return now_; }
+
+    /** True if no events remain. */
+    bool empty() const { return heap_.empty(); }
+
+    /** Number of pending events. */
+    size_t size() const { return heap_.size(); }
+
+    /** Pop and run the next event; panics if empty. */
+    void runNext();
+
+    /**
+     * Run until the queue empties or @p predicate returns true
+     * (checked after every event).
+     */
+    void runUntil(const std::function<bool()> &predicate);
+
+  private:
+    struct Entry
+    {
+        double time;
+        uint64_t seq;
+        Action action;
+    };
+    struct Later
+    {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.time != b.time)
+                return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    double now_ = 0.0;
+    uint64_t seq_ = 0;
+};
+
+} // namespace snoop

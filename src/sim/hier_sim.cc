@@ -1,0 +1,195 @@
+#include "sim/hier_sim.hh"
+
+#include <memory>
+#include <vector>
+
+#include "random/rng.hh"
+#include "sim/bus.hh"
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+void
+HierSimConfig::validate() const
+{
+    machine.validate();
+    if (measuredRequests == 0)
+        fatal("HierSimConfig: measuredRequests must be positive");
+    if (batchSize == 0)
+        fatal("HierSimConfig: batchSize must be positive");
+}
+
+std::string
+HierSimResult::summary() const
+{
+    return strprintf(
+        "N=%u speedup=%.3f R=%.3f U_local=%.3f U_global=%.3f "
+        "w_l=%.3f w_g=%.3f (%llu requests)",
+        totalProcessors, speedup, responseTime.mean, localBusUtil,
+        globalBusUtil, wLocalBus, wGlobalBus,
+        static_cast<unsigned long long>(requestsMeasured));
+}
+
+namespace {
+
+class HierSimulator
+{
+  public:
+    explicit HierSimulator(const HierSimConfig &cfg)
+        : cfg_(cfg), rng_(cfg.seed), responseTimes_(cfg.batchSize),
+          globalBus_(events_)
+    {
+        const auto &m = cfg_.machine;
+        localBuses_.reserve(m.clusters);
+        for (unsigned c = 0; c < m.clusters; ++c)
+            localBuses_.push_back(std::make_unique<Bus>(events_));
+        unsigned n = m.totalProcessors();
+        procs_.reserve(n);
+        for (unsigned p = 0; p < n; ++p)
+            procs_.push_back(std::make_unique<Proc>(rng_.fork()));
+    }
+
+    HierSimResult run();
+
+  private:
+    struct Proc
+    {
+        explicit Proc(Rng r) : rng(std::move(r)) {}
+        Rng rng;
+        double cycleStart = 0.0;
+    };
+
+    unsigned
+    clusterOf(unsigned p) const
+    {
+        return p / cfg_.machine.processorsPerCluster;
+    }
+
+    void
+    scheduleExecution(unsigned p)
+    {
+        const auto &m = cfg_.machine;
+        double burst =
+            m.tau > 0.0 ? procs_[p]->rng.exponential(m.tau) : 0.0;
+        events_.scheduleAfter(burst, [this, p] { issueRequest(p); });
+    }
+
+    void
+    issueRequest(unsigned p)
+    {
+        const auto &m = cfg_.machine;
+        Proc &proc = *procs_[p];
+        if (proc.rng.bernoulli(m.pLocal)) {
+            // satisfied in the processor's own cache
+            events_.scheduleAfter(m.tSupply,
+                                  [this, p] { completeRequest(p); });
+            return;
+        }
+        bool remote = proc.rng.bernoulli(m.pRemote);
+        Bus &local = *localBuses_[clusterOf(p)];
+        local.request([this, p, remote](double grant) {
+            const auto &mm = cfg_.machine;
+            double local_done = grant + mm.tLocalBus;
+            if (!remote) {
+                localBuses_[clusterOf(p)]->releaseAt(local_done);
+                events_.schedule(local_done + mm.tSupply,
+                                 [this, p] { completeRequest(p); });
+                return;
+            }
+            // Remote: after the local phase, queue on the global bus
+            // while continuing to hold the local bus.
+            events_.schedule(local_done, [this, p] {
+                globalBus_.request([this, p](double g_grant) {
+                    const auto &mg = cfg_.machine;
+                    double g_done = g_grant + mg.tGlobalBus;
+                    globalBus_.releaseAt(g_done);
+                    localBuses_[clusterOf(p)]->releaseAt(g_done);
+                    events_.schedule(
+                        g_done + mg.tSupply,
+                        [this, p] { completeRequest(p); });
+                });
+            });
+        });
+    }
+
+    void
+    completeRequest(unsigned p)
+    {
+        Proc &proc = *procs_[p];
+        double now = events_.now();
+        if (completed_ >= cfg_.warmupRequests) {
+            if (!statsReset_) {
+                statsReset_ = true;
+                windowStart_ = now;
+                for (auto &bus : localBuses_)
+                    bus->resetStats(now);
+                globalBus_.resetStats(now);
+            } else {
+                responseTimes_.add(now - proc.cycleStart);
+                ++measured_;
+                if (measured_ >= cfg_.measuredRequests)
+                    done_ = true;
+            }
+        }
+        ++completed_;
+        proc.cycleStart = now;
+        scheduleExecution(p);
+    }
+
+    HierSimConfig cfg_;
+    EventQueue events_;
+    Rng rng_;
+    BatchMeans responseTimes_;
+    Bus globalBus_;
+    std::vector<std::unique_ptr<Bus>> localBuses_;
+    std::vector<std::unique_ptr<Proc>> procs_;
+    uint64_t completed_ = 0;
+    uint64_t measured_ = 0;
+    bool statsReset_ = false;
+    double windowStart_ = 0.0;
+    bool done_ = false;
+};
+
+HierSimResult
+HierSimulator::run()
+{
+    unsigned n = cfg_.machine.totalProcessors();
+    for (unsigned p = 0; p < n; ++p)
+        scheduleExecution(p);
+    events_.runUntil([this] { return done_; });
+    if (!done_)
+        panic("HierSimulator: event queue drained early");
+
+    HierSimResult r;
+    r.totalProcessors = n;
+    r.responseTime = responseTimes_.interval(0.95);
+    double work = static_cast<double>(n) *
+        (cfg_.machine.tau + cfg_.machine.tSupply);
+    r.speedup = work / r.responseTime.mean;
+    double now = events_.now();
+    double lw = 0.0, lu = 0.0;
+    for (auto &bus : localBuses_) {
+        lw += bus->waitStats().mean();
+        lu += bus->utilization(now);
+    }
+    r.wLocalBus = lw / static_cast<double>(localBuses_.size());
+    r.localBusUtil = lu / static_cast<double>(localBuses_.size());
+    r.wGlobalBus = globalBus_.waitStats().mean();
+    r.globalBusUtil = globalBus_.utilization(now);
+    r.requestsMeasured = measured_;
+    return r;
+}
+
+} // namespace
+
+HierSimResult
+simulateHierarchical(const HierSimConfig &config)
+{
+    config.validate();
+    HierSimulator sim(config);
+    return sim.run();
+}
+
+} // namespace snoop

@@ -1,0 +1,53 @@
+#pragma once
+
+/**
+ * @file
+ * Discrete-event simulator of the two-level bus hierarchy, the
+ * detailed baseline for the hierarchical MVA extension
+ * (src/mva/hierarchical.hh): C clusters of P processors, a local bus
+ * per cluster, and one global bus reached through the local bus (the
+ * local bus is held for the duration of a remote transaction, as in
+ * the simple [Wils87]-era designs the model assumes).
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "mva/hierarchical.hh"
+#include "stats/batch_means.hh"
+
+namespace snoop {
+
+/** Configuration of a hierarchical simulation run. */
+struct HierSimConfig
+{
+    HierarchicalConfig machine; ///< same parameters the MVA consumes
+    uint64_t seed = 1;
+    uint64_t warmupRequests = 20000;
+    uint64_t measuredRequests = 200000;
+    uint64_t batchSize = 5000;
+
+    /** fatal() on nonsensical settings. */
+    void validate() const;
+};
+
+/** Measures produced by a hierarchical simulation run. */
+struct HierSimResult
+{
+    unsigned totalProcessors = 0;
+    double speedup = 0.0;
+    ConfidenceInterval responseTime;
+    double wLocalBus = 0.0;  ///< mean local-bus wait (request->grant)
+    double wGlobalBus = 0.0; ///< mean global-bus wait
+    double localBusUtil = 0.0;  ///< mean across cluster buses
+    double globalBusUtil = 0.0;
+    uint64_t requestsMeasured = 0;
+
+    /** One-line summary for logs and examples. */
+    std::string summary() const;
+};
+
+/** Run one hierarchical simulation. Deterministic given the seed. */
+HierSimResult simulateHierarchical(const HierSimConfig &config);
+
+} // namespace snoop

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Interleaved main-memory modules: m independent servers with a fixed
+ * service latency (Section 2.1: m = block size = 4, latency = 3
+ * cycles).
+ */
+
+#include <vector>
+
+#include "random/rng.hh"
+
+namespace snoop {
+
+/** The bank of interleaved memory modules. */
+class MemoryModules
+{
+  public:
+    /**
+     * @param num_modules module count (>= 1)
+     * @param latency     cycles a module is busy per access
+     */
+    MemoryModules(int num_modules, double latency);
+
+    /**
+     * Occupy a uniformly random module for one access starting no
+     * earlier than @p earliest; returns the time the access starts
+     * (>= earliest; later if the module is busy). The module is busy
+     * for [start, start + latency).
+     */
+    double occupyRandom(double earliest, Rng &rng);
+
+    /** Occupy a specific module; same contract as occupyRandom. */
+    double occupy(size_t module, double earliest);
+
+    /** Number of modules. */
+    size_t numModules() const { return freeAt_.size(); }
+
+    /**
+     * Per-module mean utilization over [window start, now]: total busy
+     * time of accesses started in the window, divided by module count
+     * and elapsed time.
+     */
+    double utilization(double now) const;
+
+    /** Restart the measurement window (end of warm-up). */
+    void resetStats(double now);
+
+  private:
+    double latency_;
+    std::vector<double> freeAt_;
+    double windowStart_ = 0.0;
+    double busyIntegral_ = 0.0;
+};
+
+} // namespace snoop

@@ -1,0 +1,95 @@
+#pragma once
+
+/**
+ * @file
+ * The trace-driven simulator mode: synthetic address streams over real
+ * set-associative caches whose line states evolve through the protocol
+ * state machine, with full snooping against actual peer directories.
+ *
+ * This mode is an extension beyond the paper (whose models, both MVA
+ * and GTPN, treat the workload probabilistically): hit rates, sharing,
+ * already-modified fractions, and replacement write-backs *emerge*
+ * from the address streams and cache geometry instead of being
+ * parameters. The measured workload statistics it reports can be fed
+ * back into the analytical model, closing the methodological loop the
+ * paper's conclusion calls for ("all that is needed are workload
+ * measurement studies to aid in the assignment of parameter values").
+ */
+
+#include <string>
+
+#include "protocol/config.hh"
+#include "stats/batch_means.hh"
+#include "workload/derived.hh"
+#include "workload/generator.hh"
+
+namespace snoop {
+
+/** Configuration of a trace-driven simulation run. */
+struct TraceSimConfig
+{
+    unsigned numProcessors = 8;
+    WorkloadParams workload;   ///< stream mix / read fractions only
+    TraceConfig trace;         ///< pools and locality
+    ProtocolConfig protocol;
+    BusTiming timing;
+    unsigned cacheSets = 64;   ///< sets per cache
+    unsigned cacheWays = 2;    ///< associativity
+    uint64_t seed = 1;
+    uint64_t warmupRequests = 50000;
+    uint64_t measuredRequests = 200000;
+    uint64_t batchSize = 5000;
+
+    /** fatal() on nonsensical settings. */
+    void validate() const;
+};
+
+/** Workload statistics measured during the run (emergent values). */
+struct MeasuredWorkload
+{
+    double hitPrivate = 0.0;
+    double hitSro = 0.0;
+    double hitSw = 0.0;
+    double amodPrivate = 0.0;  ///< P(modified | private write hit)
+    double amodSw = 0.0;
+    double csupplyShared = 0.0; ///< P(peer copy | shared miss)
+    double repAll = 0.0;        ///< P(dirty victim | fill)
+};
+
+/** Counts of bus transactions by type, per measured window. */
+struct BusOpMix
+{
+    uint64_t reads = 0;       ///< BusOp::Read
+    uint64_t readMods = 0;    ///< BusOp::ReadMod
+    uint64_t invalidates = 0; ///< BusOp::Invalidate
+    uint64_t writeWords = 0;  ///< BusOp::WriteWord
+    uint64_t writeBlocks = 0; ///< victim write-backs
+
+    uint64_t
+    total() const
+    {
+        return reads + readMods + invalidates + writeWords + writeBlocks;
+    }
+};
+
+/** Measures produced by a trace-driven run. */
+struct TraceSimResult
+{
+    unsigned numProcessors = 0;
+    double speedup = 0.0;
+    ConfidenceInterval responseTime;
+    double busUtilization = 0.0;
+    double memUtilization = 0.0;
+    double meanBusWait = 0.0;
+    uint64_t requestsMeasured = 0;
+    MeasuredWorkload measured;
+    BusOpMix busOps;
+
+    /** One-line summary for logs and examples. */
+    std::string summary() const;
+};
+
+/** Run one trace-driven simulation. Deterministic given the seed. */
+TraceSimResult simulateTrace(const TraceSimConfig &config);
+
+} // namespace snoop

@@ -1,0 +1,67 @@
+#include "stats/accumulator.hh"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snoop {
+
+void
+Accumulator::add(double x)
+{
+    ++count_;
+    double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+}
+
+void
+Accumulator::merge(const Accumulator &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    double na = static_cast<double>(count_);
+    double nb = static_cast<double>(other.count_);
+    double delta = other.mean_ - mean_;
+    uint64_t n = count_ + other.count_;
+    mean_ += delta * nb / static_cast<double>(n);
+    m2_ += other.m2_ + delta * delta * na * nb / static_cast<double>(n);
+    count_ = n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void
+Accumulator::reset()
+{
+    *this = Accumulator();
+}
+
+double
+Accumulator::variance() const
+{
+    if (count_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+Accumulator::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+Accumulator::stdError() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return stddev() / std::sqrt(static_cast<double>(count_));
+}
+
+} // namespace snoop

@@ -1,0 +1,62 @@
+#pragma once
+
+/**
+ * @file
+ * Numerically stable sample-statistics accumulation (Welford's
+ * algorithm) used throughout the simulator's measurement layer.
+ */
+
+#include <cstdint>
+#include <limits>
+
+namespace snoop {
+
+/**
+ * Accumulates count, mean, variance, min, and max of a sample stream
+ * in one pass using Welford's update.
+ */
+class Accumulator
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const Accumulator &other);
+
+    /** Discard all observations. */
+    void reset();
+
+    /** Number of observations. */
+    uint64_t count() const { return count_; }
+
+    /** Sample mean (0 when empty). */
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(count_); }
+
+    /** Unbiased sample variance (0 with fewer than 2 observations). */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /** Standard error of the mean (0 when empty). */
+    double stdError() const;
+
+    /** Smallest observation (+inf when empty). */
+    double min() const { return min_; }
+
+    /** Largest observation (-inf when empty). */
+    double max() const { return max_; }
+
+  private:
+    uint64_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace snoop

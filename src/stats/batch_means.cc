@@ -1,0 +1,47 @@
+#include "stats/batch_means.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/student_t.hh"
+#include "util/logging.hh"
+
+namespace snoop {
+
+BatchMeans::BatchMeans(uint64_t batch_size) : batchSize_(batch_size)
+{
+    if (batch_size == 0)
+        panic("BatchMeans: batch size must be >= 1");
+}
+
+void
+BatchMeans::add(double x)
+{
+    all_.add(x);
+    current_.add(x);
+    if (current_.count() >= batchSize_) {
+        batchMeans_.push_back(current_.mean());
+        current_.reset();
+    }
+}
+
+ConfidenceInterval
+BatchMeans::interval(double confidence) const
+{
+    ConfidenceInterval ci;
+    ci.batches = numBatches();
+    if (batchMeans_.size() < 2) {
+        ci.mean = all_.mean();
+        ci.halfWidth = std::numeric_limits<double>::infinity();
+        return ci;
+    }
+    Accumulator acc;
+    for (double m : batchMeans_)
+        acc.add(m);
+    ci.mean = acc.mean();
+    unsigned dof = static_cast<unsigned>(batchMeans_.size()) - 1;
+    ci.halfWidth = studentTCritical(dof, confidence) * acc.stdError();
+    return ci;
+}
+
+} // namespace snoop

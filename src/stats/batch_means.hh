@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * Batch-means steady-state estimation for the discrete-event
+ * simulator: observations are grouped into fixed-size batches whose
+ * means are treated as approximately independent, giving a confidence
+ * interval on the long-run mean.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/accumulator.hh"
+
+namespace snoop {
+
+/** A confidence interval around a point estimate. */
+struct ConfidenceInterval
+{
+    double mean = 0.0;       ///< point estimate
+    double halfWidth = 0.0;  ///< half-width at the requested confidence
+    unsigned batches = 0;    ///< number of completed batches
+
+    double lower() const { return mean - halfWidth; }
+    double upper() const { return mean + halfWidth; }
+
+    /** Half-width as a fraction of the mean (0 if mean is 0). */
+    double relative() const
+    {
+        return mean != 0.0 ? halfWidth / mean : 0.0;
+    }
+
+    /** True if @p value lies inside the interval. */
+    bool contains(double value) const
+    {
+        return value >= lower() && value <= upper();
+    }
+};
+
+/**
+ * Accumulates observations into fixed-size batches and produces a
+ * Student-t confidence interval over the batch means.
+ */
+class BatchMeans
+{
+  public:
+    /** @param batch_size observations per batch (>= 1). */
+    explicit BatchMeans(uint64_t batch_size);
+
+    /** Add one observation. */
+    void add(double x);
+
+    /** Number of completed batches. */
+    unsigned numBatches() const
+    {
+        return static_cast<unsigned>(batchMeans_.size());
+    }
+
+    /** Grand mean over all observations (including a partial batch). */
+    double mean() const { return all_.mean(); }
+
+    /** Total observations seen. */
+    uint64_t count() const { return all_.count(); }
+
+    /**
+     * Confidence interval over completed batch means.
+     * With fewer than 2 completed batches the half-width is infinite.
+     */
+    ConfidenceInterval interval(double confidence = 0.95) const;
+
+    /** The completed batch means, for diagnostics. */
+    const std::vector<double> &batchMeanValues() const
+    {
+        return batchMeans_;
+    }
+
+  private:
+    uint64_t batchSize_;
+    Accumulator current_;
+    Accumulator all_;
+    std::vector<double> batchMeans_;
+};
+
+} // namespace snoop

@@ -1,0 +1,102 @@
+#include "stats/histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+Histogram::Histogram(double lo, double hi, size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    if (!(hi > lo))
+        panic("Histogram: hi (%g) must exceed lo (%g)", hi, lo);
+    if (bins == 0)
+        panic("Histogram: need at least one bin");
+}
+
+void
+Histogram::add(double x)
+{
+    ++count_;
+    if (x < lo_) {
+        ++underflow_;
+        return;
+    }
+    if (x >= hi_) {
+        ++overflow_;
+        return;
+    }
+    auto idx = static_cast<size_t>((x - lo_) / width_);
+    idx = std::min(idx, counts_.size() - 1);
+    ++counts_[idx];
+}
+
+uint64_t
+Histogram::bin(size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::bin: index %zu out of range", i);
+    return counts_[i];
+}
+
+double
+Histogram::binLow(size_t i) const
+{
+    if (i >= counts_.size())
+        panic("Histogram::binLow: index %zu out of range", i);
+    return lo_ + width_ * static_cast<double>(i);
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (q < 0.0 || q > 1.0)
+        panic("Histogram::quantile: q=%g out of [0,1]", q);
+    if (count_ == 0)
+        return lo_;
+    double target = q * static_cast<double>(count_);
+    double acc = static_cast<double>(underflow_);
+    if (target <= acc)
+        return lo_;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        double next = acc + static_cast<double>(counts_[i]);
+        if (target <= next && counts_[i] > 0) {
+            double frac = (target - acc) / static_cast<double>(counts_[i]);
+            return binLow(i) + frac * width_;
+        }
+        acc = next;
+    }
+    return hi_;
+}
+
+std::string
+Histogram::render(size_t max_width) const
+{
+    uint64_t peak = 0;
+    for (uint64_t c : counts_)
+        peak = std::max(peak, c);
+    std::string out;
+    for (size_t i = 0; i < counts_.size(); ++i) {
+        size_t bar = peak
+            ? static_cast<size_t>(std::llround(
+                  static_cast<double>(counts_[i]) * max_width /
+                  static_cast<double>(peak)))
+            : 0;
+        out += strprintf("[%10.3f, %10.3f) %8llu |%s\n", binLow(i),
+                         binLow(i) + width_,
+                         static_cast<unsigned long long>(counts_[i]),
+                         std::string(bar, '#').c_str());
+    }
+    if (underflow_ || overflow_) {
+        out += strprintf("underflow %llu  overflow %llu\n",
+                         static_cast<unsigned long long>(underflow_),
+                         static_cast<unsigned long long>(overflow_));
+    }
+    return out;
+}
+
+} // namespace snoop

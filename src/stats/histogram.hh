@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Fixed-bin histogram with under/overflow tracking and quantile
+ * estimation, for inspecting simulator latency distributions.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snoop {
+
+/** Equal-width histogram over [lo, hi) with @p bins bins. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo   lower edge of the first bin
+     * @param hi   upper edge of the last bin (must exceed @p lo)
+     * @param bins number of bins (>= 1)
+     */
+    Histogram(double lo, double hi, size_t bins);
+
+    /** Record one sample. Values outside [lo, hi) go to under/overflow. */
+    void add(double x);
+
+    /** Total number of samples including under/overflow. */
+    uint64_t count() const { return count_; }
+
+    /** Samples below the histogram range. */
+    uint64_t underflow() const { return underflow_; }
+
+    /** Samples at or above the upper edge. */
+    uint64_t overflow() const { return overflow_; }
+
+    /** Count in bin @p i. */
+    uint64_t bin(size_t i) const;
+
+    /** Lower edge of bin @p i. */
+    double binLow(size_t i) const;
+
+    /** Width of each bin. */
+    double binWidth() const { return width_; }
+
+    /** Number of bins. */
+    size_t numBins() const { return counts_.size(); }
+
+    /**
+     * Estimate the @p q quantile (0 <= q <= 1) by linear interpolation
+     * within bins. Under/overflow samples clamp to the range edges.
+     */
+    double quantile(double q) const;
+
+    /** Render a small ASCII bar chart (for debugging / examples). */
+    std::string render(size_t max_width = 50) const;
+
+  private:
+    double lo_, hi_, width_;
+    std::vector<uint64_t> counts_;
+    uint64_t count_ = 0;
+    uint64_t underflow_ = 0;
+    uint64_t overflow_ = 0;
+};
+
+} // namespace snoop

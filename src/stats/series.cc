@@ -1,0 +1,106 @@
+#include "stats/series.hh"
+
+#include <cmath>
+#include <limits>
+
+#include "stats/accumulator.hh"
+#include "util/logging.hh"
+
+namespace snoop {
+
+double
+autocorrelation(const std::vector<double> &series, size_t lag)
+{
+    if (series.empty())
+        fatal("autocorrelation: empty series");
+    if (lag >= series.size())
+        fatal("autocorrelation: lag %zu >= length %zu", lag,
+              series.size());
+    if (lag == 0)
+        return 1.0;
+
+    Accumulator acc;
+    for (double x : series)
+        acc.add(x);
+    double mean = acc.mean();
+    double denom = 0.0;
+    for (double x : series)
+        denom += (x - mean) * (x - mean);
+    if (denom <= 0.0)
+        return 0.0; // constant series
+    double num = 0.0;
+    for (size_t i = 0; i + lag < series.size(); ++i)
+        num += (series[i] - mean) * (series[i + lag] - mean);
+    return num / denom;
+}
+
+size_t
+minimumUncorrelatedBatch(const std::vector<double> &series,
+                         size_t max_batch, double threshold)
+{
+    if (max_batch == 0)
+        fatal("minimumUncorrelatedBatch: max_batch must be positive");
+    for (size_t batch = 1; batch <= max_batch; batch *= 2) {
+        std::vector<double> means;
+        for (size_t start = 0; start + batch <= series.size();
+             start += batch) {
+            Accumulator acc;
+            for (size_t i = start; i < start + batch; ++i)
+                acc.add(series[i]);
+            means.push_back(acc.mean());
+        }
+        if (means.size() < 8)
+            return 0; // too few batches to judge
+        if (std::fabs(autocorrelation(means, 1)) < threshold)
+            return batch;
+    }
+    return 0;
+}
+
+size_t
+mserTruncationPoint(const std::vector<double> &series, size_t stride)
+{
+    if (series.size() < 4)
+        return 0;
+    if (stride == 0)
+        fatal("mserTruncationPoint: stride must be positive");
+
+    // Suffix sums let every candidate truncation be evaluated in O(1).
+    size_t n = series.size();
+    std::vector<double> sum(n + 1, 0.0), sumsq(n + 1, 0.0);
+    for (size_t i = n; i-- > 0;) {
+        sum[i] = sum[i + 1] + series[i];
+        sumsq[i] = sumsq[i + 1] + series[i] * series[i];
+    }
+
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_d = 0;
+    for (size_t d = 0; d <= n / 2; d += stride) {
+        double m = static_cast<double>(n - d);
+        double mean = sum[d] / m;
+        double var = sumsq[d] / m - mean * mean;
+        if (var < 0.0)
+            var = 0.0;
+        double proxy = var / (m * m);
+        if (proxy < best) {
+            best = proxy;
+            best_d = d;
+        }
+    }
+    return best_d;
+}
+
+size_t
+mser5TruncationPoint(const std::vector<double> &series)
+{
+    std::vector<double> batched;
+    for (size_t start = 0; start + 5 <= series.size(); start += 5) {
+        double s = 0.0;
+        for (size_t i = start; i < start + 5; ++i)
+            s += series[i];
+        batched.push_back(s / 5.0);
+    }
+    return 5 * mserTruncationPoint(batched);
+}
+
+} // namespace snoop

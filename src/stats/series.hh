@@ -1,0 +1,50 @@
+#pragma once
+
+/**
+ * @file
+ * Output-analysis utilities for steady-state simulation: sample
+ * autocorrelation (to justify batch sizes) and MSER truncation (to
+ * pick the warm-up cutoff). Standard discrete-event-simulation
+ * methodology, used to validate the simulator's measurement settings.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace snoop {
+
+/**
+ * Sample autocorrelation of @p series at @p lag:
+ * sum_i (x_i - m)(x_{i+lag} - m) / sum_i (x_i - m)^2.
+ * Returns 0 for a constant series; fatal() if lag >= series length.
+ */
+double autocorrelation(const std::vector<double> &series, size_t lag);
+
+/**
+ * Smallest batch size (among powers of two up to @p max_batch) whose
+ * batch-means series has lag-1 autocorrelation below @p threshold;
+ * returns 0 if even @p max_batch fails. The usual batch-size
+ * validation rule for the batch-means method.
+ */
+size_t minimumUncorrelatedBatch(const std::vector<double> &series,
+                                size_t max_batch,
+                                double threshold = 0.1);
+
+/**
+ * MSER truncation point: the prefix length d minimizing the
+ * half-width proxy  stddev(x_d..x_n) / (n - d)  over candidate
+ * truncations (evaluated at every @p stride-th point, never beyond
+ * half the series). Observations before the returned index are
+ * warm-up transient and should be discarded.
+ */
+size_t mserTruncationPoint(const std::vector<double> &series,
+                           size_t stride = 1);
+
+/**
+ * Convenience: MSER-5 - apply MSER to means of non-overlapping
+ * batches of 5, returning the truncation point in raw-observation
+ * units.
+ */
+size_t mser5TruncationPoint(const std::vector<double> &series);
+
+} // namespace snoop

@@ -1,0 +1,61 @@
+#include "stats/student_t.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+namespace {
+
+// Two-sided critical values for dof 1..30; beyond 30 we interpolate
+// toward the normal quantile.
+const double kT90[] = {6.314, 2.920, 2.353, 2.132, 2.015, 1.943, 1.895,
+                       1.860, 1.833, 1.812, 1.796, 1.782, 1.771, 1.761,
+                       1.753, 1.746, 1.740, 1.734, 1.729, 1.725, 1.721,
+                       1.717, 1.714, 1.711, 1.708, 1.706, 1.703, 1.701,
+                       1.699, 1.697};
+const double kT95[] = {12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365,
+                       2.306,  2.262, 2.228, 2.201, 2.179, 2.160, 2.145,
+                       2.131,  2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+                       2.074,  2.069, 2.064, 2.060, 2.056, 2.052, 2.048,
+                       2.045,  2.042};
+const double kT99[] = {63.657, 9.925, 5.841, 4.604, 4.032, 3.707, 3.499,
+                       3.355,  3.250, 3.169, 3.106, 3.055, 3.012, 2.977,
+                       2.947,  2.921, 2.898, 2.878, 2.861, 2.845, 2.831,
+                       2.819,  2.807, 2.797, 2.787, 2.779, 2.771, 2.763,
+                       2.756,  2.750};
+
+const double kZ90 = 1.645, kZ95 = 1.960, kZ99 = 2.576;
+
+double
+lookup(const double *table, double z, unsigned dof)
+{
+    if (dof == 0)
+        panic("studentTCritical: dof must be >= 1");
+    if (dof <= 30)
+        return table[dof - 1];
+    // Smooth approach to the normal quantile: t ~ z * (1 + c/dof).
+    double t30 = table[29];
+    double c = (t30 / z - 1.0) * 30.0;
+    return z * (1.0 + c / static_cast<double>(dof));
+}
+
+} // namespace
+
+double
+studentTCritical(unsigned dof, double confidence)
+{
+    if (std::fabs(confidence - 0.90) < 1e-9)
+        return lookup(kT90, kZ90, dof);
+    if (std::fabs(confidence - 0.95) < 1e-9)
+        return lookup(kT95, kZ95, dof);
+    if (std::fabs(confidence - 0.99) < 1e-9)
+        return lookup(kT99, kZ99, dof);
+    warn("studentTCritical: unsupported confidence %g, using 0.95",
+         confidence);
+    return lookup(kT95, kZ95, dof);
+}
+
+} // namespace snoop

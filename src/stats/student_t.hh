@@ -1,0 +1,21 @@
+#pragma once
+
+/**
+ * @file
+ * Student-t critical values for confidence intervals on simulator
+ * estimates (no external math library available offline).
+ */
+
+namespace snoop {
+
+/**
+ * Two-sided Student-t critical value t_{alpha/2, dof}.
+ *
+ * @param dof        degrees of freedom (>= 1)
+ * @param confidence confidence level, one of the supported values
+ *                   0.90, 0.95, 0.99 (others fall back to 0.95 with a
+ *                   warning).
+ */
+double studentTCritical(unsigned dof, double confidence);
+
+} // namespace snoop

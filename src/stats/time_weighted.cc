@@ -1,0 +1,52 @@
+#include "stats/time_weighted.hh"
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+TimeWeighted::TimeWeighted(double t0, double initial)
+    : start_(t0), lastT_(t0), value_(initial)
+{
+}
+
+void
+TimeWeighted::update(double t, double v)
+{
+    if (t < lastT_)
+        panic("TimeWeighted::update: time moved backward (%g < %g)", t,
+              lastT_);
+    integral_ += value_ * (t - lastT_);
+    lastT_ = t;
+    value_ = v;
+}
+
+void
+TimeWeighted::add(double t, double delta)
+{
+    update(t, value_ + delta);
+}
+
+double
+TimeWeighted::timeAverage(double t) const
+{
+    if (t < lastT_)
+        panic("TimeWeighted::timeAverage: time %g precedes last update %g",
+              t, lastT_);
+    double span = t - start_;
+    if (span <= 0.0)
+        return value_;
+    double integral = integral_ + value_ * (t - lastT_);
+    return integral / span;
+}
+
+void
+TimeWeighted::resetWindow(double t)
+{
+    if (t < lastT_)
+        panic("TimeWeighted::resetWindow: time moved backward");
+    start_ = t;
+    lastT_ = t;
+    integral_ = 0.0;
+}
+
+} // namespace snoop

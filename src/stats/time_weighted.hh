@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Time-weighted averaging for piecewise-constant signals (queue
+ * lengths, busy indicators). This is how the simulator measures bus
+ * and memory utilization and mean queue lengths.
+ */
+
+namespace snoop {
+
+/**
+ * Integrates a piecewise-constant signal over simulated time.
+ *
+ * Call update(t, v) whenever the signal changes to value @p v at time
+ * @p t; query timeAverage(t_now) for the average over [start, t_now].
+ */
+class TimeWeighted
+{
+  public:
+    /** Construct with the signal's initial value at time @p t0. */
+    explicit TimeWeighted(double t0 = 0.0, double initial = 0.0);
+
+    /** Record that the signal takes value @p v from time @p t onward. */
+    void update(double t, double v);
+
+    /** Add @p delta to the current value at time @p t. */
+    void add(double t, double delta);
+
+    /** Current signal value. */
+    double current() const { return value_; }
+
+    /** Time-average of the signal over [t0, t]; requires t >= t0. */
+    double timeAverage(double t) const;
+
+    /**
+     * Restart the averaging window at time @p t, keeping the current
+     * value. Used to discard the warm-up transient.
+     */
+    void resetWindow(double t);
+
+  private:
+    double start_;
+    double lastT_;
+    double value_;
+    double integral_ = 0.0;
+};
+
+} // namespace snoop

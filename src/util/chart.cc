@@ -1,0 +1,123 @@
+#include "util/chart.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+std::string
+renderChart(const std::vector<ChartSeries> &series,
+            const ChartOptions &opt)
+{
+    if (series.empty())
+        fatal("renderChart: need at least one series");
+    if (opt.width < 8 || opt.height < 4)
+        fatal("renderChart: plot area too small (%zux%zu)", opt.width,
+              opt.height);
+
+    double xmin = std::numeric_limits<double>::infinity();
+    double xmax = -xmin;
+    double ymin = std::numeric_limits<double>::infinity();
+    double ymax = -ymin;
+    size_t points = 0;
+    for (const auto &s : series) {
+        if (s.x.size() != s.y.size())
+            fatal("renderChart: series '%s' has %zu x but %zu y values",
+                  s.label.c_str(), s.x.size(), s.y.size());
+        for (size_t i = 0; i < s.x.size(); ++i) {
+            xmin = std::min(xmin, s.x[i]);
+            xmax = std::max(xmax, s.x[i]);
+            ymin = std::min(ymin, s.y[i]);
+            ymax = std::max(ymax, s.y[i]);
+            ++points;
+        }
+    }
+    if (points == 0)
+        fatal("renderChart: no data points");
+    if (opt.yFromZero)
+        ymin = std::min(ymin, 0.0);
+    if (xmax == xmin)
+        xmax = xmin + 1.0;
+    if (ymax == ymin)
+        ymax = ymin + 1.0;
+
+    std::vector<std::string> grid(opt.height,
+                                  std::string(opt.width, ' '));
+    auto col = [&](double x) {
+        double f = (x - xmin) / (xmax - xmin);
+        return std::min(opt.width - 1,
+                        static_cast<size_t>(std::llround(
+                            f * static_cast<double>(opt.width - 1))));
+    };
+    auto row = [&](double y) {
+        double f = (y - ymin) / (ymax - ymin);
+        size_t from_bottom = std::min(
+            opt.height - 1,
+            static_cast<size_t>(std::llround(
+                f * static_cast<double>(opt.height - 1))));
+        return opt.height - 1 - from_bottom;
+    };
+
+    for (const auto &s : series) {
+        // connect consecutive points with linear interpolation
+        for (size_t i = 0; i + 1 < s.x.size(); ++i) {
+            size_t c0 = col(s.x[i]), c1 = col(s.x[i + 1]);
+            if (c1 < c0)
+                std::swap(c0, c1);
+            for (size_t c = c0; c <= c1; ++c) {
+                double t = (c1 == c0)
+                    ? 0.0
+                    : static_cast<double>(c - c0) /
+                        static_cast<double>(c1 - c0);
+                double y = s.y[i] + t * (s.y[i + 1] - s.y[i]);
+                grid[row(y)][c] = s.marker;
+            }
+        }
+        if (s.x.size() == 1)
+            grid[row(s.y[0])][col(s.x[0])] = s.marker;
+    }
+
+    // Assemble with a y-axis gutter.
+    const size_t gutter = 8;
+    std::string out;
+    if (!opt.yLabel.empty())
+        out += std::string(gutter + 1, ' ') + opt.yLabel + "\n";
+    for (size_t r = 0; r < opt.height; ++r) {
+        std::string tick(gutter, ' ');
+        // label the top, middle, and bottom rows
+        if (r == 0 || r == opt.height - 1 || r == opt.height / 2) {
+            double frac = static_cast<double>(opt.height - 1 - r) /
+                static_cast<double>(opt.height - 1);
+            tick = padLeft(formatCompact(ymin + frac * (ymax - ymin), 2),
+                           gutter);
+        }
+        out += tick + "|" + grid[r] + "\n";
+    }
+    out += std::string(gutter, ' ') + "+" + std::string(opt.width, '-') +
+        "\n";
+    std::string xaxis = padLeft(formatCompact(xmin, 2), gutter + 1);
+    std::string xmax_s = formatCompact(xmax, 2);
+    size_t total = gutter + 1 + opt.width;
+    if (xaxis.size() + xmax_s.size() < total)
+        xaxis += std::string(total - xaxis.size() - xmax_s.size(), ' ');
+    xaxis += xmax_s;
+    out += xaxis + "\n";
+    if (!opt.xLabel.empty()) {
+        out += std::string(gutter + 1, ' ') +
+            padCenter(opt.xLabel, opt.width) + "\n";
+    }
+
+    out += "\n";
+    for (const auto &s : series) {
+        out += std::string(gutter + 1, ' ');
+        out += s.marker;
+        out += " = " + s.label + "\n";
+    }
+    return out;
+}
+
+} // namespace snoop

@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * ASCII line-chart rendering, used by the figure-regeneration benches
+ * to draw the paper's plots directly in the terminal.
+ */
+
+#include <string>
+#include <vector>
+
+namespace snoop {
+
+/** One plotted series: (x, y) points and a single-character marker. */
+struct ChartSeries
+{
+    std::string label;
+    char marker = '*';
+    std::vector<double> x;
+    std::vector<double> y;
+};
+
+/** Options controlling chart geometry. */
+struct ChartOptions
+{
+    size_t width = 64;   ///< plot-area columns
+    size_t height = 20;  ///< plot-area rows
+    std::string xLabel;
+    std::string yLabel;
+    /** Force the y-axis to start at zero (default: data minimum). */
+    bool yFromZero = true;
+};
+
+/**
+ * Render series into a character-grid line chart with axes, tick
+ * labels, and a legend. Series are drawn in order; later series
+ * overwrite earlier ones where they collide.
+ */
+std::string renderChart(const std::vector<ChartSeries> &series,
+                        const ChartOptions &options = {});
+
+} // namespace snoop

@@ -1,0 +1,142 @@
+#include "util/cli.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+CliParser::CliParser(std::string program, std::string description)
+    : program_(std::move(program)), description_(std::move(description))
+{
+}
+
+void
+CliParser::addOption(const std::string &name, const std::string &def,
+                     const std::string &help)
+{
+    if (opts_.count(name))
+        panic("CliParser: duplicate option --%s", name.c_str());
+    opts_[name] = Opt{def, help, false};
+    order_.push_back(name);
+}
+
+void
+CliParser::addFlag(const std::string &name, const std::string &help)
+{
+    if (opts_.count(name))
+        panic("CliParser: duplicate flag --%s", name.c_str());
+    opts_[name] = Opt{"false", help, true};
+    order_.push_back(name);
+}
+
+void
+CliParser::parse(int argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (!startsWith(arg, "--")) {
+            positional_.push_back(arg);
+            continue;
+        }
+        std::string body = arg.substr(2);
+        if (body == "help") {
+            std::fputs(usage().c_str(), stdout);
+            std::exit(0);
+        }
+        std::string name = body, value;
+        bool have_value = false;
+        auto eq = body.find('=');
+        if (eq != std::string::npos) {
+            name = body.substr(0, eq);
+            value = body.substr(eq + 1);
+            have_value = true;
+        }
+        auto it = opts_.find(name);
+        if (it == opts_.end()) {
+            std::fprintf(stderr, "unknown option --%s\n\n%s", name.c_str(),
+                         usage().c_str());
+            std::exit(1);
+        }
+        if (it->second.isFlag) {
+            if (have_value && value != "true" && value != "false") {
+                std::fprintf(stderr, "flag --%s takes no value\n",
+                             name.c_str());
+                std::exit(1);
+            }
+            values_[name] = have_value ? value : "true";
+        } else {
+            if (!have_value) {
+                if (i + 1 >= argc) {
+                    std::fprintf(stderr, "option --%s needs a value\n",
+                                 name.c_str());
+                    std::exit(1);
+                }
+                value = argv[++i];
+            }
+            values_[name] = value;
+        }
+    }
+}
+
+std::string
+CliParser::get(const std::string &name) const
+{
+    auto v = values_.find(name);
+    if (v != values_.end())
+        return v->second;
+    auto o = opts_.find(name);
+    if (o == opts_.end())
+        panic("CliParser: undeclared option --%s", name.c_str());
+    return o->second.def;
+}
+
+long
+CliParser::getInt(const std::string &name) const
+{
+    long out = 0;
+    std::string v = get(name);
+    if (!parseInt(v, out))
+        fatal("option --%s: '%s' is not an integer", name.c_str(),
+              v.c_str());
+    return out;
+}
+
+double
+CliParser::getDouble(const std::string &name) const
+{
+    double out = 0;
+    std::string v = get(name);
+    if (!parseDouble(v, out))
+        fatal("option --%s: '%s' is not a number", name.c_str(), v.c_str());
+    return out;
+}
+
+bool
+CliParser::getFlag(const std::string &name) const
+{
+    return get(name) == "true";
+}
+
+std::string
+CliParser::usage() const
+{
+    std::string out = program_ + " - " + description_ + "\n\noptions:\n";
+    for (const auto &name : order_) {
+        const Opt &o = opts_.at(name);
+        std::string lhs = "  --" + name;
+        if (!o.isFlag)
+            lhs += "=<value>";
+        out += padRight(lhs, 28) + o.help;
+        if (!o.isFlag && !o.def.empty())
+            out += " (default: " + o.def + ")";
+        out += "\n";
+    }
+    out += padRight("  --help", 28);
+    out += "show this message\n";
+    return out;
+}
+
+} // namespace snoop

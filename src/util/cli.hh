@@ -1,0 +1,81 @@
+#pragma once
+
+/**
+ * @file
+ * A tiny command-line option parser for the example programs.
+ * Supports "--name=value", "--name value", and boolean "--flag".
+ */
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace snoop {
+
+/**
+ * Declarative CLI parser.
+ *
+ * @code
+ *   CliParser cli("quickstart", "Analyze one protocol configuration");
+ *   cli.addOption("n", "8", "number of processors");
+ *   cli.addFlag("verbose", "print the full report");
+ *   cli.parse(argc, argv);            // exits with usage on error
+ *   int n = cli.getInt("n");
+ * @endcode
+ */
+class CliParser
+{
+  public:
+    CliParser(std::string program, std::string description);
+
+    /** Declare a value option with a default. */
+    void addOption(const std::string &name, const std::string &def,
+                   const std::string &help);
+
+    /** Declare a boolean flag (default false). */
+    void addFlag(const std::string &name, const std::string &help);
+
+    /**
+     * Parse argv. On "--help" prints usage and exits 0; on an unknown
+     * option prints usage and exits 1.
+     */
+    void parse(int argc, char **argv);
+
+    /** String value of option @p name (fatal if undeclared). */
+    std::string get(const std::string &name) const;
+
+    /** Integer value of option @p name (fatal on parse failure). */
+    long getInt(const std::string &name) const;
+
+    /** Double value of option @p name (fatal on parse failure). */
+    double getDouble(const std::string &name) const;
+
+    /** True if flag @p name was given. */
+    bool getFlag(const std::string &name) const;
+
+    /** Positional (non-option) arguments in order. */
+    const std::vector<std::string> &positional() const
+    {
+        return positional_;
+    }
+
+    /** Render the usage text. */
+    std::string usage() const;
+
+  private:
+    struct Opt
+    {
+        std::string def;
+        std::string help;
+        bool isFlag = false;
+    };
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::string> order_;
+    std::map<std::string, Opt> opts_;
+    std::map<std::string, std::string> values_;
+    std::vector<std::string> positional_;
+};
+
+} // namespace snoop

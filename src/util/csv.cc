@@ -1,0 +1,59 @@
+#include "util/csv.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+CsvWriter::CsvWriter(const std::string &path) : out_(path), path_(path)
+{
+    if (!out_)
+        fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+}
+
+void
+CsvWriter::header(const std::vector<std::string> &names)
+{
+    row(names);
+}
+
+void
+CsvWriter::row(const std::vector<std::string> &fields)
+{
+    std::vector<std::string> escaped;
+    escaped.reserve(fields.size());
+    for (const auto &f : fields)
+        escaped.push_back(escape(f));
+    out_ << join(escaped, ",") << "\n";
+    if (!out_)
+        fatal("CsvWriter: write to '%s' failed", path_.c_str());
+}
+
+void
+CsvWriter::rowDoubles(const std::vector<double> &values, int digits)
+{
+    std::vector<std::string> fields;
+    fields.reserve(values.size());
+    for (double v : values)
+        fields.push_back(formatDouble(v, digits));
+    row(fields);
+}
+
+std::string
+CsvWriter::escape(const std::string &field)
+{
+    bool needs = field.find_first_of(",\"\n") != std::string::npos;
+    if (!needs)
+        return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"')
+            out += "\"\"";
+        else
+            out += c;
+    }
+    out += "\"";
+    return out;
+}
+
+} // namespace snoop

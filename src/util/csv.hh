@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal CSV emission for experiment results, suitable for feeding
+ * into external plotting tools.
+ */
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace snoop {
+
+/**
+ * Streams rows of values to a CSV file. Fields containing commas,
+ * quotes, or newlines are quoted per RFC 4180.
+ */
+class CsvWriter
+{
+  public:
+    /** Open @p path for writing; fatal() on failure. */
+    explicit CsvWriter(const std::string &path);
+
+    /** Write the header row (call once, first). */
+    void header(const std::vector<std::string> &names);
+
+    /** Write one row of preformatted fields. */
+    void row(const std::vector<std::string> &fields);
+
+    /** Write one row of doubles with @p digits precision. */
+    void rowDoubles(const std::vector<double> &values, int digits = 6);
+
+    /** Quote a field per RFC 4180 if it needs quoting. */
+    static std::string escape(const std::string &field);
+
+  private:
+    std::ofstream out_;
+    std::string path_;
+};
+
+} // namespace snoop

@@ -1,0 +1,46 @@
+#include "util/fixed_point.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+FixedPointSolver::FixedPointSolver(FixedPointOptions opts) : opts_(opts)
+{
+    if (opts_.maxIterations < 1)
+        panic("FixedPointSolver: maxIterations must be >= 1");
+    if (opts_.damping <= 0.0 || opts_.damping > 1.0)
+        panic("FixedPointSolver: damping must be in (0, 1]");
+    if (opts_.tolerance <= 0.0)
+        panic("FixedPointSolver: tolerance must be positive");
+}
+
+FixedPointResult
+FixedPointSolver::solve(const UpdateFn &f, std::vector<double> x0) const
+{
+    FixedPointResult res;
+    res.x = std::move(x0);
+    for (int it = 1; it <= opts_.maxIterations; ++it) {
+        std::vector<double> next = f(res.x);
+        if (next.size() != res.x.size())
+            panic("FixedPointSolver: update changed dimension");
+        double resid = 0.0;
+        for (size_t i = 0; i < next.size(); ++i) {
+            double blended =
+                opts_.damping * next[i] + (1.0 - opts_.damping) * res.x[i];
+            resid = std::max(resid, std::fabs(blended - res.x[i]));
+            next[i] = blended;
+        }
+        res.x = std::move(next);
+        res.iterations = it;
+        res.residual = resid;
+        if (resid < opts_.tolerance) {
+            res.converged = true;
+            break;
+        }
+    }
+    return res;
+}
+
+} // namespace snoop

@@ -1,0 +1,65 @@
+#pragma once
+
+/**
+ * @file
+ * Generic damped fixed-point iteration, the numerical engine behind
+ * the paper's Section 3.2 ("the equations must be solved iteratively
+ * ... starting with all waiting times set to zero").
+ */
+
+#include <functional>
+#include <vector>
+
+namespace snoop {
+
+/** Options controlling FixedPointSolver. */
+struct FixedPointOptions
+{
+    /** Maximum number of iterations before giving up. */
+    int maxIterations = 1000;
+    /** Convergence threshold on the max absolute component change. */
+    double tolerance = 1e-12;
+    /**
+     * Damping factor in (0, 1]; 1.0 is plain successive substitution.
+     * Values below 1 blend the new iterate with the old one, which
+     * stabilizes the solve near bus saturation.
+     */
+    double damping = 1.0;
+};
+
+/** Result of a fixed-point solve. */
+struct FixedPointResult
+{
+    std::vector<double> x;      ///< final iterate
+    int iterations = 0;         ///< iterations actually performed
+    bool converged = false;     ///< true if tolerance was reached
+    double residual = 0.0;      ///< final max absolute component change
+};
+
+/**
+ * Solves x = f(x) by (optionally damped) successive substitution.
+ *
+ * The update function receives the current iterate and returns the next
+ * one; the solver handles convergence detection and damping.
+ */
+class FixedPointSolver
+{
+  public:
+    using UpdateFn =
+        std::function<std::vector<double>(const std::vector<double> &)>;
+
+    explicit FixedPointSolver(FixedPointOptions opts = {});
+
+    /**
+     * Run the iteration from @p x0.
+     * @param f  update function computing the next iterate
+     * @param x0 starting point
+     */
+    FixedPointResult solve(const UpdateFn &f,
+                           std::vector<double> x0) const;
+
+  private:
+    FixedPointOptions opts_;
+};
+
+} // namespace snoop

@@ -1,0 +1,114 @@
+#include "util/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace snoop {
+
+namespace {
+LogLevel g_level = LogLevel::Normal;
+
+void
+emit(const char *tag, const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    std::fprintf(stderr, "%s", tag);
+    std::vfprintf(stderr, fmt, copy);
+    std::fprintf(stderr, "\n");
+    va_end(copy);
+}
+} // namespace
+
+void
+setLogLevel(LogLevel level)
+{
+    g_level = level;
+}
+
+LogLevel
+logLevel()
+{
+    return g_level;
+}
+
+std::string
+vstrprintf(const char *fmt, va_list args)
+{
+    va_list copy;
+    va_copy(copy, args);
+    int n = std::vsnprintf(nullptr, 0, fmt, copy);
+    va_end(copy);
+    if (n < 0)
+        return {};
+    std::vector<char> buf(static_cast<size_t>(n) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, args);
+    return std::string(buf.data(), static_cast<size_t>(n));
+}
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    std::string s = vstrprintf(fmt, args);
+    va_end(args);
+    return s;
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_level == LogLevel::Quiet)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("info: ", fmt, args);
+    va_end(args);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (g_level == LogLevel::Quiet)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("warn: ", fmt, args);
+    va_end(args);
+}
+
+void
+debugLog(const char *fmt, ...)
+{
+    if (g_level != LogLevel::Debug)
+        return;
+    va_list args;
+    va_start(args, fmt);
+    emit("debug: ", fmt, args);
+    va_end(args);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("fatal: ", fmt, args);
+    va_end(args);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    emit("panic: ", fmt, args);
+    va_end(args);
+    std::abort();
+}
+
+} // namespace snoop

@@ -1,0 +1,112 @@
+#include "util/table.hh"
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::Right)
+{
+    if (headers_.empty())
+        panic("Table requires at least one column");
+}
+
+void
+Table::setAlign(size_t col, Align align)
+{
+    if (col >= aligns_.size())
+        panic("Table::setAlign: column %zu out of range", col);
+    aligns_[col] = align;
+}
+
+void
+Table::setTitle(std::string title)
+{
+    title_ = std::move(title);
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        panic("Table::addRow: got %zu cells, expected %zu", cells.size(),
+              headers_.size());
+    }
+    rows_.push_back(std::move(cells));
+    ++numDataRows_;
+}
+
+void
+Table::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto pad = [&](const std::string &s, size_t c) {
+        switch (aligns_[c]) {
+          case Align::Left:
+            return padRight(s, widths[c]);
+          case Align::Center:
+            return padCenter(s, widths[c]);
+          case Align::Right:
+          default:
+            return padLeft(s, widths[c]);
+        }
+    };
+
+    auto rule = [&]() {
+        std::string s = "+";
+        for (size_t c = 0; c < widths.size(); ++c)
+            s += std::string(widths[c] + 2, '-') + "+";
+        s += "\n";
+        return s;
+    };
+
+    std::string out;
+    if (!title_.empty())
+        out += title_ + "\n";
+    out += rule();
+    out += "|";
+    for (size_t c = 0; c < headers_.size(); ++c)
+        out += " " + pad(headers_[c], c) + " |";
+    out += "\n";
+    out += rule();
+    for (const auto &row : rows_) {
+        if (row.empty()) {
+            out += rule();
+            continue;
+        }
+        out += "|";
+        for (size_t c = 0; c < row.size(); ++c)
+            out += " " + pad(row[c], c) + " |";
+        out += "\n";
+    }
+    out += rule();
+    return out;
+}
+
+std::string
+Table::renderCsv() const
+{
+    std::string out = join(headers_, ",") + "\n";
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue;
+        out += join(row, ",") + "\n";
+    }
+    return out;
+}
+
+} // namespace snoop

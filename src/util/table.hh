@@ -1,0 +1,64 @@
+#pragma once
+
+/**
+ * @file
+ * ASCII table rendering for the experiment harnesses. The bench
+ * binaries print the paper's tables side by side with measured values;
+ * this keeps the formatting logic in one place.
+ */
+
+#include <string>
+#include <vector>
+
+namespace snoop {
+
+/** Column alignment for Table. */
+enum class Align { Left, Right, Center };
+
+/**
+ * A simple monospace table builder.
+ *
+ * Usage:
+ * @code
+ *   Table t({"N", "MVA", "paper", "err"});
+ *   t.addRow({"4", "3.19", "3.17", "+0.5%"});
+ *   std::cout << t.render();
+ * @endcode
+ */
+class Table
+{
+  public:
+    /** Construct with header labels; all columns default to Right. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Set the alignment for column @p col. */
+    void setAlign(size_t col, Align align);
+
+    /** Set a title rendered above the table. */
+    void setTitle(std::string title);
+
+    /** Append one row; must match the header width. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator row. */
+    void addSeparator();
+
+    /** Number of data rows added so far (separators excluded). */
+    size_t numRows() const { return numDataRows_; }
+
+    /** Render the full table to a string (includes trailing newline). */
+    std::string render() const;
+
+    /** Render as comma-separated values (no alignment, no separators). */
+    std::string renderCsv() const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    /** Separator rows are encoded as empty vectors. */
+    std::vector<std::vector<std::string>> rows_;
+    size_t numDataRows_ = 0;
+};
+
+} // namespace snoop

@@ -1,0 +1,81 @@
+#include "workload/adaptive.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+namespace {
+
+double
+mix(double a, double b, double w)
+{
+    return (1.0 - w) * a + w * b;
+}
+
+/** Mix a quantity conditioned on an event with per-input rates. */
+double
+mixConditional(double rate_a, double val_a, double rate_b, double val_b,
+               double w)
+{
+    double rate = mix(rate_a, rate_b, w);
+    if (rate <= 0.0)
+        return 0.0;
+    return ((1.0 - w) * rate_a * val_a + w * rate_b * val_b) / rate;
+}
+
+} // namespace
+
+DerivedInputs
+blendInputs(const DerivedInputs &a, const DerivedInputs &b, double w)
+{
+    if (w < 0.0 || w > 1.0)
+        fatal("blendInputs: weight %g is not a probability", w);
+    if (std::fabs(a.tau - b.tau) > 1e-12)
+        fatal("blendInputs: inputs disagree on tau (%g vs %g)", a.tau,
+              b.tau);
+    if (std::fabs(a.timing.tWrite - b.timing.tWrite) > 1e-12 ||
+        std::fabs(a.timing.tReadMem - b.timing.tReadMem) > 1e-12 ||
+        a.timing.numModules != b.timing.numModules) {
+        fatal("blendInputs: inputs disagree on bus timing");
+    }
+
+    DerivedInputs r = b; // timing, tau, protocol tag from b
+    r.pLocal = mix(a.pLocal, b.pLocal, w);
+    r.pBc = mix(a.pBc, b.pBc, w);
+    r.pRr = mix(a.pRr, b.pRr, w);
+    r.tRead = mixConditional(a.pRr, a.tRead, b.pRr, b.tRead, w);
+    r.pCsupwbGivenRr = mixConditional(a.pRr, a.pCsupwbGivenRr, b.pRr,
+                                      b.pCsupwbGivenRr, w);
+    r.pReqwbGivenRr = mixConditional(a.pRr, a.pReqwbGivenRr, b.pRr,
+                                     b.pReqwbGivenRr, w);
+    r.memFactor = mix(a.memFactor, b.memFactor, w);
+
+    double bus_a = a.pBc + a.pRr;
+    double bus_b = b.pBc + b.pRr;
+    r.pA = mixConditional(bus_a, a.pA, bus_b, b.pA, w);
+    r.pB = mixConditional(bus_a, a.pB, bus_b, b.pB, w);
+    double shared_a = a.pA * bus_a, shared_b = b.pA * bus_b;
+    r.csupFrac = mixConditional(shared_a, a.csupFrac, shared_b,
+                                b.csupFrac, w);
+    r.repTerm = mix(a.repTerm, b.repTerm, w);
+    r.wbCsupply = mix(a.wbCsupply, b.wbCsupply, w);
+    return r;
+}
+
+DerivedInputs
+rwbAdaptiveInputs(const WorkloadParams &base, double p_broadcast,
+                  const BusTiming &timing)
+{
+    if (p_broadcast < 0.0 || p_broadcast > 1.0)
+        fatal("rwbAdaptiveInputs: p_broadcast = %g is not a probability",
+              p_broadcast);
+    auto invalidate_mode = DerivedInputs::compute(
+        base, ProtocolConfig::fromModString("13"), timing);
+    auto broadcast_mode = DerivedInputs::compute(
+        base, ProtocolConfig::fromModString("134"), timing);
+    return blendInputs(invalidate_mode, broadcast_mode, p_broadcast);
+}
+
+} // namespace snoop

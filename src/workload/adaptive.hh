@@ -1,0 +1,42 @@
+#pragma once
+
+/**
+ * @file
+ * The RWB protocol's adaptive mode (Section 2.2: "the RWB protocol
+ * includes the capability to switch between invalidation and broadcast
+ * write operations"), modeled as a probabilistic mixture of the two
+ * pure operating points: with probability @c pBroadcast a write to a
+ * non-exclusive block is broadcast (the mods 1+3+4 operating point),
+ * otherwise it invalidates (mods 1+3).
+ *
+ * The mixture is formed at the derived-input level: request-type
+ * probabilities and memory factors mix linearly; conditional
+ * quantities (t_read, the Appendix-B terms) mix weighted by the rate
+ * of the events they condition on.
+ */
+
+#include "workload/derived.hh"
+
+namespace snoop {
+
+/**
+ * Mix two derived-input sets: the result behaves like input set @p a
+ * with probability (1 - w) and like @p b with probability @p w, per
+ * memory reference.
+ *
+ * Both inputs must share tau and the timing constants (fatal()
+ * otherwise); the protocol tag of the result is @p b's.
+ */
+DerivedInputs blendInputs(const DerivedInputs &a, const DerivedInputs &b,
+                          double w);
+
+/**
+ * Derived inputs for adaptive RWB: invalidation mode (mods 1+3) with
+ * probability (1 - p_broadcast), broadcast mode (mods 1+3+4) with
+ * probability p_broadcast.
+ */
+DerivedInputs rwbAdaptiveInputs(const WorkloadParams &base,
+                                double p_broadcast,
+                                const BusTiming &timing = {});
+
+} // namespace snoop

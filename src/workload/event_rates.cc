@@ -1,0 +1,39 @@
+#include "workload/event_rates.hh"
+
+namespace snoop {
+
+double
+EventRates::total() const
+{
+    return privReadHit + privWriteHitMod + privWriteHitUnmod +
+        privReadMiss + privWriteMiss + sroHit + sroMiss + swReadHit +
+        swWriteHitMod + swWriteHitUnmod + swReadMiss + swWriteMiss;
+}
+
+EventRates
+EventRates::compute(const WorkloadParams &p)
+{
+    EventRates e;
+
+    double priv_w = 1.0 - p.rPrivate;
+    e.privReadHit = p.pPrivate * p.rPrivate * p.hPrivate;
+    e.privWriteHitMod = p.pPrivate * priv_w * p.hPrivate * p.amodPrivate;
+    e.privWriteHitUnmod =
+        p.pPrivate * priv_w * p.hPrivate * (1.0 - p.amodPrivate);
+    e.privReadMiss = p.pPrivate * p.rPrivate * (1.0 - p.hPrivate);
+    e.privWriteMiss = p.pPrivate * priv_w * (1.0 - p.hPrivate);
+
+    e.sroHit = p.pSro * p.hSro;
+    e.sroMiss = p.pSro * (1.0 - p.hSro);
+
+    double sw_w = 1.0 - p.rSw;
+    e.swReadHit = p.pSw * p.rSw * p.hSw;
+    e.swWriteHitMod = p.pSw * sw_w * p.hSw * p.amodSw;
+    e.swWriteHitUnmod = p.pSw * sw_w * p.hSw * (1.0 - p.amodSw);
+    e.swReadMiss = p.pSw * p.rSw * (1.0 - p.hSw);
+    e.swWriteMiss = p.pSw * sw_w * (1.0 - p.hSw);
+
+    return e;
+}
+
+} // namespace snoop

@@ -1,0 +1,68 @@
+#pragma once
+
+/**
+ * @file
+ * Per-reference event probabilities derived from the basic workload
+ * parameters. These are the [VeHo86] intermediate quantities
+ * (SRMiss, SWMiss, SWHumod, ...) from which the MVA model inputs of
+ * Section 2.3 are computed.
+ */
+
+#include "workload/params.hh"
+
+namespace snoop {
+
+/**
+ * Probability of each distinguishable per-reference event. Every
+ * memory reference falls into exactly one category, so the twelve
+ * fields sum to 1.
+ */
+struct EventRates
+{
+    // private stream
+    double privReadHit = 0;    ///< read hit
+    double privWriteHitMod = 0;   ///< write hit, already modified
+    double privWriteHitUnmod = 0; ///< write hit, clean (PSWHumod part)
+    double privReadMiss = 0;   ///< read miss
+    double privWriteMiss = 0;  ///< write miss
+
+    // shared read-only stream
+    double sroHit = 0;         ///< hit
+    double sroMiss = 0;        ///< miss (SRMiss)
+
+    // shared-writable stream
+    double swReadHit = 0;      ///< read hit
+    double swWriteHitMod = 0;  ///< write hit, already modified
+    double swWriteHitUnmod = 0;///< write hit, clean (SWHumod)
+    double swReadMiss = 0;     ///< read miss
+    double swWriteMiss = 0;    ///< write miss
+
+    /** All private misses. */
+    double privMiss() const { return privReadMiss + privWriteMiss; }
+
+    /** All sw misses (SWMiss in the paper's appendix). */
+    double swMiss() const { return swReadMiss + swWriteMiss; }
+
+    /** All misses (read + read-mod bus transactions). */
+    double totalMiss() const { return privMiss() + sroMiss + swMiss(); }
+
+    /** All shared (sro + sw) misses - the snoop-relevant ones. */
+    double sharedMiss() const { return sroMiss + swMiss(); }
+
+    /** All write hits to clean blocks (PSWHumod + SWHumod). */
+    double writeHitUnmod() const
+    {
+        return privWriteHitUnmod + swWriteHitUnmod;
+    }
+
+    /** Sum of all twelve categories (should be 1). */
+    double total() const;
+
+    /**
+     * Compute the rates from basic parameters. @p params should
+     * already be protocol-adjusted (WorkloadParams::adjustedFor).
+     */
+    static EventRates compute(const WorkloadParams &params);
+};
+
+} // namespace snoop

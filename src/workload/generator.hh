@@ -1,0 +1,148 @@
+#pragma once
+
+/**
+ * @file
+ * Stochastic workload generation for the discrete-event simulator.
+ *
+ * Two generators are provided:
+ *
+ *  - ReferenceSampler: draws per-reference outcomes (stream class,
+ *    read/write, hit/miss, already-modified, copy-elsewhere, victim
+ *    write-back) directly from the probabilistic workload parameters.
+ *    This is the workload treatment of the paper's GTPN baseline, so
+ *    simulator-vs-MVA comparisons isolate the *interference* modeling
+ *    (the thing the MVA approximates) from workload modeling.
+ *
+ *  - SyntheticTraceGenerator: an address-level generator (private /
+ *    sro / sw block pools with working-set locality) for driving real
+ *    caches through the protocol FSM. Used by the simulator's trace
+ *    mode, an extension beyond the paper.
+ */
+
+#include <cstdint>
+
+#include "random/rng.hh"
+#include "workload/params.hh"
+
+namespace snoop {
+
+/** The three reference streams of Section 2.3. */
+enum class StreamClass { Private, SharedReadOnly, SharedWritable };
+
+/** Display name, e.g. "sw". */
+std::string to_string(StreamClass c);
+
+/** One probabilistically sampled memory reference outcome. */
+struct SampledReference
+{
+    StreamClass cls = StreamClass::Private;
+    bool isWrite = false;
+    bool hit = false;
+    /** On a write hit: the block was already modified (amod). */
+    bool alreadyModified = false;
+    /** On a miss: at least one other cache holds the block (csupply). */
+    bool copyElsewhere = false;
+    /** If copyElsewhere: the holder has it in state wback. */
+    bool supplierDirty = false;
+    /** On a miss: the replaced victim must be written back (rep). */
+    bool victimWriteback = false;
+};
+
+/**
+ * Samples per-reference outcomes from protocol-adjusted workload
+ * parameters. Deterministic given the Rng seed.
+ */
+class ReferenceSampler
+{
+  public:
+    /**
+     * @param params protocol-adjusted parameters (use
+     *               WorkloadParams::adjustedFor); validated here.
+     * @param rng    private random stream for this sampler
+     */
+    ReferenceSampler(const WorkloadParams &params, Rng rng);
+
+    /** Draw the next reference outcome. */
+    SampledReference next();
+
+    /** The parameters in use. */
+    const WorkloadParams &params() const { return params_; }
+
+  private:
+    WorkloadParams params_;
+    Rng rng_;
+};
+
+/** One address-level reference for the trace-driven simulator mode. */
+struct TraceReference
+{
+    uint64_t blockId = 0;     ///< global block address
+    bool isWrite = false;
+    StreamClass cls = StreamClass::Private;
+};
+
+/** Configuration of the synthetic address-level generator. */
+struct TraceConfig
+{
+    /** Blocks in each processor's private working set. */
+    uint64_t privateHotBlocks = 16;
+    /** Blocks in each processor's private cold pool. */
+    uint64_t privateColdBlocks = 4096;
+    /** Shared read-only pool size (system-wide). */
+    uint64_t sroBlocks = 256;
+    /** Shared-writable pool size (system-wide). */
+    uint64_t swBlocks = 64;
+    /** P(private reference goes to the hot set) - controls hit rate. */
+    double privateLocality = 0.95;
+    /** P(sro reference goes to a hot subset). */
+    double sroLocality = 0.95;
+    /** P(sw reference re-references a recent block). */
+    double swLocality = 0.5;
+    /** Size of the hot subsets for the shared pools. */
+    uint64_t sroHotBlocks = 16;
+    uint64_t swHotBlocks = 8;
+};
+
+/**
+ * Generates a synthetic per-processor address stream with the
+ * three-stream structure of Section 2.3. Block IDs are disjoint
+ * across classes: private blocks are also disjoint across processors.
+ */
+class SyntheticTraceGenerator
+{
+  public:
+    /**
+     * @param params     stream mix and read/write fractions
+     * @param cfg        pool sizes and locality knobs
+     * @param processor  index of the owning processor (for private
+     *                   block numbering)
+     * @param num_processors total processors (for address layout)
+     * @param rng        private random stream
+     */
+    SyntheticTraceGenerator(const WorkloadParams &params,
+                            const TraceConfig &cfg, unsigned processor,
+                            unsigned num_processors, Rng rng);
+
+    /** Draw the next address-level reference. */
+    TraceReference next();
+
+    /** First block ID of the sro pool (for tests). */
+    uint64_t sroBase() const { return sroBase_; }
+
+    /** First block ID of the sw pool (for tests). */
+    uint64_t swBase() const { return swBase_; }
+
+  private:
+    uint64_t samplePrivate();
+    uint64_t sampleSro();
+    uint64_t sampleSw();
+
+    WorkloadParams params_;
+    TraceConfig cfg_;
+    Rng rng_;
+    uint64_t privBase_;
+    uint64_t sroBase_;
+    uint64_t swBase_;
+};
+
+} // namespace snoop

@@ -1,0 +1,146 @@
+/** Unit tests for the Analyzer facade. */
+
+#include <gtest/gtest.h>
+
+#include "core/analyzer.hh"
+
+namespace snoop {
+namespace {
+
+TEST(Analyzer, AnalyzeByCatalogName)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    auto r = a.analyze("Illinois", wl, 10);
+    EXPECT_EQ(r.numProcessors, 10u);
+    EXPECT_TRUE(r.inputs.protocol.mod1);
+    EXPECT_TRUE(r.inputs.protocol.mod3);
+    EXPECT_GT(r.speedup, 0.0);
+}
+
+TEST(Analyzer, AnalyzeByModString)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    auto by_name = a.analyze("Berkeley", wl, 8);
+    auto by_mods = a.analyze("23", wl, 8);
+    EXPECT_DOUBLE_EQ(by_name.speedup, by_mods.speedup);
+}
+
+TEST(Analyzer, NameAndConfigAgree)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::TwentyPercent);
+    auto named = a.analyze("Dragon", wl, 12);
+    auto cfg = a.analyze(*findProtocol("Dragon"), wl, 12);
+    EXPECT_DOUBLE_EQ(named.speedup, cfg.speedup);
+}
+
+TEST(Analyzer, SweepReturnsAllSizes)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    auto rs = a.sweep(ProtocolConfig::writeOnce(), wl, {1, 5, 25});
+    ASSERT_EQ(rs.size(), 3u);
+    EXPECT_EQ(rs[0].numProcessors, 1u);
+    EXPECT_EQ(rs[2].numProcessors, 25u);
+}
+
+TEST(Analyzer, RankDesignSpaceCoversAll16Sorted)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    auto ranked = a.rankDesignSpace(wl, 16);
+    ASSERT_EQ(ranked.size(), 16u);
+    for (size_t i = 1; i < ranked.size(); ++i)
+        EXPECT_GE(ranked[i - 1].speedup, ranked[i].speedup);
+    // all 16 distinct configurations present
+    unsigned mask = 0;
+    for (const auto &r : ranked)
+        mask |= (1u << r.inputs.protocol.index());
+    EXPECT_EQ(mask, 0xFFFFu);
+}
+
+TEST(Analyzer, DesignSpaceWinnerIncludesMod1)
+{
+    // Section 4.1: modification 1 is clearly advantageous; the best
+    // configuration at a saturated size must include it.
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    auto ranked = a.rankDesignSpace(wl, 20);
+    EXPECT_TRUE(ranked.front().inputs.protocol.mod1);
+}
+
+TEST(Analyzer, SaturationPointFindsTheKnee)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    unsigned n95 = a.saturationPoint(ProtocolConfig::writeOnce(), wl);
+    // Write-Once at 5% saturates around 10-12 processors (Fig 4.1).
+    EXPECT_GE(n95, 8u);
+    EXPECT_LE(n95, 16u);
+    // Utilization at the returned N meets the target; below it doesn't.
+    auto at = a.analyze(ProtocolConfig::writeOnce(), wl, n95);
+    auto below = a.analyze(ProtocolConfig::writeOnce(), wl, n95 - 1);
+    EXPECT_GE(at.busUtil, 0.95);
+    EXPECT_LT(below.busUtil, 0.95);
+}
+
+TEST(Analyzer, SaturationPointZeroWhenUnreachable)
+{
+    Analyzer a;
+    WorkloadParams wl = presets::appendixA(SharingLevel::FivePercent);
+    wl.hPrivate = wl.hSro = wl.hSw = 1.0;
+    wl.amodPrivate = wl.amodSw = 1.0;
+    EXPECT_EQ(a.saturationPoint(ProtocolConfig::writeOnce(), wl), 0u);
+}
+
+TEST(Analyzer, BetterProtocolDeliversMoreAtItsKnee)
+{
+    // A protocol with less bus demand per request does not necessarily
+    // saturate at a larger N (it also cycles faster), but it must
+    // deliver more speedup at its own saturation point.
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    unsigned wo_n = a.saturationPoint(ProtocolConfig::writeOnce(), wl);
+    unsigned m1_n = a.saturationPoint(ProtocolConfig::fromModString("1"),
+                                      wl);
+    ASSERT_GT(wo_n, 0u);
+    ASSERT_GT(m1_n, 0u);
+    double wo_s =
+        a.analyze(ProtocolConfig::writeOnce(), wl, wo_n).speedup;
+    double m1_s =
+        a.analyze(ProtocolConfig::fromModString("1"), wl, m1_n).speedup;
+    EXPECT_GT(m1_s, wo_s);
+}
+
+TEST(Analyzer, CustomTimingFlowsThrough)
+{
+    BusTiming slow;
+    slow.tReadMem = 30.0;
+    Analyzer a({}, slow);
+    Analyzer b;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    EXPECT_LT(a.analyze("WriteOnce", wl, 8).speedup,
+              b.analyze("WriteOnce", wl, 8).speedup);
+}
+
+TEST(AnalyzerDeath, UnknownProtocolIsFatal)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    EXPECT_EXIT(a.analyze("firefly", wl, 4), testing::ExitedWithCode(1),
+                "unknown protocol");
+}
+
+TEST(AnalyzerDeath, BadSaturationTarget)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    EXPECT_EXIT(
+        a.saturationPoint(ProtocolConfig::writeOnce(), wl, 1.5),
+        testing::ExitedWithCode(1), "target");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,99 @@
+/** Unit tests for the markdown report generator. */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "core/report.hh"
+#include "protocol/catalog.hh"
+
+namespace snoop {
+namespace {
+
+ReportSpec
+basicSpec()
+{
+    ReportSpec spec;
+    spec.title = "Illinois on the 5% workload";
+    spec.workload = presets::appendixA(SharingLevel::FivePercent);
+    spec.protocol = *findProtocol("Illinois");
+    spec.ns = {1, 4, 10};
+    return spec;
+}
+
+TEST(Report, ContainsAllSections)
+{
+    auto md = generateReport(basicSpec());
+    EXPECT_NE(md.find("# Illinois on the 5% workload"),
+              std::string::npos);
+    EXPECT_NE(md.find("## Protocol"), std::string::npos);
+    EXPECT_NE(md.find("known as **Illinois**"), std::string::npos);
+    EXPECT_NE(md.find("## Workload"), std::string::npos);
+    EXPECT_NE(md.find("## Derived model inputs"), std::string::npos);
+    EXPECT_NE(md.find("## Predicted performance"), std::string::npos);
+    // validation skipped by default
+    EXPECT_EQ(md.find("## Validation"), std::string::npos);
+}
+
+TEST(Report, SweepRowsMatchRequestedSizes)
+{
+    auto md = generateReport(basicSpec());
+    EXPECT_NE(md.find("| 1 |"), std::string::npos);
+    EXPECT_NE(md.find("| 4 |"), std::string::npos);
+    EXPECT_NE(md.find("| 10 |"), std::string::npos);
+    EXPECT_EQ(md.find("| 20 |"), std::string::npos);
+}
+
+TEST(Report, ModFlagsRendered)
+{
+    auto md = generateReport(basicSpec());
+    EXPECT_NE(md.find("mod 1 (exclusive-on-miss): yes"),
+              std::string::npos);
+    EXPECT_NE(md.find("mod 2 (dirty cache supplies data): no"),
+              std::string::npos);
+    EXPECT_NE(md.find("mod 3 (invalidate instead of write-word): yes"),
+              std::string::npos);
+}
+
+TEST(Report, ValidationSectionWhenRequested)
+{
+    auto spec = basicSpec();
+    spec.ns = {1, 2, 8};
+    spec.validateUpTo = 2;
+    spec.measuredRequests = 30000;
+    auto md = generateReport(spec);
+    EXPECT_NE(md.find("## Validation against detailed simulation"),
+              std::string::npos);
+    EXPECT_NE(md.find("Max |relative error|"), std::string::npos);
+    // only N <= validateUpTo rows get simulated: the sweep table has
+    // N=8 but the validation table must not
+    auto validation_at = md.find("## Validation");
+    EXPECT_EQ(md.find("| 8 |", validation_at), std::string::npos);
+}
+
+TEST(Report, WritesToDisk)
+{
+    std::string path = testing::TempDir() + "snoop_report_test.md";
+    writeReport(basicSpec(), path);
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    EXPECT_NE(ss.str().find("## Predicted performance"),
+              std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ReportDeath, BadSpecs)
+{
+    auto spec = basicSpec();
+    spec.ns.clear();
+    EXPECT_EXIT(generateReport(spec), testing::ExitedWithCode(1),
+                "at least one");
+    EXPECT_EXIT(writeReport(basicSpec(), "/nonexistent-dir-xyz/r.md"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace snoop

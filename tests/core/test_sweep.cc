@@ -1,0 +1,119 @@
+/** Unit tests for the parameter-sweep facility. */
+
+#include <gtest/gtest.h>
+
+#include "core/sweep.hh"
+
+namespace snoop {
+namespace {
+
+SweepSpec
+basicSpec()
+{
+    SweepSpec spec;
+    spec.base = presets::appendixA(SharingLevel::FivePercent);
+    spec.paramName = "h_sw";
+    spec.set = findParamSetter("h_sw");
+    spec.values = {0.2, 0.5, 0.8};
+    spec.protocols = {ProtocolConfig::writeOnce(),
+                      *findProtocol("Illinois")};
+    spec.n = 10;
+    return spec;
+}
+
+TEST(Sweep, RegistryContainsAllPaperParameters)
+{
+    for (const char *name :
+         {"tau", "h_private", "h_sro", "h_sw", "r_private", "r_sw",
+          "amod_private", "amod_sw", "csupply_sro", "csupply_sw",
+          "wb_csupply", "rep_p", "rep_sw"}) {
+        EXPECT_TRUE(findParamSetter(name) != nullptr) << name;
+    }
+    EXPECT_TRUE(findParamSetter("bogus") == nullptr);
+    EXPECT_EQ(sweepableParams().size(), 13u);
+}
+
+TEST(Sweep, SettersAreCaseInsensitive)
+{
+    auto set = findParamSetter(" H_SW ");
+    ASSERT_TRUE(set != nullptr);
+    WorkloadParams p;
+    set(p, 0.25);
+    EXPECT_DOUBLE_EQ(p.hSw, 0.25);
+}
+
+TEST(Sweep, GridShapeMatchesSpec)
+{
+    auto res = runSweep(basicSpec());
+    ASSERT_EQ(res.results.size(), 3u);
+    for (const auto &row : res.results)
+        ASSERT_EQ(row.size(), 2u);
+}
+
+TEST(Sweep, ValuesActuallyApplied)
+{
+    auto res = runSweep(basicSpec());
+    // higher h_sw -> fewer misses -> higher speedup, monotone
+    EXPECT_LT(res.results[0][0].speedup, res.results[2][0].speedup);
+    EXPECT_NEAR(res.results[1][0].inputs.effective.hSw, 0.5, 1e-12);
+}
+
+TEST(Sweep, TableAndCsvRender)
+{
+    auto res = runSweep(basicSpec());
+    auto t = res.table();
+    EXPECT_EQ(t.numRows(), 3u);
+    std::string csv = res.csv();
+    EXPECT_NE(csv.find("h_sw"), std::string::npos);
+    EXPECT_NE(csv.find("Illinois"), std::string::npos);
+    EXPECT_NE(csv.find("WriteOnce"), std::string::npos);
+}
+
+TEST(Sweep, WinnersDetectDominantProtocol)
+{
+    auto res = runSweep(basicSpec());
+    auto winners = res.winners();
+    ASSERT_EQ(winners.size(), 3u);
+    // Illinois (mods 1+3) dominates Write-Once across this sweep.
+    for (size_t w : winners)
+        EXPECT_EQ(w, 1u);
+}
+
+TEST(Sweep, AmodSweepReproducesSection44Crossover)
+{
+    // Sweeping amod_private narrows the mod1-vs-mod2 gap (E10).
+    SweepSpec spec;
+    spec.base = presets::appendixA(SharingLevel::OnePercent);
+    spec.paramName = "amod_private";
+    spec.set = findParamSetter("amod_private");
+    spec.values = {0.5, 0.7, 0.9, 0.95};
+    spec.protocols = {ProtocolConfig::fromModString("1"),
+                      ProtocolConfig::fromModString("2")};
+    spec.n = 10;
+    auto res = runSweep(spec);
+    double gap_low = res.results[0][0].speedup /
+        res.results[0][1].speedup;
+    double gap_high = res.results[3][0].speedup /
+        res.results[3][1].speedup;
+    EXPECT_GT(gap_low, gap_high);
+    EXPECT_NEAR(gap_high, 1.0, 0.05);
+}
+
+TEST(SweepDeath, BadSpecs)
+{
+    SweepSpec spec = basicSpec();
+    spec.set = nullptr;
+    EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "setter");
+    spec = basicSpec();
+    spec.values.clear();
+    EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "values");
+    spec = basicSpec();
+    spec.protocols.clear();
+    EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "protocols");
+    spec = basicSpec();
+    spec.values = {1.5}; // invalid probability for h_sw
+    EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "hSw");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,138 @@
+/** Unit tests for CTMC stationary and transient analysis. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "markov/ctmc.hh"
+
+namespace snoop {
+namespace {
+
+/** Two-state chain 0 <-> 1 with rates a (0->1) and b (1->0). */
+Ctmc
+twoState(double a, double b)
+{
+    Ctmc c(2);
+    c.addRate(0, 1, a);
+    c.addRate(1, 0, b);
+    return c;
+}
+
+TEST(Ctmc, TwoStateStationaryClosedForm)
+{
+    auto c = twoState(2.0, 3.0);
+    auto pi = c.stationary();
+    EXPECT_NEAR(pi[0], 0.6, 1e-12);
+    EXPECT_NEAR(pi[1], 0.4, 1e-12);
+}
+
+TEST(Ctmc, TwoStateTransientClosedForm)
+{
+    // From state 0: p1(t) = a/(a+b) (1 - e^{-(a+b) t}).
+    double a = 2.0, b = 3.0;
+    auto c = twoState(a, b);
+    for (double t : {0.0, 0.1, 0.5, 1.0, 3.0}) {
+        auto p = c.transient({1.0, 0.0}, t);
+        double expected =
+            a / (a + b) * (1.0 - std::exp(-(a + b) * t));
+        EXPECT_NEAR(p[1], expected, 1e-9) << "t=" << t;
+        EXPECT_NEAR(p[0] + p[1], 1.0, 1e-9);
+    }
+}
+
+TEST(Ctmc, TransientConvergesToStationary)
+{
+    Ctmc c(3);
+    c.addRate(0, 1, 1.0);
+    c.addRate(1, 2, 2.0);
+    c.addRate(2, 0, 0.5);
+    c.addRate(1, 0, 0.3);
+    auto pi = c.stationary();
+    auto p = c.transient({1.0, 0.0, 0.0}, 200.0);
+    for (size_t s = 0; s < 3; ++s)
+        EXPECT_NEAR(p[s], pi[s], 1e-8) << "state " << s;
+}
+
+TEST(Ctmc, TransientAtZeroIsInitial)
+{
+    auto c = twoState(1.0, 1.0);
+    auto p = c.transient({0.25, 0.75}, 0.0);
+    EXPECT_DOUBLE_EQ(p[0], 0.25);
+    EXPECT_DOUBLE_EQ(p[1], 0.75);
+}
+
+TEST(Ctmc, ErlangBirthDeathStationary)
+{
+    // M/M/1/3 queue: arrivals 1.0, service 2.0, states 0..3.
+    // pi_j proportional to rho^j with rho = 0.5.
+    Ctmc c(4);
+    for (size_t j = 0; j < 3; ++j) {
+        c.addRate(j, j + 1, 1.0);
+        c.addRate(j + 1, j, 2.0);
+    }
+    auto pi = c.stationary();
+    double rho = 0.5;
+    double norm = 1.0 + rho + rho * rho + rho * rho * rho;
+    for (size_t j = 0; j < 4; ++j)
+        EXPECT_NEAR(pi[j], std::pow(rho, double(j)) / norm, 1e-12);
+}
+
+TEST(Ctmc, MixingTimeScalesWithSlowestRate)
+{
+    // Slower chains take longer to forget the initial state.
+    auto fast = twoState(4.0, 4.0);
+    auto slow = twoState(0.25, 0.25);
+    double tf = fast.mixingTime({1.0, 0.0}, 0.05, 200.0);
+    double ts = slow.mixingTime({1.0, 0.0}, 0.05, 200.0);
+    ASSERT_GT(tf, 0.0);
+    ASSERT_GT(ts, 0.0);
+    EXPECT_GT(ts, 4.0 * tf);
+}
+
+TEST(Ctmc, MixingTimeUnreachedReturnsMinusOne)
+{
+    auto slow = twoState(0.001, 0.001);
+    EXPECT_DOUBLE_EQ(slow.mixingTime({1.0, 0.0}, 0.5, 2.0), -1.0);
+}
+
+TEST(Ctmc, ExitRatesAccumulate)
+{
+    Ctmc c(3);
+    c.addRate(0, 1, 1.5);
+    c.addRate(0, 2, 2.5);
+    EXPECT_DOUBLE_EQ(c.exitRate(0), 4.0);
+    EXPECT_DOUBLE_EQ(c.exitRate(1), 0.0);
+}
+
+TEST(CtmcDeath, BadConstruction)
+{
+    EXPECT_EXIT(Ctmc(0), testing::ExitedWithCode(1), "at least one");
+    Ctmc c(2);
+    EXPECT_EXIT(c.addRate(0, 0, 1.0), testing::ExitedWithCode(1),
+                "self-loop");
+    EXPECT_EXIT(c.addRate(0, 1, -1.0), testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(c.addRate(2, 0, 1.0), testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(CtmcDeath, BadAnalysisArguments)
+{
+    auto c = twoState(1.0, 1.0);
+    EXPECT_EXIT(c.transient({1.0}, 1.0), testing::ExitedWithCode(1),
+                "entries");
+    EXPECT_EXIT(c.transient({0.5, 0.4}, 1.0),
+                testing::ExitedWithCode(1), "sums to");
+    EXPECT_EXIT(c.transient({1.0, 0.0}, -1.0),
+                testing::ExitedWithCode(1), "negative time");
+    EXPECT_EXIT(c.mixingTime({1.0, 0.0}, 0.0, 1.0),
+                testing::ExitedWithCode(1), "step");
+    Ctmc absorbing(2);
+    absorbing.addRate(0, 1, 1.0);
+    EXPECT_EXIT(absorbing.stationary(), testing::ExitedWithCode(1),
+                "absorbing");
+}
+
+} // namespace
+} // namespace snoop

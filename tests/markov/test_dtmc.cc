@@ -1,0 +1,134 @@
+/** Unit tests for DTMC steady-state solvers. */
+
+#include <gtest/gtest.h>
+
+#include "markov/dtmc.hh"
+
+namespace snoop {
+namespace {
+
+Dtmc
+twoState(double p01, double p10)
+{
+    Dtmc c(2);
+    c.addTransition(0, 1, p01);
+    c.addTransition(0, 0, 1.0 - p01);
+    c.addTransition(1, 0, p10);
+    c.addTransition(1, 1, 1.0 - p10);
+    return c;
+}
+
+TEST(Dtmc, TwoStateClosedForm)
+{
+    // pi_0 = p10 / (p01 + p10)
+    auto c = twoState(0.3, 0.6);
+    auto pi = c.steadyStateGth();
+    EXPECT_NEAR(pi[0], 2.0 / 3.0, 1e-12);
+    EXPECT_NEAR(pi[1], 1.0 / 3.0, 1e-12);
+}
+
+TEST(Dtmc, PowerMatchesGth)
+{
+    auto c = twoState(0.17, 0.45);
+    auto gth = c.steadyStateGth();
+    auto pow = c.steadyStatePower();
+    ASSERT_EQ(gth.size(), pow.size());
+    for (size_t s = 0; s < gth.size(); ++s)
+        EXPECT_NEAR(gth[s], pow[s], 1e-9);
+}
+
+TEST(Dtmc, PeriodicChainHandledByPowerSmoothing)
+{
+    // Strict alternation 0 <-> 1 has period 2; the smoothed power
+    // method must still find pi = (1/2, 1/2).
+    Dtmc c(2);
+    c.addTransition(0, 1, 1.0);
+    c.addTransition(1, 0, 1.0);
+    auto pi = c.steadyStatePower();
+    EXPECT_NEAR(pi[0], 0.5, 1e-9);
+    EXPECT_NEAR(pi[1], 0.5, 1e-9);
+}
+
+TEST(Dtmc, BirthDeathChain)
+{
+    // Random walk on {0,1,2} with reflecting ends, p=0.4 up, 0.6 down.
+    Dtmc c(3);
+    c.addTransition(0, 1, 0.4);
+    c.addTransition(0, 0, 0.6);
+    c.addTransition(1, 2, 0.4);
+    c.addTransition(1, 0, 0.6);
+    c.addTransition(2, 1, 0.6);
+    c.addTransition(2, 2, 0.4);
+    auto pi = c.steadyStateGth();
+    // detailed balance: pi1/pi0 = 0.4/0.6, pi2/pi1 = 0.4/0.6
+    EXPECT_NEAR(pi[1] / pi[0], 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(pi[2] / pi[1], 2.0 / 3.0, 1e-9);
+    EXPECT_NEAR(pi[0] + pi[1] + pi[2], 1.0, 1e-12);
+}
+
+TEST(Dtmc, UniformChain)
+{
+    const size_t n = 7;
+    Dtmc c(n);
+    for (size_t i = 0; i < n; ++i)
+        for (size_t j = 0; j < n; ++j)
+            c.addTransition(i, j, 1.0 / n);
+    auto pi = c.steadyStateGth();
+    for (size_t s = 0; s < n; ++s)
+        EXPECT_NEAR(pi[s], 1.0 / n, 1e-12);
+}
+
+TEST(Dtmc, LargerCyclicChainGth)
+{
+    // Deterministic cycle of 50 states: uniform stationary vector.
+    const size_t n = 50;
+    Dtmc c(n);
+    for (size_t i = 0; i < n; ++i)
+        c.addTransition(i, (i + 1) % n, 1.0);
+    auto pi = c.steadyStateGth();
+    for (size_t s = 0; s < n; ++s)
+        EXPECT_NEAR(pi[s], 1.0 / n, 1e-10);
+}
+
+TEST(Dtmc, DuplicateTransitionsAccumulate)
+{
+    Dtmc c(2);
+    c.addTransition(0, 1, 0.25);
+    c.addTransition(0, 1, 0.25);
+    c.addTransition(0, 0, 0.5);
+    c.addTransition(1, 0, 1.0);
+    c.validate(); // rows must still sum to 1
+    auto pi = c.steadyStateGth();
+    EXPECT_NEAR(pi[0], 2.0 / 3.0, 1e-12);
+}
+
+TEST(DtmcDeath, BadConstruction)
+{
+    EXPECT_EXIT(Dtmc(0), testing::ExitedWithCode(1), "at least one");
+    Dtmc c(2);
+    EXPECT_EXIT(c.addTransition(2, 0, 0.5), testing::ExitedWithCode(1),
+                "out of range");
+    EXPECT_EXIT(c.addTransition(0, 0, 1.5), testing::ExitedWithCode(1),
+                "bad probability");
+}
+
+TEST(DtmcDeath, RowSumValidation)
+{
+    Dtmc c(2);
+    c.addTransition(0, 1, 0.5);
+    c.addTransition(1, 0, 1.0);
+    EXPECT_EXIT(c.validate(), testing::ExitedWithCode(1), "sums to");
+}
+
+TEST(DtmcDeath, ReducibleChainDetectedByGth)
+{
+    // State 1 is absorbing-from-0 unreachable-back: two closed classes.
+    Dtmc c(2);
+    c.addTransition(0, 0, 1.0);
+    c.addTransition(1, 1, 1.0);
+    EXPECT_EXIT(c.steadyStateGth(), testing::ExitedWithCode(1),
+                "zero pivot");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,152 @@
+/** Tests for the multi-class (heterogeneous processors) extension. */
+
+#include <gtest/gtest.h>
+
+#include "mva/multiclass.hh"
+#include "sim/prob_sim.hh"
+
+namespace snoop {
+namespace {
+
+DerivedInputs
+appendixAInputs(SharingLevel level, const std::string &mods,
+                double tau = 2.5)
+{
+    WorkloadParams wl = presets::appendixA(level);
+    wl.tau = tau;
+    return DerivedInputs::compute(wl,
+                                  ProtocolConfig::fromModString(mods));
+}
+
+TEST(Multiclass, SingleClassMatchesFlatSolverExactly)
+{
+    auto inputs = appendixAInputs(SharingLevel::FivePercent, "");
+    MvaSolver flat;
+    for (unsigned n : {1u, 4u, 10u, 100u}) {
+        auto flat_res = flat.solve(inputs, n);
+        auto multi = solveMulticlass({{"all", n, inputs}});
+        ASSERT_TRUE(multi.converged);
+        EXPECT_NEAR(multi.totalSpeedup, flat_res.speedup,
+                    flat_res.speedup * 1e-9)
+            << "N=" << n;
+        EXPECT_NEAR(multi.busUtil, flat_res.busUtil, 1e-9);
+        EXPECT_NEAR(multi.memUtil, flat_res.memUtil, 1e-9);
+    }
+}
+
+TEST(Multiclass, SplittingAClassChangesNothing)
+{
+    auto inputs = appendixAInputs(SharingLevel::FivePercent, "1");
+    auto merged = solveMulticlass({{"all", 8, inputs}});
+    auto split = solveMulticlass(
+        {{"left", 3, inputs}, {"right", 5, inputs}});
+    EXPECT_NEAR(split.totalSpeedup, merged.totalSpeedup,
+                merged.totalSpeedup * 1e-9);
+    EXPECT_NEAR(split.classes[0].responseTime,
+                split.classes[1].responseTime, 1e-9);
+}
+
+TEST(Multiclass, SlowerClassCyclesSlowerButComputesMore)
+{
+    auto fast = appendixAInputs(SharingLevel::FivePercent, "", 2.5);
+    auto slow = appendixAInputs(SharingLevel::FivePercent, "", 10.0);
+    auto res = solveMulticlass({{"fast", 4, fast}, {"slow", 4, slow}});
+    ASSERT_TRUE(res.converged);
+    // The slow class has longer cycles...
+    EXPECT_GT(res.classes[1].responseTime, res.classes[0].responseTime);
+    // ...but spends a larger fraction of each cycle computing, so its
+    // per-class speedup (utilization-like) is higher.
+    EXPECT_GT(res.classes[1].speedup, res.classes[0].speedup);
+    // The fast class consumes more of the bus.
+    EXPECT_GT(res.classes[0].busDemandShare,
+              res.classes[1].busDemandShare);
+}
+
+TEST(Multiclass, MixedProtocolsShareTheBusConsistently)
+{
+    // One class running Write-Once alongside one running mods 1+4:
+    // total bus utilization is a probability and the mod-1+4 class
+    // does better per processor.
+    auto wo = appendixAInputs(SharingLevel::TwentyPercent, "");
+    auto m14 = appendixAInputs(SharingLevel::TwentyPercent, "14");
+    auto res = solveMulticlass({{"wo", 6, wo}, {"m14", 6, m14}});
+    ASSERT_TRUE(res.converged);
+    EXPECT_LE(res.busUtil, 1.0);
+    EXPECT_GT(res.classes[1].speedup / 6.0,
+              res.classes[0].speedup / 6.0);
+}
+
+TEST(Multiclass, HeavyLoadStillConverges)
+{
+    auto inputs = appendixAInputs(SharingLevel::FivePercent, "");
+    auto res = solveMulticlass(
+        {{"a", 200, inputs},
+         {"b", 200, appendixAInputs(SharingLevel::TwentyPercent, "1")}});
+    EXPECT_TRUE(res.converged);
+    EXPECT_GT(res.busUtil, 0.99);
+    EXPECT_GT(res.totalSpeedup, 0.0);
+}
+
+TEST(Multiclass, AgreesWithHeterogeneousSimulation)
+{
+    // Two classes differing in tau (2.5 vs 10), same protocol and
+    // sharing. The simulator runs 8 processors with per-processor tau
+    // multipliers; the multi-class MVA must predict the per-class
+    // cycle times within the usual few-percent band.
+    WorkloadParams wl = presets::appendixA(SharingLevel::FivePercent);
+    SimConfig cfg;
+    cfg.numProcessors = 8;
+    cfg.workload = wl;
+    cfg.protocol = ProtocolConfig::writeOnce();
+    cfg.seed = 321;
+    cfg.warmupRequests = 10000;
+    cfg.measuredRequests = 400000;
+    cfg.tauMultipliers = {1, 1, 1, 1, 4, 4, 4, 4};
+    auto sim = simulate(cfg);
+    ASSERT_EQ(sim.perProcessorResponse.size(), 8u);
+
+    auto fast = appendixAInputs(SharingLevel::FivePercent, "", 2.5);
+    auto slow = appendixAInputs(SharingLevel::FivePercent, "", 10.0);
+    auto mva = solveMulticlass({{"fast", 4, fast}, {"slow", 4, slow}});
+
+    double sim_fast = 0.0, sim_slow = 0.0;
+    for (int i = 0; i < 4; ++i) {
+        sim_fast += sim.perProcessorResponse[static_cast<size_t>(i)] / 4;
+        sim_slow +=
+            sim.perProcessorResponse[static_cast<size_t>(i + 4)] / 4;
+    }
+    EXPECT_NEAR(mva.classes[0].responseTime, sim_fast, sim_fast * 0.08);
+    EXPECT_NEAR(mva.classes[1].responseTime, sim_slow, sim_slow * 0.08);
+}
+
+TEST(MulticlassDeath, BadInputs)
+{
+    EXPECT_EXIT(solveMulticlass({}), testing::ExitedWithCode(1),
+                "at least one");
+    auto inputs = appendixAInputs(SharingLevel::FivePercent, "");
+    EXPECT_EXIT(solveMulticlass({{"empty", 0, inputs}}),
+                testing::ExitedWithCode(1), "zero processors");
+    BusTiming other;
+    other.tWrite = 2.0;
+    auto mismatched = DerivedInputs::compute(
+        presets::appendixA(SharingLevel::FivePercent),
+        ProtocolConfig::writeOnce(), other);
+    EXPECT_EXIT(
+        solveMulticlass({{"a", 2, inputs}, {"b", 2, mismatched}}),
+        testing::ExitedWithCode(1), "timing");
+}
+
+TEST(SimConfigDeath, BadTauMultipliers)
+{
+    SimConfig cfg;
+    cfg.workload = presets::appendixA(SharingLevel::FivePercent);
+    cfg.numProcessors = 4;
+    cfg.tauMultipliers = {1.0, 2.0};
+    EXPECT_EXIT(simulate(cfg), testing::ExitedWithCode(1),
+                "tauMultipliers");
+    cfg.tauMultipliers = {1.0, 2.0, -1.0, 1.0};
+    EXPECT_EXIT(simulate(cfg), testing::ExitedWithCode(1), "positive");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,208 @@
+/**
+ * Property tests for the MVA model: structural invariants that must
+ * hold across the whole (sharing level, protocol, N) design space.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mva/solver.hh"
+
+namespace snoop {
+namespace {
+
+class MvaSpace
+    : public testing::TestWithParam<std::tuple<SharingLevel, unsigned>>
+{
+  protected:
+    DerivedInputs
+    inputs() const
+    {
+        auto [level, idx] = GetParam();
+        return DerivedInputs::compute(presets::appendixA(level),
+                                      ProtocolConfig::fromIndex(idx));
+    }
+};
+
+TEST_P(MvaSpace, SpeedupIsBoundedByN)
+{
+    MvaSolver solver;
+    auto d = inputs();
+    for (unsigned n : {1u, 2u, 3u, 5u, 8u, 13u, 21u, 55u, 144u}) {
+        auto r = solver.solve(d, n);
+        EXPECT_TRUE(r.converged);
+        EXPECT_GT(r.speedup, 0.0);
+        EXPECT_LE(r.speedup, static_cast<double>(n) + 1e-9);
+    }
+}
+
+TEST_P(MvaSpace, SpeedupApproximatelyMonotoneInN)
+{
+    // Speedup grows with N up to the bus knee and may decline very
+    // slightly past it (the paper's own Table 4.1(b) shows 7.09 at
+    // N=20 vs 7.04 at N=100), so we allow a 2% sag but no more.
+    MvaSolver solver;
+    auto d = inputs();
+    double prev = 0.0;
+    for (unsigned n = 1; n <= 64; n *= 2) {
+        double s = solver.solve(d, n).speedup;
+        EXPECT_GE(s, prev * 0.98) << "N=" << n;
+        prev = s;
+    }
+}
+
+TEST_P(MvaSpace, UtilizationsAreProbabilities)
+{
+    MvaSolver solver;
+    auto d = inputs();
+    for (unsigned n : {1u, 4u, 16u, 64u, 256u}) {
+        auto r = solver.solve(d, n);
+        EXPECT_GE(r.busUtil, 0.0);
+        EXPECT_LE(r.busUtil, 1.0 + 1e-9);
+        EXPECT_GE(r.memUtil, 0.0);
+        EXPECT_LE(r.memUtil, 1.0 + 1e-9);
+        EXPECT_GE(r.pBusyBus, 0.0);
+        EXPECT_LE(r.pBusyBus, 1.0 + 1e-9);
+        EXPECT_GE(r.pBusyMem, 0.0);
+        EXPECT_LE(r.pBusyMem, 1.0 + 1e-9);
+    }
+}
+
+TEST_P(MvaSpace, WaitingTimesNonNegativeAndGrowWithLoad)
+{
+    MvaSolver solver;
+    auto d = inputs();
+    double prev_wbus = -1.0;
+    for (unsigned n : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        auto r = solver.solve(d, n);
+        EXPECT_GE(r.wBus, 0.0);
+        EXPECT_GE(r.wMem, 0.0);
+        EXPECT_GE(r.qBus, 0.0);
+        EXPECT_GE(r.wBus, prev_wbus - 1e-6) << "N=" << n;
+        prev_wbus = r.wBus;
+    }
+}
+
+TEST_P(MvaSpace, ResponseTimeDecomposesExactly)
+{
+    MvaSolver solver;
+    auto d = inputs();
+    for (unsigned n : {1u, 6u, 20u}) {
+        auto r = solver.solve(d, n);
+        // eq. (1): R = tau + R_local + R_broadcast + R_RemoteRead +
+        // T_supply, evaluated at the fixed point.
+        EXPECT_NEAR(r.responseTime,
+                    d.tau + r.rLocal + r.rBroadcast + r.rRemoteRead +
+                        d.timing.tSupply,
+                    1e-6);
+    }
+}
+
+TEST_P(MvaSpace, SaturationThroughputMatchesBusDemand)
+{
+    // As N grows the bus saturates and speedup approaches
+    // (tau + T_supply) / D where D is the per-request bus demand.
+    MvaSolver solver;
+    auto d = inputs();
+    auto big = solver.solve(d, 4096);
+    double demand = d.pBc * (big.wMem + d.timing.tWrite) +
+        d.pRr * d.tRead;
+    if (demand <= 0.0)
+        return; // all-local workloads never saturate
+    double limit = (d.tau + d.timing.tSupply) / demand;
+    EXPECT_NEAR(big.speedup, limit, limit * 0.02);
+    EXPECT_GT(big.busUtil, 0.98);
+}
+
+TEST_P(MvaSpace, InterferenceVanishesAtOneProcessor)
+{
+    MvaSolver solver;
+    auto r = solver.solve(inputs(), 1);
+    EXPECT_DOUBLE_EQ(r.nInterference, 0.0);
+    EXPECT_DOUBLE_EQ(r.rLocal, 0.0);
+    EXPECT_DOUBLE_EQ(r.wBus, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevelsAllMods, MvaSpace,
+    testing::Combine(testing::ValuesIn(kSharingLevels),
+                     testing::Range(0u, 16u)));
+
+// ---------------------------------------------------------------------
+// Sensitivity properties on individual parameters
+// ---------------------------------------------------------------------
+
+TEST(MvaSensitivity, LongerThinkTimeReducesContention)
+{
+    MvaSolver solver;
+    WorkloadParams p = presets::appendixA(SharingLevel::FivePercent);
+    auto base = solver.solve(p, ProtocolConfig::writeOnce(), 10);
+    p.tau = 10.0;
+    auto slow = solver.solve(p, ProtocolConfig::writeOnce(), 10);
+    EXPECT_LT(slow.busUtil, base.busUtil);
+    EXPECT_LT(slow.wBus, base.wBus);
+    EXPECT_GT(slow.speedup, base.speedup);
+}
+
+TEST(MvaSensitivity, LowerHitRateIncreasesBusLoad)
+{
+    MvaSolver solver;
+    WorkloadParams p = presets::appendixA(SharingLevel::FivePercent);
+    auto base = solver.solve(p, ProtocolConfig::writeOnce(), 10);
+    p.hPrivate = 0.80;
+    auto missy = solver.solve(p, ProtocolConfig::writeOnce(), 10);
+    EXPECT_GT(missy.busUtil, base.busUtil);
+    EXPECT_LT(missy.speedup, base.speedup);
+}
+
+TEST(MvaSensitivity, HigherReplacementTrafficHurts)
+{
+    MvaSolver solver;
+    WorkloadParams p = presets::appendixA(SharingLevel::FivePercent);
+    auto base = solver.solve(p, ProtocolConfig::writeOnce(), 10);
+    p.repP = 0.8;
+    auto heavy = solver.solve(p, ProtocolConfig::writeOnce(), 10);
+    EXPECT_LT(heavy.speedup, base.speedup);
+}
+
+TEST(MvaSensitivity, StressWorkloadStillWithinModelDomain)
+{
+    // Section 4.3 stress parameters must solve cleanly.
+    MvaSolver solver;
+    auto d = DerivedInputs::compute(presets::stressTest(),
+                                    ProtocolConfig::writeOnce());
+    for (unsigned n : {1u, 4u, 10u, 50u}) {
+        auto r = solver.solve(d, n);
+        EXPECT_TRUE(r.converged);
+        EXPECT_GT(r.speedup, 0.0);
+        EXPECT_LE(r.speedup, static_cast<double>(n));
+    }
+}
+
+TEST(MvaSensitivity, MemoryInterferenceRespondsToModuleCount)
+{
+    MvaSolver solver;
+    auto p = presets::appendixA(SharingLevel::TwentyPercent);
+    BusTiming one_module;
+    one_module.numModules = 1;
+    auto few = solver.solve(p, ProtocolConfig::writeOnce(), 10, one_module);
+    auto many = solver.solve(p, ProtocolConfig::writeOnce(), 10);
+    EXPECT_GT(few.memUtil, many.memUtil);
+    EXPECT_GE(few.wMem, many.wMem);
+}
+
+TEST(MvaSensitivity, DampedSolverAgreesWithUndamped)
+{
+    MvaOptions damped;
+    damped.damping = 0.5;
+    MvaSolver a((MvaOptions()));
+    MvaSolver b(damped);
+    auto d = DerivedInputs::compute(
+        presets::appendixA(SharingLevel::TwentyPercent),
+        ProtocolConfig::fromModString("1"));
+    for (unsigned n : {2u, 10u, 100u}) {
+        EXPECT_NEAR(a.solve(d, n).speedup, b.solve(d, n).speedup, 1e-6);
+    }
+}
+
+} // namespace
+} // namespace snoop

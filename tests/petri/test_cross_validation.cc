@@ -1,0 +1,82 @@
+/**
+ * Cross-model validation: for a workload with no broadcasts, the
+ * bus-contention Petri net is exactly a closed product-form network
+ * (exponential delay center = the processors, exponential FCFS
+ * single-server = the bus), so its speedup must match exact MVA from
+ * the queueing library to numerical precision. This pins both engines
+ * against each other with no tolerance slack.
+ */
+
+#include <gtest/gtest.h>
+
+#include "petri/coherence_net.hh"
+#include "queueing/mva_closed.hh"
+
+namespace snoop {
+namespace {
+
+/** Net speedup vs exact-MVA speedup for a no-broadcast workload. */
+void
+compareExact(unsigned n, double exec_time, double p_local, double t_read)
+{
+    CoherenceNetParams p;
+    p.numProcessors = n;
+    p.execTime = exec_time;
+    p.pLocal = p_local;
+    p.pBc = 0.0;
+    p.pRr = 1.0 - p_local;
+    p.tRead = t_read;
+    auto cn = makeCoherenceNet(p);
+    auto a = cn.net.analyze();
+    double net_speedup = coherenceNetSpeedup(cn, a);
+
+    // Per bus-visit cycle a customer executes Geometric(p_rr) bursts:
+    // delay demand Z = execTime / p_rr, bus demand D = t_read.
+    std::vector<ServiceCenter> centers = {
+        {"proc", CenterType::Delay, exec_time / p.pRr},
+        {"bus", CenterType::Queueing, t_read},
+    };
+    auto m = exactMva(centers, n);
+    // Speedup = mean number of processors executing
+    //         = X * Z = delay-center queue length.
+    double mva_speedup = m.centers[0].queueLength;
+
+    // The only modeling gap is the 1e-6 seize phase.
+    EXPECT_NEAR(net_speedup, mva_speedup, 1e-4)
+        << "N=" << n << " p_local=" << p_local << " t_read=" << t_read;
+
+    // Bus utilization must agree too.
+    EXPECT_NEAR(coherenceNetBusUtilization(cn, a),
+                m.centers[1].utilization, 1e-4);
+}
+
+TEST(CrossValidation, NetEqualsExactMvaLightLoad)
+{
+    compareExact(2, 3.5, 0.9, 4.0);
+}
+
+TEST(CrossValidation, NetEqualsExactMvaModerateLoad)
+{
+    compareExact(3, 3.5, 0.8, 6.0);
+    compareExact(4, 3.5, 0.9, 9.0);
+}
+
+TEST(CrossValidation, NetEqualsExactMvaHeavyLoad)
+{
+    // bus nearly saturated
+    compareExact(4, 2.0, 0.5, 8.0);
+}
+
+TEST(CrossValidation, NetEqualsExactMvaSingleCustomer)
+{
+    compareExact(1, 5.0, 0.7, 10.0);
+}
+
+TEST(CrossValidation, HoldsAcrossServiceTimeScales)
+{
+    for (double t_read : {1.0, 3.0, 9.0, 27.0})
+        compareExact(3, 3.5, 0.85, t_read);
+}
+
+} // namespace
+} // namespace snoop

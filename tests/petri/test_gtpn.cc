@@ -1,0 +1,279 @@
+/** Unit tests for the timed Petri-net engine. */
+
+#include <gtest/gtest.h>
+
+#include "petri/gtpn.hh"
+#include "random/rng.hh"
+
+namespace snoop {
+namespace {
+
+TEST(Gtpn, TwoStateAlternatorTokenFractions)
+{
+    // One token alternating between A (mean 3) and B (mean 1):
+    // time fraction in A = 3/4.
+    Gtpn net;
+    auto a = net.addPlace("A", 1);
+    auto b = net.addPlace("B", 0);
+    auto ab = net.addTransition("a->b", 3.0);
+    net.addInput(ab, a);
+    net.addOutcome(ab, 1.0, {{b, 1}});
+    auto ba = net.addTransition("b->a", 1.0);
+    net.addInput(ba, b);
+    net.addOutcome(ba, 1.0, {{a, 1}});
+
+    auto r = net.analyze();
+    EXPECT_EQ(r.numStates, 2u);
+    EXPECT_NEAR(r.meanTokens[a], 0.75, 1e-9);
+    EXPECT_NEAR(r.meanTokens[b], 0.25, 1e-9);
+    // Each transition fires once per cycle of mean length 4.
+    EXPECT_NEAR(r.throughput[ab], 0.25, 1e-9);
+    EXPECT_NEAR(r.throughput[ba], 0.25, 1e-9);
+    EXPECT_NEAR(r.utilization[ab], 0.75, 1e-9);
+}
+
+TEST(Gtpn, ProbabilisticBranchSplitsThroughput)
+{
+    // A fires and routes to B with 0.3, C with 0.7; both return to A.
+    Gtpn net;
+    auto a = net.addPlace("A", 1);
+    auto b = net.addPlace("B", 0);
+    auto c = net.addPlace("C", 0);
+    auto go = net.addTransition("go", 1.0);
+    net.addInput(go, a);
+    net.addOutcome(go, 0.3, {{b, 1}});
+    net.addOutcome(go, 0.7, {{c, 1}});
+    auto back_b = net.addTransition("back_b", 2.0);
+    net.addInput(back_b, b);
+    net.addOutcome(back_b, 1.0, {{a, 1}});
+    auto back_c = net.addTransition("back_c", 2.0);
+    net.addInput(back_c, c);
+    net.addOutcome(back_c, 1.0, {{a, 1}});
+
+    auto r = net.analyze();
+    EXPECT_EQ(r.numStates, 3u);
+    // Branch throughputs in ratio 3:7.
+    EXPECT_NEAR(r.throughput[back_b] / r.throughput[back_c], 3.0 / 7.0,
+                1e-9);
+    // Flow conservation: go fires as often as both returns combined.
+    EXPECT_NEAR(r.throughput[go],
+                r.throughput[back_b] + r.throughput[back_c], 1e-12);
+}
+
+TEST(Gtpn, TwoMachineNetMatchesClosedFormCtmc)
+{
+    // Two machines, each alternating exp(4) up-time and exp(1) repair,
+    // with per-machine fail/repair transitions. Under race semantics
+    // the repairman token never binds (both repairs can race), so each
+    // machine is an independent two-state CTMC with availability
+    // mu / (lambda + mu) = 0.8 and the expected mean number of
+    // machines up is 1.6.
+    Gtpn net3;
+    auto m0_up = net3.addPlace("m0_up", 1);
+    auto m1_up = net3.addPlace("m1_up", 1);
+    auto m0_down = net3.addPlace("m0_down", 0);
+    auto m1_down = net3.addPlace("m1_down", 0);
+    auto idle = net3.addPlace("repairman", 1);
+    auto f0 = net3.addTransition("fail0", 4.0);
+    net3.addInput(f0, m0_up);
+    net3.addOutcome(f0, 1.0, {{m0_down, 1}});
+    auto f1 = net3.addTransition("fail1", 4.0);
+    net3.addInput(f1, m1_up);
+    net3.addOutcome(f1, 1.0, {{m1_down, 1}});
+    auto r0 = net3.addTransition("repair0", 1.0);
+    net3.addInput(r0, m0_down);
+    net3.addInput(r0, idle);
+    net3.addOutcome(r0, 1.0, {{m0_up, 1}, {idle, 1}});
+    auto r1 = net3.addTransition("repair1", 1.0);
+    net3.addInput(r1, m1_down);
+    net3.addInput(r1, idle);
+    net3.addOutcome(r1, 1.0, {{m1_up, 1}, {idle, 1}});
+
+    auto res = net3.analyze();
+    double mean_up = 2.0 * (1.0 / (0.25 + 1.0)); // 2 * mu/(lambda+mu)
+    EXPECT_NEAR(res.meanTokens[m0_up] + res.meanTokens[m1_up], mean_up,
+                1e-9);
+    // Per-machine throughput: one failure per mean cycle of 5 cycles,
+    // and flow conservation between fail and repair.
+    EXPECT_NEAR(res.throughput[f0], 0.2, 1e-9);
+    EXPECT_NEAR(res.throughput[r0], 0.2, 1e-9);
+    EXPECT_NEAR(res.throughput[f1], res.throughput[r1], 1e-12);
+}
+
+TEST(Gtpn, CountReachableStatesGrowsWithTokens)
+{
+    auto build = [](uint32_t tokens) {
+        Gtpn net;
+        auto a = net.addPlace("A", tokens);
+        auto b = net.addPlace("B", 0);
+        auto ab = net.addTransition("a->b", 1.0);
+        net.addInput(ab, a);
+        net.addOutcome(ab, 1.0, {{b, 1}});
+        auto ba = net.addTransition("b->a", 1.0);
+        net.addInput(ba, b);
+        net.addOutcome(ba, 1.0, {{a, 1}});
+        return net;
+    };
+    // k tokens over 2 places: k+1 markings.
+    EXPECT_EQ(build(1).countReachableStates(), 2u);
+    EXPECT_EQ(build(4).countReachableStates(), 5u);
+    EXPECT_EQ(build(10).countReachableStates(), 11u);
+}
+
+TEST(Gtpn, RandomConservativeNetsConserveTokens)
+{
+    // Property: in a conservative net (every transition consumes and
+    // produces the same token count), the time-average total token
+    // count equals the initial total, regardless of topology.
+    Rng rng(777);
+    for (int trial = 0; trial < 25; ++trial) {
+        Gtpn net;
+        size_t num_places = 2 + rng.uniformInt(3);
+        uint32_t total_tokens = 0;
+        std::vector<PlaceId> places;
+        for (size_t p = 0; p < num_places; ++p) {
+            uint32_t init = static_cast<uint32_t>(rng.uniformInt(3));
+            if (p == 0)
+                init += 1; // guarantee at least one token
+            total_tokens += init;
+            places.push_back(
+                net.addPlace("p" + std::to_string(p), init));
+        }
+        size_t num_transitions = 1 + rng.uniformInt(4);
+        for (size_t t = 0; t < num_transitions; ++t) {
+            auto id = net.addTransition("t" + std::to_string(t),
+                                        rng.uniform(0.5, 5.0));
+            PlaceId from = places[rng.uniformInt(places.size())];
+            PlaceId to = places[rng.uniformInt(places.size())];
+            net.addInput(id, from, 1);
+            net.addOutcome(id, 1.0, {{to, 1}});
+        }
+        // Guarantee liveness: every place (including place 0) gets a
+        // drain transition into the next place around a ring, so no
+        // marking can deadlock.
+        for (size_t p = 0; p < num_places; ++p) {
+            auto id = net.addTransition("drain" + std::to_string(p),
+                                        1.0);
+            net.addInput(id, places[p], 1);
+            net.addOutcome(id, 1.0,
+                           {{places[(p + 1) % num_places], 1}});
+        }
+        auto a = net.analyze(50000);
+        double mean_total = 0.0;
+        for (size_t p = 0; p < num_places; ++p)
+            mean_total += a.meanTokens[p];
+        EXPECT_NEAR(mean_total, static_cast<double>(total_tokens), 1e-9)
+            << "trial " << trial;
+    }
+}
+
+TEST(Gtpn, ExportedCtmcStationaryMatchesAnalyze)
+{
+    // Two independent computation paths: analyze() weights the
+    // embedded jump chain by sojourn times, toCtmc().stationary()
+    // solves the jump chain of the exported CTMC. The marking
+    // distributions must agree, and therefore so must mean tokens.
+    Gtpn net;
+    auto a = net.addPlace("A", 2);
+    auto b = net.addPlace("B", 0);
+    auto ab = net.addTransition("a->b", 3.0);
+    net.addInput(ab, a);
+    net.addOutcome(ab, 0.7, {{b, 1}});
+    net.addOutcome(ab, 0.3, {{a, 1}}); // probabilistic self-route
+    auto ba = net.addTransition("b->a", 1.5);
+    net.addInput(ba, b);
+    net.addOutcome(ba, 1.0, {{a, 1}});
+
+    auto analysis = net.analyze();
+    auto exported = net.toCtmc();
+    auto pi = exported.chain.stationary();
+
+    double mean_a = 0.0, mean_b = 0.0;
+    for (size_t s = 0; s < pi.size(); ++s) {
+        mean_a += pi[s] * exported.markings[s][a];
+        mean_b += pi[s] * exported.markings[s][b];
+    }
+    EXPECT_NEAR(mean_a, analysis.meanTokens[a], 1e-9);
+    EXPECT_NEAR(mean_b, analysis.meanTokens[b], 1e-9);
+}
+
+TEST(Gtpn, MixingTimeBoundsSimulatorWarmup)
+{
+    // The transient analysis answers "how long until the detailed
+    // model forgets that it started with all processors executing" -
+    // exactly the warm-up question. The mixing time should be a small
+    // multiple of the longest activity, far below the warm-up the
+    // simulator defaults use.
+    Gtpn net;
+    auto think = net.addPlace("think", 1);
+    auto wait = net.addPlace("wait", 0);
+    auto exec = net.addTransition("exec", 3.5);
+    net.addInput(exec, think);
+    net.addOutcome(exec, 0.9, {{think, 1}});
+    net.addOutcome(exec, 0.1, {{wait, 1}});
+    auto bus = net.addTransition("bus", 9.0);
+    net.addInput(bus, wait);
+    net.addOutcome(bus, 1.0, {{think, 1}});
+
+    auto exported = net.toCtmc();
+    std::vector<double> initial(exported.markings.size(), 0.0);
+    initial[0] = 1.0; // the all-executing start state
+    double mix = exported.chain.mixingTime(initial, 5.0, 2000.0, 1e-3);
+    ASSERT_GT(mix, 0.0);
+    // the warm-up defaults (thousands of requests, each >= 3.5
+    // cycles) dwarf the mixing horizon of the underlying dynamics
+    EXPECT_LT(mix, 1000.0);
+}
+
+TEST(GtpnDeath, DeadlockIsFatal)
+{
+    Gtpn net;
+    auto a = net.addPlace("A", 0); // no token anywhere
+    auto t = net.addTransition("t", 1.0);
+    net.addInput(t, a);
+    net.addOutcome(t, 1.0, {{a, 1}});
+    EXPECT_EXIT(net.analyze(), testing::ExitedWithCode(1), "deadlock");
+}
+
+TEST(GtpnDeath, BadOutcomeProbabilities)
+{
+    Gtpn net;
+    auto a = net.addPlace("A", 1);
+    auto t = net.addTransition("t", 1.0);
+    net.addInput(t, a);
+    net.addOutcome(t, 0.5, {{a, 1}});
+    EXPECT_EXIT(net.analyze(), testing::ExitedWithCode(1), "sum to");
+}
+
+TEST(GtpnDeath, StateSpaceCapEnforced)
+{
+    // Unbounded net: a source transition pumps tokens forever.
+    Gtpn net;
+    auto a = net.addPlace("A", 1);
+    auto b = net.addPlace("B", 0);
+    auto t = net.addTransition("pump", 1.0);
+    net.addInput(t, a);
+    net.addOutcome(t, 1.0, {{a, 1}, {b, 1}});
+    EXPECT_EXIT(net.analyze(100), testing::ExitedWithCode(1),
+                "reachable markings");
+}
+
+TEST(GtpnDeath, ConstructionErrors)
+{
+    Gtpn net;
+    EXPECT_EXIT(net.addTransition("t", 0.0), testing::ExitedWithCode(1),
+                "positive duration");
+    auto a = net.addPlace("A", 1);
+    auto t = net.addTransition("t", 1.0);
+    EXPECT_EXIT(net.addInput(t, 99), testing::ExitedWithCode(1),
+                "bad place");
+    EXPECT_EXIT(net.addInput(99, a), testing::ExitedWithCode(1),
+                "bad transition");
+    EXPECT_EXIT(net.addInput(t, a, 0), testing::ExitedWithCode(1),
+                "zero-token");
+    EXPECT_EXIT(net.addOutcome(t, 1.5, {}), testing::ExitedWithCode(1),
+                "bad probability");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,89 @@
+/** Unit tests for protocol/catalog. */
+
+#include <gtest/gtest.h>
+
+#include "protocol/catalog.hh"
+
+namespace snoop {
+namespace {
+
+TEST(Catalog, ContainsAllSevenProtocols)
+{
+    const auto &cat = protocolCatalog();
+    EXPECT_EQ(cat.size(), 7u);
+}
+
+TEST(Catalog, Section22ModMemberships)
+{
+    // "Modification 1 is included in the Illinois, Dragon, and RWB
+    // protocols."
+    for (const char *name : {"Illinois", "Dragon", "RWB"})
+        EXPECT_TRUE(findProtocol(name)->mod1) << name;
+    for (const char *name : {"WriteOnce", "Synapse", "Berkeley"})
+        EXPECT_FALSE(findProtocol(name)->mod1) << name;
+
+    // "Modification 2 is included in the Berkeley and Dragon protocols."
+    for (const char *name : {"Berkeley", "Dragon"})
+        EXPECT_TRUE(findProtocol(name)->mod2) << name;
+    for (const char *name : {"WriteOnce", "Synapse", "Illinois", "RWB"})
+        EXPECT_FALSE(findProtocol(name)->mod2) << name;
+
+    // "Modification 3 is included in all five protocols proposed as
+    // improvements to Write-Once."
+    for (const char *name :
+         {"Synapse", "Illinois", "Berkeley", "Dragon", "RWB"})
+        EXPECT_TRUE(findProtocol(name)->mod3) << name;
+    EXPECT_FALSE(findProtocol("WriteOnce")->mod3);
+
+    // "Modification 4 is included in the RWB and Dragon protocols."
+    for (const char *name : {"RWB", "Dragon"})
+        EXPECT_TRUE(findProtocol(name)->mod4) << name;
+    for (const char *name :
+         {"WriteOnce", "Synapse", "Illinois", "Berkeley"})
+        EXPECT_FALSE(findProtocol(name)->mod4) << name;
+}
+
+TEST(Catalog, LookupIsCaseAndPunctuationInsensitive)
+{
+    EXPECT_TRUE(findProtocol("illinois").has_value());
+    EXPECT_TRUE(findProtocol("ILLINOIS").has_value());
+    EXPECT_TRUE(findProtocol("Write-Once").has_value());
+    EXPECT_TRUE(findProtocol("write_once").has_value());
+    EXPECT_TRUE(findProtocol(" dragon ").has_value());
+}
+
+TEST(Catalog, LookupAcceptsModStrings)
+{
+    auto c = findProtocol("13");
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(*c, ProtocolConfig::fromModString("13"));
+}
+
+TEST(Catalog, UnknownNameReturnsNullopt)
+{
+    EXPECT_FALSE(findProtocol("firefly").has_value());
+    EXPECT_FALSE(findProtocol("").has_value());
+    EXPECT_FALSE(findProtocol("15").has_value());
+}
+
+TEST(Catalog, NamesForConfigFindsIllinois)
+{
+    auto names = namesForConfig(ProtocolConfig::fromModString("13"));
+    ASSERT_EQ(names.size(), 1u);
+    EXPECT_EQ(names[0], "Illinois");
+}
+
+TEST(Catalog, NamesForUnlistedConfigIsEmpty)
+{
+    EXPECT_TRUE(namesForConfig(ProtocolConfig::fromModString("12")).empty());
+}
+
+TEST(Catalog, WriteThroughIsMod4Alone)
+{
+    auto c = findProtocol("writethrough");
+    ASSERT_TRUE(c.has_value());
+    EXPECT_EQ(*c, ProtocolConfig::fromModString("4"));
+}
+
+} // namespace
+} // namespace snoop

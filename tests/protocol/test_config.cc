@@ -1,0 +1,74 @@
+/** Unit tests for protocol/config. */
+
+#include <gtest/gtest.h>
+
+#include "protocol/config.hh"
+
+namespace snoop {
+namespace {
+
+TEST(ProtocolConfig, WriteOnceHasNoMods)
+{
+    auto c = ProtocolConfig::writeOnce();
+    EXPECT_FALSE(c.mod1);
+    EXPECT_FALSE(c.mod2);
+    EXPECT_FALSE(c.mod3);
+    EXPECT_FALSE(c.mod4);
+    EXPECT_EQ(c.modString(), "");
+    EXPECT_EQ(c.name(), "WriteOnce");
+}
+
+TEST(ProtocolConfig, FromModStringRoundTrips)
+{
+    for (unsigned idx = 0; idx < 16; ++idx) {
+        auto c = ProtocolConfig::fromIndex(idx);
+        EXPECT_EQ(ProtocolConfig::fromModString(c.modString()), c);
+        EXPECT_EQ(c.index(), idx);
+    }
+}
+
+TEST(ProtocolConfig, FromModStringOrderInsensitive)
+{
+    EXPECT_EQ(ProtocolConfig::fromModString("41"),
+              ProtocolConfig::fromModString("14"));
+}
+
+TEST(ProtocolConfig, NameListsEnabledMods)
+{
+    EXPECT_EQ(ProtocolConfig::fromModString("134").name(),
+              "WriteOnce+1+3+4");
+}
+
+TEST(ProtocolConfig, BroadcastMemorySemantics)
+{
+    // plain write-word updates memory
+    EXPECT_TRUE(ProtocolConfig::writeOnce().broadcastUpdatesMemory());
+    // mod3's invalidate does not
+    EXPECT_FALSE(
+        ProtocolConfig::fromModString("3").broadcastUpdatesMemory());
+    // mod4 broadcast without mod3 updates memory
+    EXPECT_TRUE(
+        ProtocolConfig::fromModString("4").broadcastUpdatesMemory());
+    // mod3+mod4: broadcast without update; broadcaster takes ownership
+    auto c34 = ProtocolConfig::fromModString("34");
+    EXPECT_FALSE(c34.broadcastUpdatesMemory());
+    EXPECT_TRUE(c34.broadcasterTakesOwnership());
+    EXPECT_FALSE(
+        ProtocolConfig::fromModString("4").broadcasterTakesOwnership());
+}
+
+TEST(ProtocolConfigDeath, BadModCharacterIsFatal)
+{
+    EXPECT_EXIT(ProtocolConfig::fromModString("5"),
+                testing::ExitedWithCode(1), "bad modification");
+    EXPECT_EXIT(ProtocolConfig::fromModString("1a"),
+                testing::ExitedWithCode(1), "bad modification");
+}
+
+TEST(ProtocolConfigDeath, FromIndexOutOfRangePanics)
+{
+    EXPECT_DEATH(ProtocolConfig::fromIndex(16), "out of range");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,352 @@
+/** Unit and property tests for the snooping line-state machine. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "protocol/catalog.hh"
+#include "protocol/fsm.hh"
+#include "random/rng.hh"
+
+namespace snoop {
+namespace {
+
+const ProtocolConfig kWriteOnce = ProtocolConfig::writeOnce();
+
+TEST(LineState, BitPredicates)
+{
+    EXPECT_FALSE(isValid(LineState::Invalid));
+    EXPECT_TRUE(isValid(LineState::SharedClean));
+    EXPECT_TRUE(isExclusive(LineState::ExclusiveClean));
+    EXPECT_TRUE(isExclusive(LineState::ExclusiveDirty));
+    EXPECT_FALSE(isExclusive(LineState::SharedDirty));
+    EXPECT_TRUE(isDirty(LineState::ExclusiveDirty));
+    EXPECT_TRUE(isDirty(LineState::SharedDirty));
+    EXPECT_FALSE(isDirty(LineState::SharedClean));
+}
+
+TEST(LineState, Names)
+{
+    EXPECT_EQ(to_string(LineState::Invalid), "I");
+    EXPECT_EQ(to_string(LineState::SharedClean), "SC");
+    EXPECT_EQ(to_string(LineState::ExclusiveClean), "EC");
+    EXPECT_EQ(to_string(LineState::ExclusiveDirty), "ED");
+    EXPECT_EQ(to_string(LineState::SharedDirty), "SD");
+}
+
+TEST(BusOp, Names)
+{
+    EXPECT_EQ(to_string(BusOp::Read), "Read");
+    EXPECT_EQ(to_string(BusOp::ReadMod), "ReadMod");
+    EXPECT_EQ(to_string(BusOp::Invalidate), "Invalidate");
+    EXPECT_EQ(to_string(BusOp::WriteWord), "WriteWord");
+    EXPECT_EQ(to_string(BusOp::WriteBlock), "WriteBlock");
+    EXPECT_EQ(to_string(BusOp::None), "None");
+}
+
+// ---------------------------------------------------------------------
+// Processor-side transitions, Write-Once (Section 2.2 review)
+// ---------------------------------------------------------------------
+
+TEST(WriteOnceProc, ReadMissIssuesBusRead)
+{
+    auto a = onProcessorRead(LineState::Invalid, kWriteOnce);
+    EXPECT_EQ(a.busOp, BusOp::Read);
+}
+
+TEST(WriteOnceProc, ReadHitsAreLocalAndStatePreserving)
+{
+    for (auto s : {LineState::SharedClean, LineState::ExclusiveClean,
+                   LineState::ExclusiveDirty, LineState::SharedDirty}) {
+        auto a = onProcessorRead(s, kWriteOnce);
+        EXPECT_EQ(a.busOp, BusOp::None);
+        EXPECT_EQ(a.next, s);
+    }
+}
+
+TEST(WriteOnceProc, WriteMissIssuesReadModAndLoadsExclusiveDirty)
+{
+    auto a = onProcessorWrite(LineState::Invalid, kWriteOnce);
+    EXPECT_EQ(a.busOp, BusOp::ReadMod);
+    EXPECT_EQ(a.next, LineState::ExclusiveDirty);
+}
+
+TEST(WriteOnceProc, FirstWriteToSharedWritesThrough)
+{
+    // "the first time a processor writes a word to a non-exclusive
+    // block in its cache, the word is written through to main memory.
+    // ... The write operation changes the state of the block to
+    // exclusive and no-wback."
+    auto a = onProcessorWrite(LineState::SharedClean, kWriteOnce);
+    EXPECT_EQ(a.busOp, BusOp::WriteWord);
+    EXPECT_TRUE(a.updatesMemory);
+    EXPECT_EQ(a.next, LineState::ExclusiveClean);
+}
+
+TEST(WriteOnceProc, SecondWriteIsLocalAndDirties)
+{
+    // "Writes to a block in state exclusive are written only locally,
+    // changing the state to wback."
+    auto a = onProcessorWrite(LineState::ExclusiveClean, kWriteOnce);
+    EXPECT_EQ(a.busOp, BusOp::None);
+    EXPECT_EQ(a.next, LineState::ExclusiveDirty);
+    auto b = onProcessorWrite(LineState::ExclusiveDirty, kWriteOnce);
+    EXPECT_EQ(b.busOp, BusOp::None);
+    EXPECT_EQ(b.next, LineState::ExclusiveDirty);
+}
+
+// ---------------------------------------------------------------------
+// Fill states
+// ---------------------------------------------------------------------
+
+TEST(Fill, WriteOnceLoadsSharedOnRead)
+{
+    EXPECT_EQ(fillState(false, true, kWriteOnce), LineState::SharedClean);
+    // without mod1, even a sole copy loads non-exclusive
+    EXPECT_EQ(fillState(false, false, kWriteOnce), LineState::SharedClean);
+}
+
+TEST(Fill, Mod1LoadsExclusiveWhenSharedLineLow)
+{
+    auto m1 = ProtocolConfig::fromModString("1");
+    EXPECT_EQ(fillState(false, false, m1), LineState::ExclusiveClean);
+    EXPECT_EQ(fillState(false, true, m1), LineState::SharedClean);
+}
+
+TEST(Fill, ReadModAlwaysLoadsExclusiveDirty)
+{
+    for (unsigned idx = 0; idx < 16; ++idx) {
+        auto cfg = ProtocolConfig::fromIndex(idx);
+        EXPECT_EQ(fillState(true, true, cfg), LineState::ExclusiveDirty);
+        EXPECT_EQ(fillState(true, false, cfg), LineState::ExclusiveDirty);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Snoop-side transitions
+// ---------------------------------------------------------------------
+
+TEST(WriteOnceSnoop, DirtyHolderFlushesOnBusRead)
+{
+    // "a cache containing the block in state wback interrupts the bus
+    // transaction and writes the block to main memory ... The state of
+    // the block changes to no-wback if the bus request is of type read."
+    auto a = onSnoop(LineState::ExclusiveDirty, BusOp::Read, kWriteOnce);
+    EXPECT_TRUE(a.mustRespond);
+    EXPECT_TRUE(a.fullDuration);
+    EXPECT_TRUE(a.flushesToMemory);
+    EXPECT_FALSE(a.suppliesData);
+    EXPECT_EQ(a.next, LineState::SharedClean);
+}
+
+TEST(WriteOnceSnoop, CleanHolderSilentlyLosesExclusivity)
+{
+    auto a = onSnoop(LineState::ExclusiveClean, BusOp::Read, kWriteOnce);
+    EXPECT_FALSE(a.mustRespond);
+    EXPECT_EQ(a.next, LineState::SharedClean);
+}
+
+TEST(WriteOnceSnoop, ReadModInvalidatesShortDurationWhenClean)
+{
+    // Section 3.1: "a read-mod operation where the cache has the block
+    // in state no-wback ... invalidating the block ... is of shorter
+    // duration than the bus transaction."
+    auto a = onSnoop(LineState::SharedClean, BusOp::ReadMod, kWriteOnce);
+    EXPECT_TRUE(a.mustRespond);
+    EXPECT_FALSE(a.fullDuration);
+    EXPECT_EQ(a.next, LineState::Invalid);
+}
+
+TEST(WriteOnceSnoop, ReadModOnDirtyFlushesThenInvalidates)
+{
+    auto a = onSnoop(LineState::ExclusiveDirty, BusOp::ReadMod, kWriteOnce);
+    EXPECT_TRUE(a.fullDuration);
+    EXPECT_TRUE(a.flushesToMemory);
+    EXPECT_EQ(a.next, LineState::Invalid);
+}
+
+TEST(WriteOnceSnoop, WriteWordInvalidatesObservers)
+{
+    // "When the word is broadcast on the bus, any cache containing the
+    // block invalidates its copy."
+    auto a = onSnoop(LineState::SharedClean, BusOp::WriteWord, kWriteOnce);
+    EXPECT_TRUE(a.mustRespond);
+    EXPECT_FALSE(a.fullDuration);
+    EXPECT_EQ(a.next, LineState::Invalid);
+}
+
+TEST(WriteOnceSnoop, WriteBlockNeedsNoAction)
+{
+    auto a = onSnoop(LineState::SharedClean, BusOp::WriteBlock, kWriteOnce);
+    EXPECT_FALSE(a.mustRespond);
+    EXPECT_EQ(a.next, LineState::SharedClean);
+}
+
+TEST(Mod2Snoop, DirtyHolderSuppliesDirectlyAndKeepsOwnership)
+{
+    auto berkeley = *findProtocol("Berkeley");
+    auto a = onSnoop(LineState::ExclusiveDirty, BusOp::Read, berkeley);
+    EXPECT_TRUE(a.suppliesData);
+    EXPECT_FALSE(a.flushesToMemory);
+    EXPECT_EQ(a.next, LineState::SharedDirty);
+}
+
+TEST(Mod2Snoop, OwnerSuppliesOnReadMod)
+{
+    auto berkeley = *findProtocol("Berkeley");
+    auto a = onSnoop(LineState::SharedDirty, BusOp::ReadMod, berkeley);
+    EXPECT_TRUE(a.suppliesData);
+    EXPECT_EQ(a.next, LineState::Invalid);
+}
+
+TEST(Mod3Proc, FirstWriteInvalidatesInsteadOfWriteWord)
+{
+    auto m3 = ProtocolConfig::fromModString("3");
+    auto a = onProcessorWrite(LineState::SharedClean, m3);
+    EXPECT_EQ(a.busOp, BusOp::Invalidate);
+    EXPECT_FALSE(a.updatesMemory);
+    EXPECT_EQ(a.next, LineState::ExclusiveDirty);
+}
+
+TEST(Mod4Proc, BroadcastKeepsCopiesValid)
+{
+    auto m4 = ProtocolConfig::fromModString("4");
+    auto a = onProcessorWrite(LineState::SharedClean, m4);
+    EXPECT_EQ(a.busOp, BusOp::WriteWord);
+    EXPECT_TRUE(a.updatesMemory);
+    EXPECT_EQ(a.next, LineState::SharedClean);
+}
+
+TEST(Mod4Snoop, ObserversUpdateInsteadOfInvalidate)
+{
+    auto m4 = ProtocolConfig::fromModString("4");
+    auto a = onSnoop(LineState::SharedClean, BusOp::WriteWord, m4);
+    EXPECT_TRUE(a.mustRespond);
+    EXPECT_TRUE(a.fullDuration);
+    EXPECT_EQ(a.next, LineState::SharedClean);
+}
+
+TEST(Mod34Proc, BroadcasterTakesOwnership)
+{
+    auto m34 = ProtocolConfig::fromModString("34");
+    auto a = onProcessorWrite(LineState::SharedClean, m34);
+    EXPECT_EQ(a.busOp, BusOp::WriteWord);
+    EXPECT_FALSE(a.updatesMemory);
+    EXPECT_EQ(a.next, LineState::SharedDirty);
+}
+
+TEST(Mod34Snoop, PreviousOwnerCedesOwnership)
+{
+    auto m34 = ProtocolConfig::fromModString("34");
+    auto a = onSnoop(LineState::SharedDirty, BusOp::WriteWord, m34);
+    EXPECT_EQ(a.next, LineState::SharedClean);
+}
+
+TEST(Eviction, OnlyDirtyStatesWriteBack)
+{
+    EXPECT_EQ(evictionOp(LineState::SharedClean), BusOp::None);
+    EXPECT_EQ(evictionOp(LineState::ExclusiveClean), BusOp::None);
+    EXPECT_EQ(evictionOp(LineState::ExclusiveDirty), BusOp::WriteBlock);
+    EXPECT_EQ(evictionOp(LineState::SharedDirty), BusOp::WriteBlock);
+    EXPECT_EQ(evictionOp(LineState::Invalid), BusOp::None);
+}
+
+TEST(SnoopDeath, SnoopOnInvalidPanics)
+{
+    EXPECT_DEATH(onSnoop(LineState::Invalid, BusOp::Read, kWriteOnce),
+                 "dual directory");
+}
+
+// ---------------------------------------------------------------------
+// Multi-cache coherence property test: drive N simulated caches with
+// random accesses, applying bus semantics atomically, and check the
+// system-level invariants for every protocol configuration.
+// ---------------------------------------------------------------------
+
+class CoherenceModel
+{
+  public:
+    CoherenceModel(unsigned caches, const ProtocolConfig &cfg)
+        : cfg_(cfg), state_(caches, LineState::Invalid)
+    {
+    }
+
+    void
+    access(unsigned cache, bool is_write)
+    {
+        LineState s = state_[cache];
+        ProcAction a = is_write ? onProcessorWrite(s, cfg_)
+                                : onProcessorRead(s, cfg_);
+        if (a.busOp == BusOp::None) {
+            state_[cache] = a.next;
+            return;
+        }
+        // Snoop every other valid holder.
+        bool other_copies = false;
+        for (unsigned i = 0; i < state_.size(); ++i) {
+            if (i == cache || state_[i] == LineState::Invalid)
+                continue;
+            other_copies = true;
+            state_[i] = onSnoop(state_[i], a.busOp, cfg_).next;
+        }
+        if (a.busOp == BusOp::Read || a.busOp == BusOp::ReadMod)
+            state_[cache] = fillState(is_write, other_copies, cfg_);
+        else
+            state_[cache] = a.next;
+    }
+
+    void
+    evict(unsigned cache)
+    {
+        state_[cache] = LineState::Invalid;
+    }
+
+    void
+    checkInvariants() const
+    {
+        unsigned valid = 0, dirty = 0, exclusive = 0;
+        for (auto s : state_) {
+            valid += isValid(s);
+            dirty += isDirty(s);
+            exclusive += isExclusive(s);
+        }
+        // At most one dirty copy (single write-back responsibility).
+        ASSERT_LE(dirty, 1u);
+        // An exclusive holder excludes all other copies.
+        if (exclusive > 0) {
+            ASSERT_EQ(exclusive, 1u);
+            ASSERT_EQ(valid, 1u);
+        }
+    }
+
+  private:
+    ProtocolConfig cfg_;
+    std::vector<LineState> state_;
+};
+
+class FsmProperty : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(FsmProperty, InvariantsHoldUnderRandomAccessSequences)
+{
+    auto cfg = ProtocolConfig::fromIndex(GetParam());
+    Rng rng(1000 + GetParam());
+    const unsigned caches = 5;
+    CoherenceModel model(caches, cfg);
+    for (int step = 0; step < 20000; ++step) {
+        unsigned cache = static_cast<unsigned>(rng.uniformInt(caches));
+        double u = rng.uniform();
+        if (u < 0.05)
+            model.evict(cache);
+        else
+            model.access(cache, rng.bernoulli(0.4));
+        model.checkInvariants();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModCombinations, FsmProperty,
+                         testing::Range(0u, 16u));
+
+} // namespace
+} // namespace snoop

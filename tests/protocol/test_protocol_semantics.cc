@@ -1,0 +1,173 @@
+/**
+ * Scenario tests for each published protocol in the catalog: the
+ * characteristic behavior that distinguishes it in Section 2.2,
+ * played out through the state machine step by step.
+ */
+
+#include <gtest/gtest.h>
+
+#include "protocol/catalog.hh"
+#include "protocol/fsm.hh"
+
+namespace snoop {
+namespace {
+
+TEST(WriteOnceSemantics, TheEponymousWriteOnceSequence)
+{
+    auto cfg = *findProtocol("WriteOnce");
+    // Load by read: non-exclusive, clean.
+    LineState s = fillState(false, true, cfg);
+    EXPECT_EQ(s, LineState::SharedClean);
+    // First write: write-through (the "write once"), block becomes
+    // exclusive but memory is current -> no-wback.
+    auto w1 = onProcessorWrite(s, cfg);
+    EXPECT_EQ(w1.busOp, BusOp::WriteWord);
+    EXPECT_TRUE(w1.updatesMemory);
+    EXPECT_EQ(w1.next, LineState::ExclusiveClean);
+    // Second write: purely local, block becomes dirty.
+    auto w2 = onProcessorWrite(w1.next, cfg);
+    EXPECT_EQ(w2.busOp, BusOp::None);
+    EXPECT_EQ(w2.next, LineState::ExclusiveDirty);
+    // Third write: still local.
+    auto w3 = onProcessorWrite(w2.next, cfg);
+    EXPECT_EQ(w3.busOp, BusOp::None);
+    EXPECT_EQ(w3.next, LineState::ExclusiveDirty);
+}
+
+TEST(SynapseSemantics, InvalidatesInsteadOfWritingThrough)
+{
+    auto cfg = *findProtocol("Synapse");
+    LineState s = fillState(false, true, cfg);
+    EXPECT_EQ(s, LineState::SharedClean); // no mod1: never exclusive
+    auto w1 = onProcessorWrite(s, cfg);
+    EXPECT_EQ(w1.busOp, BusOp::Invalidate);
+    EXPECT_FALSE(w1.updatesMemory);
+    // the write stayed local, so the line is dirty immediately
+    EXPECT_EQ(w1.next, LineState::ExclusiveDirty);
+}
+
+TEST(IllinoisSemantics, SoleCopyLoadsExclusiveAndWritesSilently)
+{
+    auto cfg = *findProtocol("Illinois");
+    // Nobody raises the shared line: exclusive-clean load.
+    LineState s = fillState(false, false, cfg);
+    EXPECT_EQ(s, LineState::ExclusiveClean);
+    // The first write needs no bus transaction at all.
+    auto w = onProcessorWrite(s, cfg);
+    EXPECT_EQ(w.busOp, BusOp::None);
+    EXPECT_EQ(w.next, LineState::ExclusiveDirty);
+    // With other copies present the load is shared and the first write
+    // invalidates (mod3).
+    LineState shared = fillState(false, true, cfg);
+    EXPECT_EQ(shared, LineState::SharedClean);
+    EXPECT_EQ(onProcessorWrite(shared, cfg).busOp, BusOp::Invalidate);
+}
+
+TEST(BerkeleySemantics, OwnershipTransferOnDirtySupply)
+{
+    auto cfg = *findProtocol("Berkeley");
+    // A dirty holder snooping a read supplies the data directly,
+    // keeps the line, and retains write-back responsibility
+    // (ownership) - memory is NOT updated.
+    auto snoop = onSnoop(LineState::ExclusiveDirty, BusOp::Read, cfg);
+    EXPECT_TRUE(snoop.suppliesData);
+    EXPECT_FALSE(snoop.flushesToMemory);
+    EXPECT_EQ(snoop.next, LineState::SharedDirty);
+    // The owner still writes the block back when evicted.
+    EXPECT_EQ(evictionOp(snoop.next), BusOp::WriteBlock);
+    // The requester's copy is clean (no write-back duty).
+    EXPECT_EQ(fillState(false, true, cfg), LineState::SharedClean);
+}
+
+TEST(DragonSemantics, BroadcastUpdatesKeepAllCopiesValid)
+{
+    auto cfg = *findProtocol("Dragon");
+    // A write hit on a shared line broadcasts the word...
+    auto w = onProcessorWrite(LineState::SharedClean, cfg);
+    EXPECT_EQ(w.busOp, BusOp::WriteWord);
+    // ...observers update in place instead of invalidating...
+    auto snoop = onSnoop(LineState::SharedClean, BusOp::WriteWord, cfg);
+    EXPECT_NE(snoop.next, LineState::Invalid);
+    EXPECT_TRUE(snoop.fullDuration); // they take the word
+    // ...and Dragon also supplies dirty data directly (mod2).
+    auto supply = onSnoop(LineState::ExclusiveDirty, BusOp::Read, cfg);
+    EXPECT_TRUE(supply.suppliesData);
+}
+
+TEST(DragonSemantics, BroadcasterKeepsWritebackResponsibility)
+{
+    // Dragon has mods 3+4: broadcasts do not update memory, so the
+    // broadcasting cache takes ownership (Section 2.2 "Summary").
+    auto cfg = *findProtocol("Dragon");
+    auto w = onProcessorWrite(LineState::SharedClean, cfg);
+    EXPECT_FALSE(w.updatesMemory);
+    EXPECT_EQ(w.next, LineState::SharedDirty);
+    EXPECT_EQ(evictionOp(w.next), BusOp::WriteBlock);
+}
+
+TEST(RwbSemantics, BroadcastsButFlushesThroughMemory)
+{
+    auto cfg = *findProtocol("RWB");
+    // Like Dragon, writes to shared lines broadcast and keep copies.
+    auto w = onProcessorWrite(LineState::SharedClean, cfg);
+    EXPECT_EQ(w.busOp, BusOp::WriteWord);
+    auto snoop = onSnoop(LineState::SharedClean, BusOp::WriteWord, cfg);
+    EXPECT_NE(snoop.next, LineState::Invalid);
+    // Unlike Dragon (no mod2), a dirty holder answers a read by
+    // flushing to memory rather than supplying directly.
+    auto flush = onSnoop(LineState::ExclusiveDirty, BusOp::Read, cfg);
+    EXPECT_FALSE(flush.suppliesData);
+    EXPECT_TRUE(flush.flushesToMemory);
+}
+
+TEST(WriteThroughSemantics, SharedWritesAlwaysBroadcast)
+{
+    auto cfg = *findProtocol("WriteThrough");
+    // Every write to a shared line goes to the bus and memory, and the
+    // line never accumulates write-back state from hits.
+    LineState s = fillState(false, true, cfg);
+    auto w = onProcessorWrite(s, cfg);
+    EXPECT_EQ(w.busOp, BusOp::WriteWord);
+    EXPECT_TRUE(w.updatesMemory);
+    EXPECT_EQ(w.next, LineState::SharedClean);
+    // and again - no "write once" transition to exclusivity
+    auto w2 = onProcessorWrite(w.next, cfg);
+    EXPECT_EQ(w2.busOp, BusOp::WriteWord);
+    EXPECT_EQ(w2.next, LineState::SharedClean);
+}
+
+TEST(CatalogSemantics, OnlyMod2ProtocolsEverSupplyData)
+{
+    for (const auto &p : protocolCatalog()) {
+        auto snoop =
+            onSnoop(LineState::ExclusiveDirty, BusOp::Read, p.config);
+        EXPECT_EQ(snoop.suppliesData, p.config.mod2) << p.name;
+        EXPECT_EQ(snoop.flushesToMemory, !p.config.mod2) << p.name;
+    }
+}
+
+TEST(CatalogSemantics, OnlyMod4ProtocolsKeepCopiesOnWrite)
+{
+    for (const auto &p : protocolCatalog()) {
+        auto snoop =
+            onSnoop(LineState::SharedClean, BusOp::WriteWord, p.config);
+        if (p.config.mod4)
+            EXPECT_NE(snoop.next, LineState::Invalid) << p.name;
+        else
+            EXPECT_EQ(snoop.next, LineState::Invalid) << p.name;
+    }
+}
+
+TEST(CatalogSemantics, OnlyMod1ProtocolsLoadExclusive)
+{
+    for (const auto &p : protocolCatalog()) {
+        LineState s = fillState(false, false, p.config);
+        if (p.config.mod1)
+            EXPECT_EQ(s, LineState::ExclusiveClean) << p.name;
+        else
+            EXPECT_EQ(s, LineState::SharedClean) << p.name;
+    }
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,67 @@
+/** Unit tests for asymptotic throughput bounds. */
+
+#include <gtest/gtest.h>
+
+#include "queueing/bounds.hh"
+
+namespace snoop {
+namespace {
+
+std::vector<ServiceCenter>
+demoNet()
+{
+    return {{"think", CenterType::Delay, 6.0},
+            {"cpu", CenterType::Queueing, 1.0},
+            {"disk", CenterType::Queueing, 2.0}};
+}
+
+TEST(Bounds, SandwichExactMva)
+{
+    auto net = demoNet();
+    for (unsigned n : {1u, 2u, 4u, 8u, 16u, 64u}) {
+        auto exact = exactMva(net, n);
+        auto b = asymptoticBounds(net, n);
+        EXPECT_LE(b.lower, exact.throughput + 1e-9) << "N=" << n;
+        EXPECT_GE(b.upper, exact.throughput - 1e-9) << "N=" << n;
+    }
+}
+
+TEST(Bounds, LightLoadRegime)
+{
+    auto b = asymptoticBounds(demoNet(), 1);
+    // One customer: X = 1 / (D + Z) exactly; both bounds touch it.
+    EXPECT_NEAR(b.upper, 1.0 / 9.0, 1e-12);
+    EXPECT_NEAR(b.lower, 1.0 / 9.0, 1e-12);
+}
+
+TEST(Bounds, HeavyLoadCapsAtBottleneck)
+{
+    auto b = asymptoticBounds(demoNet(), 1000);
+    EXPECT_NEAR(b.upper, 0.5, 1e-12); // 1 / D_max = 1/2
+}
+
+TEST(Bounds, SaturationPopulation)
+{
+    // N* = (D + Z) / D_max = (3 + 6) / 2 = 4.5
+    EXPECT_NEAR(saturationPopulation(demoNet()), 4.5, 1e-12);
+}
+
+TEST(Bounds, ZeroPopulation)
+{
+    auto b = asymptoticBounds(demoNet(), 0);
+    EXPECT_DOUBLE_EQ(b.lower, 0.0);
+    EXPECT_DOUBLE_EQ(b.upper, 0.0);
+}
+
+TEST(Bounds, PureDelayNetworkNeverSaturates)
+{
+    std::vector<ServiceCenter> net = {
+        {"think", CenterType::Delay, 5.0}};
+    auto b = asymptoticBounds(net, 10);
+    EXPECT_NEAR(b.upper, 2.0, 1e-12); // N / Z
+    EXPECT_NEAR(b.lower, 2.0, 1e-12);
+    EXPECT_DOUBLE_EQ(saturationPopulation(net), 0.0);
+}
+
+} // namespace
+} // namespace snoop

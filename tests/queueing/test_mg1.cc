@@ -1,0 +1,82 @@
+/** Unit tests for open-system formulas and residual life. */
+
+#include <gtest/gtest.h>
+
+#include "queueing/mg1.hh"
+
+namespace snoop {
+namespace {
+
+TEST(ResidualLife, DeterministicIsHalfMean)
+{
+    // The paper's eq. (10) residual terms are T/2 because bus access
+    // times are deterministic.
+    EXPECT_DOUBLE_EQ(meanResidualLifeDeterministic(9.0), 4.5);
+    EXPECT_DOUBLE_EQ(meanResidualLifeDeterministic(1.0), 0.5);
+}
+
+TEST(ResidualLife, ExponentialEqualsMean)
+{
+    EXPECT_DOUBLE_EQ(meanResidualLifeExponential(3.0), 3.0);
+}
+
+TEST(ResidualLife, GeneralFormula)
+{
+    // E[S]=2, E[S^2]=6 -> residual = 6/4 = 1.5
+    EXPECT_DOUBLE_EQ(meanResidualLife(2.0, 6.0), 1.5);
+}
+
+TEST(ResidualLife, HigherVarianceMeansLongerResidual)
+{
+    double det = meanResidualLifeDeterministic(4.0);
+    double expo = meanResidualLifeExponential(4.0);
+    EXPECT_LT(det, expo);
+}
+
+TEST(Mm1, KnownValues)
+{
+    // rho = 0.5: W = rho / (mu (1 - rho)) = 0.5 / (1 * 0.5) = 1
+    EXPECT_NEAR(mm1WaitingTime(0.5, 1.0), 1.0, 1e-12);
+    EXPECT_NEAR(mm1NumberInSystem(0.5, 1.0), 1.0, 1e-12);
+    // rho = 0.9: L = 9
+    EXPECT_NEAR(mm1NumberInSystem(0.9, 1.0), 9.0, 1e-9);
+}
+
+TEST(Mm1, ZeroArrivalsZeroWait)
+{
+    EXPECT_DOUBLE_EQ(mm1WaitingTime(0.0, 1.0), 0.0);
+}
+
+TEST(Mg1, MatchesMm1ForExponentialService)
+{
+    // M/G/1 with exponential service (E[S^2] = 2 E[S]^2) must equal
+    // M/M/1.
+    double lambda = 0.6, mean_s = 1.0;
+    EXPECT_NEAR(mg1WaitingTime(lambda, mean_s, 2.0 * mean_s * mean_s),
+                mm1WaitingTime(lambda, 1.0 / mean_s), 1e-12);
+}
+
+TEST(Mg1, DeterministicServiceHalvesWait)
+{
+    double lambda = 0.6, mean_s = 1.0;
+    double det = mg1WaitingTime(lambda, mean_s, mean_s * mean_s);
+    double expo = mg1WaitingTime(lambda, mean_s, 2.0 * mean_s * mean_s);
+    EXPECT_NEAR(det, expo / 2.0, 1e-12);
+}
+
+TEST(Mg1Death, InstabilityAndBadArgs)
+{
+    EXPECT_EXIT(mm1WaitingTime(1.0, 1.0), testing::ExitedWithCode(1),
+                "unstable");
+    EXPECT_EXIT(mm1WaitingTime(2.0, 1.0), testing::ExitedWithCode(1),
+                "unstable");
+    EXPECT_EXIT(mg1WaitingTime(1.5, 1.0, 1.0), testing::ExitedWithCode(1),
+                "unstable");
+    EXPECT_EXIT(meanResidualLife(0.0, 1.0), testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(meanResidualLife(2.0, 1.0), testing::ExitedWithCode(1),
+                "below");
+}
+
+} // namespace
+} // namespace snoop

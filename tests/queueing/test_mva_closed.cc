@@ -1,0 +1,137 @@
+/** Unit tests for classic closed-network MVA ([LZGS84]). */
+
+#include <gtest/gtest.h>
+
+#include "queueing/mva_closed.hh"
+
+namespace snoop {
+namespace {
+
+std::vector<ServiceCenter>
+machineRepairman(double think, double service)
+{
+    return {{"think", CenterType::Delay, think},
+            {"server", CenterType::Queueing, service}};
+}
+
+TEST(ExactMva, SingleCustomerHasNoQueueing)
+{
+    auto net = machineRepairman(2.0, 1.0);
+    auto m = exactMva(net, 1);
+    // X = 1 / (Z + D), no queueing with one customer
+    EXPECT_NEAR(m.throughput, 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(m.centers[1].residenceTime, 1.0, 1e-12);
+    EXPECT_NEAR(m.centers[1].utilization, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ExactMva, ZeroPopulation)
+{
+    auto m = exactMva(machineRepairman(2.0, 1.0), 0);
+    EXPECT_DOUBLE_EQ(m.throughput, 0.0);
+    EXPECT_DOUBLE_EQ(m.centers[1].queueLength, 0.0);
+}
+
+TEST(ExactMva, MatchesClosedFormTwoCustomers)
+{
+    // Closed network, 2 customers, delay Z=2, queueing D=1.
+    // MVA recursion by hand:
+    //  N=1: Rq=1, X=1/3, Q=1/3
+    //  N=2: Rq=1*(1+1/3)=4/3, X=2/(2+4/3)=0.6, Q=0.8
+    auto m = exactMva(machineRepairman(2.0, 1.0), 2);
+    EXPECT_NEAR(m.throughput, 0.6, 1e-12);
+    EXPECT_NEAR(m.centers[1].queueLength, 0.8, 1e-12);
+    EXPECT_NEAR(m.centers[1].utilization, 0.6, 1e-12);
+}
+
+TEST(ExactMva, BottleneckLimitsThroughput)
+{
+    std::vector<ServiceCenter> net = {
+        {"cpu", CenterType::Queueing, 1.0},
+        {"disk", CenterType::Queueing, 4.0},
+    };
+    auto m = exactMva(net, 50);
+    // Heavy load: X -> 1 / D_max = 0.25.
+    EXPECT_NEAR(m.throughput, 0.25, 1e-6);
+    EXPECT_NEAR(m.centers[1].utilization, 1.0, 1e-5);
+    // Little's law: queue lengths sum to the population.
+    double total_q = 0.0;
+    for (const auto &c : m.centers)
+        total_q += c.queueLength;
+    EXPECT_NEAR(total_q, 50.0, 1e-9);
+}
+
+TEST(ExactMva, LittlesLawHoldsEverywhere)
+{
+    std::vector<ServiceCenter> net = {
+        {"think", CenterType::Delay, 5.0},
+        {"a", CenterType::Queueing, 0.7},
+        {"b", CenterType::Queueing, 1.3},
+    };
+    for (unsigned n : {1u, 3u, 7u, 20u}) {
+        auto m = exactMva(net, n);
+        double total_q = 0.0;
+        for (size_t k = 0; k < net.size(); ++k) {
+            // Q_k = X * R_k per center
+            EXPECT_NEAR(m.centers[k].queueLength,
+                        m.throughput * m.centers[k].residenceTime, 1e-9);
+            total_q += m.centers[k].queueLength;
+        }
+        EXPECT_NEAR(total_q, static_cast<double>(n), 1e-9);
+    }
+}
+
+TEST(ApproximateMva, CloseToExactModerateLoad)
+{
+    std::vector<ServiceCenter> net = {
+        {"think", CenterType::Delay, 4.0},
+        {"cpu", CenterType::Queueing, 1.0},
+        {"disk", CenterType::Queueing, 2.0},
+    };
+    // Schweitzer's error peaks near the saturation knee; the textbook
+    // band is "within a few percent", worst around 6-7%.
+    for (unsigned n : {2u, 5u, 10u, 30u}) {
+        auto exact = exactMva(net, n);
+        auto approx = approximateMva(net, n);
+        EXPECT_NEAR(approx.throughput, exact.throughput,
+                    exact.throughput * 0.08)
+            << "N=" << n;
+    }
+}
+
+TEST(ApproximateMva, ExactForOneCustomer)
+{
+    auto net = machineRepairman(3.0, 1.5);
+    auto exact = exactMva(net, 1);
+    auto approx = approximateMva(net, 1);
+    EXPECT_NEAR(approx.throughput, exact.throughput, 1e-9);
+}
+
+TEST(ApproximateMva, ZeroPopulation)
+{
+    auto m = approximateMva(machineRepairman(2.0, 1.0), 0);
+    EXPECT_DOUBLE_EQ(m.throughput, 0.0);
+}
+
+TEST(ApproximateMva, ReportsIterations)
+{
+    auto m = approximateMva(machineRepairman(2.0, 1.0), 10);
+    EXPECT_GE(m.iterations, 1);
+}
+
+TEST(MvaClosedDeath, InvalidInputs)
+{
+    EXPECT_EXIT(exactMva({}, 3), testing::ExitedWithCode(1),
+                "at least one");
+    std::vector<ServiceCenter> bad = {
+        {"x", CenterType::Queueing, -1.0}};
+    EXPECT_EXIT(exactMva(bad, 3), testing::ExitedWithCode(1),
+                "bad demand");
+    auto net = machineRepairman(1.0, 1.0);
+    EXPECT_EXIT(approximateMva(net, 5, -1.0), testing::ExitedWithCode(1),
+                "tolerance");
+    EXPECT_EXIT(approximateMva(net, 5, 1e-9, 0), testing::ExitedWithCode(1),
+                "iteration");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,136 @@
+/** Tests for exact MVA with load-dependent centers. */
+
+#include <gtest/gtest.h>
+
+#include "queueing/mva_load_dependent.hh"
+
+namespace snoop {
+namespace {
+
+TEST(LoadDependent, ConstantRateReducesToPlainExactMva)
+{
+    std::vector<ServiceCenter> fixed = {
+        {"think", CenterType::Delay, 4.0}};
+    LoadDependentCenter server;
+    server.name = "server";
+    server.demand = 1.5;
+    // empty rateMultipliers = constant rate
+    for (unsigned n : {1u, 3u, 8u, 20u}) {
+        auto ld = exactMvaLoadDependent(fixed, {server}, n);
+        auto plain = exactMva({{"think", CenterType::Delay, 4.0},
+                               {"server", CenterType::Queueing, 1.5}},
+                              n);
+        EXPECT_NEAR(ld.throughput, plain.throughput,
+                    plain.throughput * 1e-9)
+            << "N=" << n;
+        EXPECT_NEAR(ld.ldCenters[0].queueLength,
+                    plain.centers[1].queueLength, 1e-9);
+    }
+}
+
+TEST(LoadDependent, MarginalsFormADistribution)
+{
+    std::vector<ServiceCenter> fixed = {
+        {"think", CenterType::Delay, 2.0}};
+    auto server = LoadDependentCenter::multiServer("srv", 1.0, 2, 10);
+    auto res = exactMvaLoadDependent(fixed, {server}, 10);
+    double sum = 0.0;
+    for (double p : res.ldCenters[0].marginal) {
+        EXPECT_GE(p, -1e-12);
+        sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(LoadDependent, MultiServerBeatsSingleServer)
+{
+    std::vector<ServiceCenter> fixed = {
+        {"think", CenterType::Delay, 2.0}};
+    auto one = LoadDependentCenter::multiServer("srv", 2.0, 1, 12);
+    auto four = LoadDependentCenter::multiServer("srv", 2.0, 4, 12);
+    auto r1 = exactMvaLoadDependent(fixed, {one}, 12);
+    auto r4 = exactMvaLoadDependent(fixed, {four}, 12);
+    EXPECT_GT(r4.throughput, r1.throughput);
+    EXPECT_LT(r4.ldCenters[0].queueLength, r1.ldCenters[0].queueLength);
+}
+
+TEST(LoadDependent, ManyServersActLikeDelayCenter)
+{
+    // With as many servers as customers, nobody ever queues: the
+    // center behaves as a pure delay, so X = N / (Z + D).
+    std::vector<ServiceCenter> fixed = {
+        {"think", CenterType::Delay, 3.0}};
+    auto inf = LoadDependentCenter::multiServer("srv", 2.0, 10, 10);
+    auto res = exactMvaLoadDependent(fixed, {inf}, 10);
+    EXPECT_NEAR(res.throughput, 10.0 / (3.0 + 2.0), 1e-9);
+    EXPECT_NEAR(res.ldCenters[0].residenceTime, 2.0, 1e-9);
+}
+
+TEST(LoadDependent, MachineRepairmanWithTwoRepairmenClosedForm)
+{
+    // 3 machines (exp think Z), 2 repairmen (exp service D): finite
+    // birth-death chain with failure rate (3-j)/Z and repair rate
+    // min(j,2)/D for j broken. Compare MVA against direct balance.
+    const double z = 4.0, d = 1.0;
+    const unsigned n = 3, c = 2;
+    // birth-death steady state over j = 0..3 broken
+    double pi[4];
+    pi[0] = 1.0;
+    double lam0 = 3.0 / z, lam1 = 2.0 / z, lam2 = 1.0 / z;
+    double mu1 = 1.0 / d, mu2 = 2.0 / d, mu3 = 2.0 / d;
+    pi[1] = pi[0] * lam0 / mu1;
+    pi[2] = pi[1] * lam1 / mu2;
+    pi[3] = pi[2] * lam2 / mu3;
+    double total = pi[0] + pi[1] + pi[2] + pi[3];
+    for (double &p : pi)
+        p /= total;
+    double mean_broken =
+        1.0 * pi[1] + 2.0 * pi[2] + 3.0 * pi[3];
+
+    std::vector<ServiceCenter> fixed = {
+        {"machines", CenterType::Delay, z}};
+    auto repair = LoadDependentCenter::multiServer("repair", d, c, n);
+    auto res = exactMvaLoadDependent(fixed, {repair}, n);
+    EXPECT_NEAR(res.ldCenters[0].queueLength, mean_broken, 1e-9);
+    // throughput = failure rate = (N - mean_broken) / Z
+    EXPECT_NEAR(res.throughput, (3.0 - mean_broken) / z, 1e-9);
+}
+
+TEST(LoadDependent, MemoryModulesAsMultiServerCenter)
+{
+    // The paper's machine: model the bus as a single server and the 4
+    // memory modules as one 4-server center with demand d_mem = 3.
+    // More modules must help when memory traffic is significant.
+    std::vector<ServiceCenter> fixed = {
+        {"proc", CenterType::Delay, 10.0},
+        {"bus", CenterType::Queueing, 2.0},
+    };
+    auto mem1 = LoadDependentCenter::multiServer("mem", 3.0, 1, 16);
+    auto mem4 = LoadDependentCenter::multiServer("mem", 3.0, 4, 16);
+    auto r1 = exactMvaLoadDependent(fixed, {mem1}, 16);
+    auto r4 = exactMvaLoadDependent(fixed, {mem4}, 16);
+    EXPECT_GT(r4.throughput, r1.throughput * 1.2);
+}
+
+TEST(LoadDependentDeath, BadInputs)
+{
+    EXPECT_EXIT(exactMvaLoadDependent({}, {}, 3),
+                testing::ExitedWithCode(1), "at least one");
+    LoadDependentCenter bad;
+    bad.name = "bad";
+    bad.demand = -1.0;
+    EXPECT_EXIT(exactMvaLoadDependent({}, {bad}, 3),
+                testing::ExitedWithCode(1), "bad demand");
+    LoadDependentCenter zero_rate;
+    zero_rate.name = "zr";
+    zero_rate.demand = 1.0;
+    zero_rate.rateMultipliers = {0.0};
+    EXPECT_EXIT(exactMvaLoadDependent({}, {zero_rate}, 2),
+                testing::ExitedWithCode(1), "rate");
+    EXPECT_EXIT(
+        LoadDependentCenter::multiServer("x", 1.0, 0, 4),
+        testing::ExitedWithCode(1), "server");
+}
+
+} // namespace
+} // namespace snoop

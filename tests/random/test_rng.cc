@@ -1,0 +1,189 @@
+/** Unit and statistical tests for random/rng. */
+
+#include <cmath>
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hh"
+
+namespace snoop {
+namespace {
+
+TEST(SplitMix, KnownSequence)
+{
+    // Reference values for SplitMix64 seeded with 0 (widely published).
+    uint64_t s = 0;
+    EXPECT_EQ(splitMix64(s), 0xe220a8397b1dcdafULL);
+    EXPECT_EQ(splitMix64(s), 0x6e789e6aa1b965f4ULL);
+    EXPECT_EQ(splitMix64(s), 0x06c45d188009454fULL);
+}
+
+TEST(Rng, DeterministicGivenSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += (a.next() == b.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(42);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly)
+{
+    Rng r(99);
+    const uint64_t k = 7;
+    const int n = 70000;
+    std::map<uint64_t, int> counts;
+    for (int i = 0; i < n; ++i) {
+        uint64_t v = r.uniformInt(k);
+        ASSERT_LT(v, k);
+        counts[v]++;
+    }
+    // Each bucket expects n/k = 10000; allow 5% deviation.
+    for (uint64_t v = 0; v < k; ++v)
+        EXPECT_NEAR(counts[v], n / static_cast<int>(k), 500);
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng r(5);
+    const int n = 100000;
+    int hits = 0;
+    for (int i = 0; i < n; ++i)
+        hits += r.bernoulli(0.3);
+    EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliDegenerateCases)
+{
+    Rng r(5);
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+    EXPECT_FALSE(r.bernoulli(-0.5));
+    EXPECT_TRUE(r.bernoulli(1.5));
+}
+
+TEST(Rng, ExponentialMeanAndPositivity)
+{
+    Rng r(11);
+    const int n = 200000;
+    double sum = 0, sumsq = 0;
+    for (int i = 0; i < n; ++i) {
+        double x = r.exponential(2.5);
+        ASSERT_GT(x, 0.0);
+        sum += x;
+        sumsq += x * x;
+    }
+    double mean = sum / n;
+    double var = sumsq / n - mean * mean;
+    EXPECT_NEAR(mean, 2.5, 0.05);
+    // exponential: variance = mean^2
+    EXPECT_NEAR(var, 6.25, 0.25);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng r(13);
+    const int n = 100000;
+    double sum = 0;
+    for (int i = 0; i < n; ++i) {
+        uint64_t x = r.geometric(0.25);
+        ASSERT_GE(x, 1u);
+        sum += static_cast<double>(x);
+    }
+    EXPECT_NEAR(sum / n, 4.0, 0.1);
+}
+
+TEST(Rng, GeometricWithPOneIsAlwaysOne)
+{
+    Rng r(17);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(r.geometric(1.0), 1u);
+}
+
+TEST(Rng, DiscreteMatchesWeights)
+{
+    Rng r(23);
+    std::vector<double> w = {1.0, 2.0, 7.0};
+    const int n = 100000;
+    std::vector<int> counts(3, 0);
+    for (int i = 0; i < n; ++i)
+        counts[r.discrete(w)]++;
+    EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.01);
+    EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.2, 0.01);
+    EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.7, 0.01);
+}
+
+TEST(Rng, DiscreteSkipsZeroWeights)
+{
+    Rng r(29);
+    std::vector<double> w = {0.0, 1.0, 0.0};
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(r.discrete(w), 1u);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndDeterministic)
+{
+    Rng parent1(77), parent2(77);
+    Rng childA = parent1.fork();
+    Rng childB = parent2.fork();
+    // Same parent seed -> same child stream.
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(childA.next(), childB.next());
+    // Child differs from a fresh sibling fork.
+    Rng childC = parent1.fork();
+    int same = 0;
+    Rng childA2(77);
+    childA2 = Rng(77).fork();
+    for (int i = 0; i < 64; ++i)
+        same += (childC.next() == childA2.next());
+    EXPECT_LT(same, 2);
+}
+
+TEST(RngDeath, InvalidParametersPanic)
+{
+    Rng r(1);
+    EXPECT_DEATH(r.exponential(0.0), "mean");
+    EXPECT_DEATH(r.exponential(-1.0), "mean");
+    EXPECT_DEATH(r.geometric(0.0), "geometric");
+    EXPECT_DEATH(r.geometric(1.5), "geometric");
+    EXPECT_DEATH(r.uniformInt(0), "positive");
+    EXPECT_DEATH(r.discrete({}), "positive sum");
+    EXPECT_DEATH(r.discrete({0.0, 0.0}), "positive sum");
+    EXPECT_DEATH(r.discrete({-1.0, 2.0}), "negative");
+    EXPECT_DEATH(r.uniform(2.0, 1.0), "empty range");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,116 @@
+/** Unit tests for the set-associative cache array. */
+
+#include <gtest/gtest.h>
+
+#include "sim/cache.hh"
+
+namespace snoop {
+namespace {
+
+TEST(CacheArray, MissesOnEmpty)
+{
+    CacheArray c(4, 2);
+    EXPECT_EQ(c.lookup(12), LineState::Invalid);
+    EXPECT_FALSE(c.contains(12));
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(CacheArray, FillThenHit)
+{
+    CacheArray c(4, 2);
+    auto ev = c.fill(12, LineState::SharedClean);
+    EXPECT_FALSE(ev.valid);
+    EXPECT_EQ(c.lookup(12), LineState::SharedClean);
+    EXPECT_TRUE(c.contains(12));
+    EXPECT_EQ(c.validLines(), 1u);
+}
+
+TEST(CacheArray, SetStateTransitions)
+{
+    CacheArray c(4, 2);
+    c.fill(8, LineState::SharedClean);
+    c.setState(8, LineState::ExclusiveDirty);
+    EXPECT_EQ(c.lookup(8), LineState::ExclusiveDirty);
+    c.setState(8, LineState::Invalid); // removes the line
+    EXPECT_FALSE(c.contains(8));
+    EXPECT_EQ(c.validLines(), 0u);
+}
+
+TEST(CacheArray, LruEvictionWithinSet)
+{
+    CacheArray c(1, 2); // single set, 2 ways
+    c.fill(1, LineState::SharedClean);
+    c.fill(2, LineState::SharedClean);
+    c.touch(1); // block 2 is now LRU
+    auto ev = c.fill(3, LineState::SharedClean);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.block, 2u);
+    EXPECT_TRUE(c.contains(1));
+    EXPECT_TRUE(c.contains(3));
+    EXPECT_FALSE(c.contains(2));
+}
+
+TEST(CacheArray, EvictionReportsVictimState)
+{
+    CacheArray c(1, 1);
+    c.fill(1, LineState::ExclusiveDirty);
+    auto ev = c.fill(2, LineState::SharedClean);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.block, 1u);
+    EXPECT_EQ(ev.state, LineState::ExclusiveDirty);
+}
+
+TEST(CacheArray, BlocksMapToSetsByModulo)
+{
+    CacheArray c(4, 1);
+    // blocks 0 and 4 collide; 1 goes elsewhere
+    c.fill(0, LineState::SharedClean);
+    c.fill(1, LineState::SharedClean);
+    auto ev = c.fill(4, LineState::SharedClean);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.block, 0u);
+    EXPECT_TRUE(c.contains(1));
+}
+
+TEST(CacheArray, InvalidLinesPreferredOverEviction)
+{
+    CacheArray c(1, 2);
+    c.fill(1, LineState::SharedClean);
+    c.fill(2, LineState::SharedClean);
+    c.setState(1, LineState::Invalid);
+    auto ev = c.fill(3, LineState::SharedClean);
+    EXPECT_FALSE(ev.valid); // reused the invalidated way
+    EXPECT_TRUE(c.contains(2));
+    EXPECT_TRUE(c.contains(3));
+}
+
+TEST(CacheArray, ForEachValidVisitsAll)
+{
+    CacheArray c(8, 2);
+    c.fill(1, LineState::SharedClean);
+    c.fill(2, LineState::ExclusiveDirty);
+    c.fill(3, LineState::SharedDirty);
+    int count = 0;
+    int dirty = 0;
+    c.forEachValid([&](uint64_t, LineState s) {
+        ++count;
+        dirty += isDirty(s);
+    });
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(dirty, 2);
+}
+
+TEST(CacheArrayDeath, ApiMisuse)
+{
+    CacheArray c(2, 1);
+    EXPECT_DEATH(c.setState(9, LineState::SharedClean), "not resident");
+    EXPECT_DEATH(c.touch(9), "not resident");
+    c.fill(1, LineState::SharedClean);
+    EXPECT_DEATH(c.fill(1, LineState::SharedClean), "already resident");
+    EXPECT_DEATH(c.fill(5, LineState::Invalid), "Invalid");
+    EXPECT_EXIT(CacheArray(0, 1), testing::ExitedWithCode(1),
+                "at least one");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,91 @@
+/** Unit tests for the discrete-event core. */
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/event_queue.hh"
+
+namespace snoop {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(3.0, [&] { order.push_back(3); });
+    q.schedule(1.0, [&] { order.push_back(1); });
+    q.schedule(2.0, [&] { order.push_back(2); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, SimultaneousEventsAreFifo)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(1.0, [&order, i] { order.push_back(i); });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents)
+{
+    EventQueue q;
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 10)
+            q.scheduleAfter(1.0, chain);
+    };
+    q.schedule(0.0, chain);
+    while (!q.empty())
+        q.runNext();
+    EXPECT_EQ(fired, 10);
+    EXPECT_DOUBLE_EQ(q.now(), 9.0);
+}
+
+TEST(EventQueue, RunUntilStopsEarly)
+{
+    EventQueue q;
+    int fired = 0;
+    for (int i = 0; i < 100; ++i)
+        q.schedule(static_cast<double>(i), [&] { ++fired; });
+    q.runUntil([&] { return fired >= 10; });
+    EXPECT_EQ(fired, 10);
+    EXPECT_EQ(q.size(), 90u);
+}
+
+TEST(EventQueue, ScheduleAfterUsesCurrentTime)
+{
+    EventQueue q;
+    double seen = -1.0;
+    q.schedule(5.0, [&] {
+        q.scheduleAfter(2.5, [&] { seen = q.now(); });
+    });
+    while (!q.empty())
+        q.runNext();
+    EXPECT_DOUBLE_EQ(seen, 7.5);
+}
+
+TEST(EventQueueDeath, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.schedule(5.0, [] {});
+    q.runNext();
+    EXPECT_DEATH(q.schedule(4.0, [] {}), "past");
+    EXPECT_DEATH(q.scheduleAfter(-1.0, [] {}), "negative");
+}
+
+TEST(EventQueueDeath, RunNextOnEmptyPanics)
+{
+    EventQueue q;
+    EXPECT_DEATH(q.runNext(), "empty");
+}
+
+} // namespace
+} // namespace snoop

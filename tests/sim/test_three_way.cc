@@ -1,0 +1,134 @@
+/**
+ * Three-way cross-validation of independent engines on a common
+ * special case. Workload: no broadcasts (amod = 1), every miss
+ * memory-supplied (csupply = 0), no victim write-backs (rep = 0), so
+ * the system is exactly a machine-repairman network - processors as a
+ * delay stage, the bus as a single server. With exponential bus times:
+ *
+ *  - the Petri-net engine solves the CTMC exactly;
+ *  - exact closed MVA (queueing library) solves the product-form
+ *    network exactly;
+ *  - the discrete-event simulator estimates it with a CI.
+ *
+ * All three must agree: Petri == MVA to numerical precision, and the
+ * simulator within its confidence interval. This catches systematic
+ * errors in any one engine that module-level tests cannot see.
+ */
+
+#include <gtest/gtest.h>
+
+#include "petri/coherence_net.hh"
+#include "queueing/mva_closed.hh"
+#include "sim/prob_sim.hh"
+
+namespace snoop {
+namespace {
+
+/** The machine-repairman workload (no broadcasts, memory-only). */
+WorkloadParams
+repairmanWorkload()
+{
+    WorkloadParams p = presets::appendixA(SharingLevel::OnePercent);
+    p.amodPrivate = 1.0; // no write-hit-unmodified -> no broadcasts
+    p.amodSw = 1.0;
+    p.csupplySro = 0.0;  // all misses memory-supplied
+    p.csupplySw = 0.0;
+    p.repP = 0.0;        // no victim write-backs
+    p.repSw = 0.0;
+    return p;
+}
+
+struct ThreeWay
+{
+    double mva;   // exact closed MVA speedup
+    double petri; // CTMC speedup
+    double sim;   // simulated speedup
+    ConfidenceInterval simCi;
+};
+
+ThreeWay
+runAll(unsigned n)
+{
+    WorkloadParams wl = repairmanWorkload();
+    auto d = DerivedInputs::compute(wl, ProtocolConfig::writeOnce());
+    EXPECT_NEAR(d.pBc, 0.0, 1e-12);
+    EXPECT_NEAR(d.tRead, d.timing.tReadMem, 1e-12);
+
+    ThreeWay out;
+
+    // exact closed MVA: delay demand = (tau + T_supply) / p_rr per bus
+    // visit, bus demand = tReadMem
+    std::vector<ServiceCenter> centers = {
+        {"proc", CenterType::Delay,
+         (wl.tau + d.timing.tSupply) / d.pRr},
+        {"bus", CenterType::Queueing, d.timing.tReadMem},
+    };
+    auto m = exactMva(centers, n);
+    out.mva = m.centers[0].queueLength; // mean processors executing
+
+    // Petri net
+    CoherenceNetParams cp;
+    cp.numProcessors = n;
+    cp.execTime = wl.tau + d.timing.tSupply;
+    cp.pLocal = d.pLocal;
+    cp.pBc = 0.0;
+    cp.pRr = d.pRr;
+    cp.tRead = d.timing.tReadMem;
+    auto cn = makeCoherenceNet(cp);
+    out.petri = coherenceNetSpeedup(cn, cn.net.analyze());
+
+    // simulator with exponential bus times
+    SimConfig sc;
+    sc.numProcessors = n;
+    sc.workload = wl;
+    sc.protocol = ProtocolConfig::writeOnce();
+    sc.exponentialBusTimes = true;
+    sc.seed = 1234 + n;
+    sc.warmupRequests = 10000;
+    sc.measuredRequests = 400000;
+    auto r = simulate(sc);
+    out.sim = r.speedup;
+    out.simCi = r.speedupCi;
+    return out;
+}
+
+class ThreeWayAgreement : public testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(ThreeWayAgreement, AllEnginesAgree)
+{
+    unsigned n = GetParam();
+    auto t = runAll(n);
+    // Petri CTMC vs product-form MVA: both exact (up to the 1e-6
+    // seize phase in the net).
+    EXPECT_NEAR(t.petri, t.mva, 1e-3) << "N=" << n;
+    // Simulator vs exact value: within ~4 half-widths (99.99%-ish) or
+    // 1% relative, whichever is looser.
+    double slack =
+        std::max(4.0 * t.simCi.halfWidth, 0.01 * t.mva);
+    EXPECT_NEAR(t.sim, t.mva, slack) << "N=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallSystems, ThreeWayAgreement,
+                         testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(ThreeWay, DeterministicBusBeatsExponential)
+{
+    // Same workload with deterministic (paper) timing: less service
+    // variability means shorter waits and higher speedup at load.
+    WorkloadParams wl = repairmanWorkload();
+    SimConfig sc;
+    sc.numProcessors = 8;
+    sc.workload = wl;
+    sc.protocol = ProtocolConfig::writeOnce();
+    sc.seed = 5;
+    sc.measuredRequests = 300000;
+    auto det = simulate(sc);
+    sc.exponentialBusTimes = true;
+    auto expo = simulate(sc);
+    EXPECT_GT(det.speedup, expo.speedup);
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,205 @@
+/** Tests for the trace-driven simulator mode. */
+
+#include <gtest/gtest.h>
+
+#include "sim/trace_sim.hh"
+
+namespace snoop {
+namespace {
+
+TraceSimConfig
+baseConfig(unsigned n)
+{
+    TraceSimConfig cfg;
+    cfg.numProcessors = n;
+    cfg.workload = presets::appendixA(SharingLevel::FivePercent);
+    cfg.protocol = ProtocolConfig::writeOnce();
+    cfg.seed = 11;
+    cfg.warmupRequests = 20000;
+    cfg.measuredRequests = 60000;
+    return cfg;
+}
+
+TEST(TraceSim, DeterministicGivenSeed)
+{
+    auto cfg = baseConfig(4);
+    cfg.measuredRequests = 20000;
+    auto a = simulateTrace(cfg);
+    auto b = simulateTrace(cfg);
+    EXPECT_DOUBLE_EQ(a.speedup, b.speedup);
+    EXPECT_DOUBLE_EQ(a.measured.hitPrivate, b.measured.hitPrivate);
+}
+
+TEST(TraceSim, EmergentHitRatesTrackLocalityKnobs)
+{
+    auto cfg = baseConfig(4);
+    auto r = simulateTrace(cfg);
+    // The default trace config aims near the Appendix A hit rates; the
+    // cache geometry makes them emergent, so allow generous bands.
+    EXPECT_GT(r.measured.hitPrivate, 0.75);
+    EXPECT_LT(r.measured.hitPrivate, 1.00);
+    EXPECT_GT(r.measured.hitSro, 0.5);
+    // shared-writable blocks suffer invalidations: lower hit rate
+    EXPECT_LT(r.measured.hitSw, r.measured.hitSro + 0.2);
+}
+
+TEST(TraceSim, LargerCachesHitMoreOften)
+{
+    auto small = baseConfig(4);
+    small.cacheSets = 16;
+    small.cacheWays = 1;
+    auto big = baseConfig(4);
+    big.cacheSets = 256;
+    big.cacheWays = 4;
+    auto rs = simulateTrace(small);
+    auto rb = simulateTrace(big);
+    EXPECT_GT(rb.measured.hitPrivate, rs.measured.hitPrivate);
+    EXPECT_GE(rb.speedup, rs.speedup);
+}
+
+TEST(TraceSim, SharingEmergesAcrossProcessors)
+{
+    auto cfg = baseConfig(8);
+    cfg.workload = presets::appendixA(SharingLevel::TwentyPercent);
+    auto r = simulateTrace(cfg);
+    // With 8 processors over small shared pools, misses frequently
+    // find a peer copy.
+    EXPECT_GT(r.measured.csupplyShared, 0.2);
+    EXPECT_LE(r.measured.csupplyShared, 1.0);
+}
+
+TEST(TraceSim, SingleProcessorSeesNoSharing)
+{
+    auto cfg = baseConfig(1);
+    auto r = simulateTrace(cfg);
+    EXPECT_DOUBLE_EQ(r.measured.csupplyShared, 0.0);
+    EXPECT_DOUBLE_EQ(r.meanBusWait, 0.0);
+    EXPECT_LE(r.speedup, 1.0);
+}
+
+TEST(TraceSim, SpeedupScalesThenSaturates)
+{
+    double s2 = simulateTrace(baseConfig(2)).speedup;
+    double s6 = simulateTrace(baseConfig(6)).speedup;
+    EXPECT_GT(s6, s2);
+    EXPECT_LE(s6, 6.0);
+}
+
+TEST(TraceSim, Mod1DoesNotHurt)
+{
+    auto wo = baseConfig(6);
+    auto m1 = baseConfig(6);
+    m1.protocol = ProtocolConfig::fromModString("1");
+    double swo = simulateTrace(wo).speedup;
+    double sm1 = simulateTrace(m1).speedup;
+    EXPECT_GT(sm1, swo * 0.98);
+}
+
+TEST(TraceSim, WriteThroughStyleMod4BroadcastsHeavily)
+{
+    auto cfg = baseConfig(4);
+    cfg.workload = presets::appendixA(SharingLevel::TwentyPercent);
+    auto wo = simulateTrace(cfg);
+    cfg.protocol = ProtocolConfig::fromModString("4"); // write-through
+    auto wt = simulateTrace(cfg);
+    // Pure broadcast-update on every shared write: more bus traffic
+    // per useful cycle at this sharing level.
+    EXPECT_GE(wo.speedup, wt.speedup * 0.95);
+}
+
+TEST(TraceSim, MeasuredAmodIsAProbability)
+{
+    auto r = simulateTrace(baseConfig(6));
+    EXPECT_GE(r.measured.amodPrivate, 0.0);
+    EXPECT_LE(r.measured.amodPrivate, 1.0);
+    EXPECT_GE(r.measured.repAll, 0.0);
+    EXPECT_LE(r.measured.repAll, 1.0);
+}
+
+TEST(TraceSim, BusOpMixMatchesProtocolSignature)
+{
+    // Write-Once: write-word broadcasts, never invalidations.
+    auto wo = simulateTrace(baseConfig(4));
+    EXPECT_GT(wo.busOps.total(), 0u);
+    EXPECT_EQ(wo.busOps.invalidates, 0u);
+    EXPECT_GT(wo.busOps.writeWords, 0u);
+
+    // Synapse (mod3): invalidations, never write-words.
+    auto cfg = baseConfig(4);
+    cfg.protocol = ProtocolConfig::fromModString("3");
+    auto synapse = simulateTrace(cfg);
+    EXPECT_GT(synapse.busOps.invalidates, 0u);
+    EXPECT_EQ(synapse.busOps.writeWords, 0u);
+
+    // Dragon (mods 1234): broadcast write-words, no invalidations.
+    cfg.protocol = ProtocolConfig::fromModString("1234");
+    auto dragon = simulateTrace(cfg);
+    EXPECT_EQ(dragon.busOps.invalidates, 0u);
+    EXPECT_GT(dragon.busOps.writeWords, 0u);
+}
+
+TEST(TraceSim, EveryProtocolIssuesReadsAndReadMods)
+{
+    for (const char *mods : {"", "1", "23", "134"}) {
+        auto cfg = baseConfig(4);
+        cfg.protocol = ProtocolConfig::fromModString(mods);
+        cfg.measuredRequests = 30000;
+        auto r = simulateTrace(cfg);
+        EXPECT_GT(r.busOps.reads, 0u) << mods;
+        EXPECT_GT(r.busOps.readMods, 0u) << mods;
+        EXPECT_GT(r.busOps.writeBlocks, 0u) << mods;
+    }
+}
+
+TEST(TraceSim, Mod1ReducesConsistencyTraffic)
+{
+    // Exclusive loads suppress first-write broadcasts/invalidations on
+    // unshared data: mod1's consistency-op count must be lower.
+    auto cfg3 = baseConfig(6);
+    cfg3.protocol = ProtocolConfig::fromModString("3");
+    auto cfg13 = baseConfig(6);
+    cfg13.protocol = ProtocolConfig::fromModString("13");
+    auto m3 = simulateTrace(cfg3);
+    auto m13 = simulateTrace(cfg13);
+    EXPECT_LT(m13.busOps.invalidates, m3.busOps.invalidates);
+}
+
+TEST(TraceSim, MigratorySharingRaisesDirtySupplyRate)
+{
+    // Migratory data (one hot sw block bounced between writers) should
+    // leave the block modified when the next processor misses on it,
+    // compared with a scattered pattern over many blocks.
+    auto migratory = baseConfig(4);
+    migratory.workload = presets::appendixA(SharingLevel::TwentyPercent);
+    migratory.trace.swBlocks = 4;
+    migratory.trace.swHotBlocks = 1;
+    migratory.trace.swLocality = 0.95;
+
+    auto scattered = baseConfig(4);
+    scattered.workload = presets::appendixA(SharingLevel::TwentyPercent);
+    scattered.trace.swBlocks = 512;
+    scattered.trace.swHotBlocks = 256;
+    scattered.trace.swLocality = 0.5;
+
+    auto rm = simulateTrace(migratory);
+    auto rs = simulateTrace(scattered);
+    // migratory: the hot block is nearly always resident somewhere
+    EXPECT_GT(rm.measured.csupplyShared, rs.measured.csupplyShared);
+    // and the migratory hit rate on sw data is higher
+    EXPECT_GT(rm.measured.hitSw, rs.measured.hitSw);
+}
+
+TEST(TraceSimDeath, BadConfig)
+{
+    TraceSimConfig cfg;
+    cfg.numProcessors = 0;
+    EXPECT_EXIT(simulateTrace(cfg), testing::ExitedWithCode(1),
+                "at least one");
+    TraceSimConfig cfg2;
+    cfg2.cacheSets = 0;
+    EXPECT_EXIT(simulateTrace(cfg2), testing::ExitedWithCode(1),
+                "geometry");
+}
+
+} // namespace
+} // namespace snoop

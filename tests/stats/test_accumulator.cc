@@ -1,0 +1,111 @@
+/** Unit tests for stats/accumulator. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hh"
+#include "stats/accumulator.hh"
+
+namespace snoop {
+namespace {
+
+TEST(Accumulator, EmptyIsNeutral)
+{
+    Accumulator a;
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.stdError(), 0.0);
+}
+
+TEST(Accumulator, SingleValue)
+{
+    Accumulator a;
+    a.add(5.0);
+    EXPECT_EQ(a.count(), 1u);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(a.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(a.min(), 5.0);
+    EXPECT_DOUBLE_EQ(a.max(), 5.0);
+}
+
+TEST(Accumulator, KnownSmallSample)
+{
+    // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population var 4, sample var 32/7
+    Accumulator a;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        a.add(x);
+    EXPECT_DOUBLE_EQ(a.mean(), 5.0);
+    EXPECT_NEAR(a.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(a.min(), 2.0);
+    EXPECT_DOUBLE_EQ(a.max(), 9.0);
+    EXPECT_DOUBLE_EQ(a.sum(), 40.0);
+}
+
+TEST(Accumulator, MergeMatchesCombinedStream)
+{
+    Rng r(3);
+    Accumulator whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        double x = r.uniform(-5, 5);
+        whole.add(x);
+        (i < 400 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(Accumulator, MergeWithEmptySides)
+{
+    Accumulator a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b); // empty right side: no-op
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    b.merge(a); // empty left side: copies
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Accumulator, ResetClearsState)
+{
+    Accumulator a;
+    a.add(10.0);
+    a.reset();
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Accumulator, NumericallyStableAroundLargeOffset)
+{
+    // Welford should not lose the variance of tiny deviations around a
+    // huge mean.
+    Accumulator a;
+    double base = 1e9;
+    for (double d : {-1.0, 0.0, 1.0, -1.0, 0.0, 1.0})
+        a.add(base + d);
+    EXPECT_NEAR(a.mean(), base, 1e-3);
+    EXPECT_NEAR(a.variance(), 0.8, 1e-6);
+}
+
+TEST(Accumulator, StdErrorShrinksWithSamples)
+{
+    Rng r(9);
+    Accumulator small, large;
+    for (int i = 0; i < 100; ++i)
+        small.add(r.uniform());
+    for (int i = 0; i < 10000; ++i)
+        large.add(r.uniform());
+    EXPECT_GT(small.stdError(), large.stdError());
+    EXPECT_NEAR(large.stdError(),
+                large.stddev() / std::sqrt(10000.0), 1e-12);
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,94 @@
+/** Unit tests for stats/batch_means. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hh"
+#include "stats/batch_means.hh"
+
+namespace snoop {
+namespace {
+
+TEST(BatchMeans, BatchesFormAtExactBoundaries)
+{
+    BatchMeans bm(10);
+    for (int i = 0; i < 35; ++i)
+        bm.add(1.0);
+    EXPECT_EQ(bm.numBatches(), 3u);
+    EXPECT_EQ(bm.count(), 35u);
+}
+
+TEST(BatchMeans, GrandMeanIncludesPartialBatch)
+{
+    BatchMeans bm(4);
+    for (double x : {1.0, 2.0, 3.0, 4.0, 100.0})
+        bm.add(x);
+    EXPECT_DOUBLE_EQ(bm.mean(), 22.0);
+}
+
+TEST(BatchMeans, IntervalUndefinedWithFewBatches)
+{
+    BatchMeans bm(10);
+    for (int i = 0; i < 10; ++i)
+        bm.add(1.0);
+    auto ci = bm.interval();
+    EXPECT_EQ(ci.batches, 1u);
+    EXPECT_TRUE(std::isinf(ci.halfWidth));
+}
+
+TEST(BatchMeans, CoversTrueMeanOfIidStream)
+{
+    Rng r(41);
+    BatchMeans bm(1000);
+    for (int i = 0; i < 50000; ++i)
+        bm.add(r.exponential(2.0));
+    auto ci = bm.interval(0.95);
+    EXPECT_EQ(ci.batches, 50u);
+    EXPECT_TRUE(ci.contains(2.0))
+        << "CI [" << ci.lower() << ", " << ci.upper() << "]";
+    EXPECT_LT(ci.relative(), 0.05);
+}
+
+TEST(BatchMeans, ConstantStreamHasZeroWidth)
+{
+    BatchMeans bm(5);
+    for (int i = 0; i < 50; ++i)
+        bm.add(3.0);
+    auto ci = bm.interval();
+    EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+    EXPECT_DOUBLE_EQ(ci.halfWidth, 0.0);
+    EXPECT_TRUE(ci.contains(3.0));
+    EXPECT_FALSE(ci.contains(3.1));
+}
+
+TEST(BatchMeans, HigherConfidenceWidensInterval)
+{
+    Rng r(43);
+    BatchMeans bm(100);
+    for (int i = 0; i < 3000; ++i)
+        bm.add(r.uniform());
+    auto ci90 = bm.interval(0.90);
+    auto ci99 = bm.interval(0.99);
+    EXPECT_LT(ci90.halfWidth, ci99.halfWidth);
+}
+
+TEST(ConfidenceInterval, Accessors)
+{
+    ConfidenceInterval ci;
+    ci.mean = 10.0;
+    ci.halfWidth = 2.0;
+    EXPECT_DOUBLE_EQ(ci.lower(), 8.0);
+    EXPECT_DOUBLE_EQ(ci.upper(), 12.0);
+    EXPECT_DOUBLE_EQ(ci.relative(), 0.2);
+    EXPECT_TRUE(ci.contains(9.0));
+    EXPECT_FALSE(ci.contains(12.5));
+}
+
+TEST(BatchMeansDeath, ZeroBatchSizePanics)
+{
+    EXPECT_DEATH(BatchMeans(0), "batch size");
+}
+
+} // namespace
+} // namespace snoop

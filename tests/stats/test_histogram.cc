@@ -1,0 +1,94 @@
+/** Unit tests for stats/histogram. */
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hh"
+#include "stats/histogram.hh"
+
+namespace snoop {
+namespace {
+
+TEST(Histogram, BinsSamplesCorrectly)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.5);
+    h.add(0.7);
+    h.add(9.1);
+    EXPECT_EQ(h.bin(0), 2u);
+    EXPECT_EQ(h.bin(9), 1u);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.underflow(), 0u);
+    EXPECT_EQ(h.overflow(), 0u);
+}
+
+TEST(Histogram, UnderAndOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.0); // upper edge counts as overflow
+    h.add(2.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.count(), 3u);
+}
+
+TEST(Histogram, BinEdges)
+{
+    Histogram h(2.0, 4.0, 4);
+    EXPECT_DOUBLE_EQ(h.binWidth(), 0.5);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 3.5);
+    EXPECT_EQ(h.numBins(), 4u);
+}
+
+TEST(Histogram, BoundaryValuesFallIntoCorrectBin)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5); // exact internal edge -> second bin
+    EXPECT_EQ(h.bin(0), 0u);
+    EXPECT_EQ(h.bin(1), 1u);
+}
+
+TEST(Histogram, MedianOfUniformSamples)
+{
+    Histogram h(0.0, 1.0, 100);
+    Rng r(31);
+    for (int i = 0; i < 100000; ++i)
+        h.add(r.uniform());
+    EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+    EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+    EXPECT_NEAR(h.quantile(0.1), 0.1, 0.02);
+}
+
+TEST(Histogram, QuantileOnEmptyReturnsLow)
+{
+    Histogram h(3.0, 5.0, 4);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
+}
+
+TEST(Histogram, RenderMentionsCounts)
+{
+    Histogram h(0.0, 2.0, 2);
+    h.add(0.5);
+    h.add(1.5);
+    h.add(1.6);
+    std::string out = h.render();
+    EXPECT_NE(out.find("#"), std::string::npos);
+    EXPECT_NE(out.find("2"), std::string::npos);
+}
+
+TEST(HistogramDeath, InvalidConstruction)
+{
+    EXPECT_DEATH(Histogram(1.0, 1.0, 4), "exceed");
+    EXPECT_DEATH(Histogram(0.0, 1.0, 0), "one bin");
+}
+
+TEST(HistogramDeath, OutOfRangeAccess)
+{
+    Histogram h(0.0, 1.0, 2);
+    EXPECT_DEATH(h.bin(2), "out of range");
+    EXPECT_DEATH(h.quantile(1.5), "out of");
+}
+
+} // namespace
+} // namespace snoop

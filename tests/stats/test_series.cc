@@ -1,0 +1,143 @@
+/** Unit tests for output-analysis utilities (autocorr, MSER). */
+
+#include <gtest/gtest.h>
+
+#include "random/rng.hh"
+#include "stats/series.hh"
+
+namespace snoop {
+namespace {
+
+std::vector<double>
+iidUniform(size_t n, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(n);
+    for (auto &x : v)
+        x = rng.uniform();
+    return v;
+}
+
+/** AR(1) process x_t = phi x_{t-1} + e_t. */
+std::vector<double>
+ar1(size_t n, double phi, uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<double> v(n);
+    double x = 0.0;
+    for (auto &out : v) {
+        x = phi * x + rng.uniform(-1.0, 1.0);
+        out = x;
+    }
+    return v;
+}
+
+TEST(Autocorrelation, LagZeroIsOne)
+{
+    auto v = iidUniform(100, 1);
+    EXPECT_DOUBLE_EQ(autocorrelation(v, 0), 1.0);
+}
+
+TEST(Autocorrelation, IidIsNearZero)
+{
+    auto v = iidUniform(50000, 2);
+    EXPECT_NEAR(autocorrelation(v, 1), 0.0, 0.02);
+    EXPECT_NEAR(autocorrelation(v, 5), 0.0, 0.02);
+}
+
+TEST(Autocorrelation, Ar1MatchesPhi)
+{
+    for (double phi : {0.3, 0.6, 0.9}) {
+        auto v = ar1(200000, phi, 3);
+        EXPECT_NEAR(autocorrelation(v, 1), phi, 0.02) << phi;
+        EXPECT_NEAR(autocorrelation(v, 2), phi * phi, 0.03) << phi;
+    }
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegative)
+{
+    std::vector<double> v;
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(i % 2 ? 1.0 : -1.0);
+    EXPECT_NEAR(autocorrelation(v, 1), -1.0, 0.01);
+}
+
+TEST(Autocorrelation, ConstantSeriesIsZero)
+{
+    std::vector<double> v(100, 3.0);
+    EXPECT_DOUBLE_EQ(autocorrelation(v, 1), 0.0);
+}
+
+TEST(AutocorrelationDeath, BadArgs)
+{
+    EXPECT_EXIT(autocorrelation({}, 0), testing::ExitedWithCode(1),
+                "empty");
+    EXPECT_EXIT(autocorrelation({1.0, 2.0}, 2),
+                testing::ExitedWithCode(1), "lag");
+}
+
+TEST(MinimumBatch, IidNeedsSmallBatches)
+{
+    auto v = iidUniform(20000, 7);
+    size_t batch = minimumUncorrelatedBatch(v, 1024);
+    EXPECT_GE(batch, 1u);
+    EXPECT_LE(batch, 4u);
+}
+
+TEST(MinimumBatch, CorrelatedSeriesNeedsBiggerBatches)
+{
+    auto weak = ar1(40000, 0.3, 11);
+    auto strong = ar1(40000, 0.95, 11);
+    size_t weak_batch = minimumUncorrelatedBatch(weak, 4096);
+    size_t strong_batch = minimumUncorrelatedBatch(strong, 4096);
+    ASSERT_GT(weak_batch, 0u);
+    ASSERT_GT(strong_batch, 0u);
+    EXPECT_GT(strong_batch, weak_batch);
+}
+
+TEST(MinimumBatch, ReturnsZeroWhenUndecidable)
+{
+    auto v = iidUniform(16, 13);
+    // max_batch so large that fewer than 8 batches remain
+    EXPECT_EQ(minimumUncorrelatedBatch(v, 4096, 1e-9), 0u);
+}
+
+TEST(Mser, NoTransientMeansNoTruncation)
+{
+    auto v = iidUniform(5000, 17);
+    size_t d = mserTruncationPoint(v);
+    EXPECT_LE(d, 250u); // at most a few percent trimmed
+}
+
+TEST(Mser, DetectsInitialTransient)
+{
+    // transient: first 500 observations drift from 10 to ~0, then
+    // stationary noise around 0
+    Rng rng(19);
+    std::vector<double> v;
+    for (int i = 0; i < 500; ++i)
+        v.push_back(10.0 * (1.0 - i / 500.0) + rng.uniform(-0.5, 0.5));
+    for (int i = 0; i < 4500; ++i)
+        v.push_back(rng.uniform(-0.5, 0.5));
+    size_t d = mserTruncationPoint(v);
+    EXPECT_GE(d, 300u);
+    EXPECT_LE(d, 900u);
+    size_t d5 = mser5TruncationPoint(v);
+    EXPECT_GE(d5, 250u);
+    EXPECT_LE(d5, 1000u);
+}
+
+TEST(Mser, ShortSeriesReturnsZero)
+{
+    EXPECT_EQ(mserTruncationPoint({1.0, 2.0, 3.0}), 0u);
+}
+
+TEST(MserDeath, ZeroStride)
+{
+    auto v = iidUniform(100, 23);
+    EXPECT_EXIT(mserTruncationPoint(v, 0), testing::ExitedWithCode(1),
+                "stride");
+}
+
+} // namespace
+} // namespace snoop

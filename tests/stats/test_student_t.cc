@@ -1,0 +1,63 @@
+/** Unit tests for stats/student_t. */
+
+#include <gtest/gtest.h>
+
+#include "stats/student_t.hh"
+
+namespace snoop {
+namespace {
+
+TEST(StudentT, KnownTableValues)
+{
+    EXPECT_NEAR(studentTCritical(1, 0.95), 12.706, 1e-3);
+    EXPECT_NEAR(studentTCritical(10, 0.95), 2.228, 1e-3);
+    EXPECT_NEAR(studentTCritical(30, 0.95), 2.042, 1e-3);
+    EXPECT_NEAR(studentTCritical(5, 0.90), 2.015, 1e-3);
+    EXPECT_NEAR(studentTCritical(5, 0.99), 4.032, 1e-3);
+}
+
+TEST(StudentT, MonotoneDecreasingInDof)
+{
+    for (unsigned dof = 1; dof < 100; ++dof) {
+        EXPECT_GE(studentTCritical(dof, 0.95),
+                  studentTCritical(dof + 1, 0.95) - 1e-12)
+            << "dof=" << dof;
+    }
+}
+
+TEST(StudentT, MonotoneIncreasingInConfidence)
+{
+    for (unsigned dof : {1u, 5u, 20u, 100u}) {
+        EXPECT_LT(studentTCritical(dof, 0.90),
+                  studentTCritical(dof, 0.95));
+        EXPECT_LT(studentTCritical(dof, 0.95),
+                  studentTCritical(dof, 0.99));
+    }
+}
+
+TEST(StudentT, ApproachesNormalQuantile)
+{
+    EXPECT_NEAR(studentTCritical(100000, 0.95), 1.960, 1e-2);
+    EXPECT_NEAR(studentTCritical(100000, 0.90), 1.645, 1e-2);
+    EXPECT_NEAR(studentTCritical(100000, 0.99), 2.576, 1e-2);
+}
+
+TEST(StudentT, LargeDofStillExceedsNormal)
+{
+    EXPECT_GT(studentTCritical(50, 0.95), 1.960);
+    EXPECT_GT(studentTCritical(1000, 0.95), 1.960);
+}
+
+TEST(StudentT, UnsupportedConfidenceFallsBack)
+{
+    EXPECT_DOUBLE_EQ(studentTCritical(10, 0.80),
+                     studentTCritical(10, 0.95));
+}
+
+TEST(StudentTDeath, ZeroDofPanics)
+{
+    EXPECT_DEATH(studentTCritical(0, 0.95), "dof");
+}
+
+} // namespace
+} // namespace snoop

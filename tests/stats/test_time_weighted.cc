@@ -1,0 +1,76 @@
+/** Unit tests for stats/time_weighted. */
+
+#include <gtest/gtest.h>
+
+#include "stats/time_weighted.hh"
+
+namespace snoop {
+namespace {
+
+TEST(TimeWeighted, ConstantSignal)
+{
+    TimeWeighted tw(0.0, 3.0);
+    EXPECT_DOUBLE_EQ(tw.timeAverage(10.0), 3.0);
+}
+
+TEST(TimeWeighted, PiecewiseConstantAverage)
+{
+    // 0 for [0,2), 1 for [2,4), 3 for [4,10): avg = (0*2+1*2+3*6)/10 = 2
+    TimeWeighted tw(0.0, 0.0);
+    tw.update(2.0, 1.0);
+    tw.update(4.0, 3.0);
+    EXPECT_DOUBLE_EQ(tw.timeAverage(10.0), 2.0);
+}
+
+TEST(TimeWeighted, AddAdjustsCurrentValue)
+{
+    TimeWeighted tw(0.0, 0.0);
+    tw.add(1.0, 2.0);  // value 2 from t=1
+    tw.add(3.0, -1.0); // value 1 from t=3
+    EXPECT_DOUBLE_EQ(tw.current(), 1.0);
+    // integral over [0,4): 0*1 + 2*2 + 1*1 = 5
+    EXPECT_DOUBLE_EQ(tw.timeAverage(4.0), 1.25);
+}
+
+TEST(TimeWeighted, QueryAtLastUpdateTime)
+{
+    TimeWeighted tw(0.0, 5.0);
+    tw.update(2.0, 1.0);
+    // average over [0,2) is 5
+    EXPECT_DOUBLE_EQ(tw.timeAverage(2.0), 5.0);
+}
+
+TEST(TimeWeighted, ZeroSpanReturnsCurrent)
+{
+    TimeWeighted tw(1.0, 7.0);
+    EXPECT_DOUBLE_EQ(tw.timeAverage(1.0), 7.0);
+}
+
+TEST(TimeWeighted, ResetWindowDiscardsHistory)
+{
+    TimeWeighted tw(0.0, 10.0); // warm-up at high value
+    tw.update(5.0, 1.0);
+    tw.resetWindow(5.0);
+    EXPECT_DOUBLE_EQ(tw.timeAverage(15.0), 1.0);
+}
+
+TEST(TimeWeighted, UtilizationUseCase)
+{
+    // busy indicator: busy [1,3) and [4,5) within [0,10) -> 30%
+    TimeWeighted busy(0.0, 0.0);
+    busy.update(1.0, 1.0);
+    busy.update(3.0, 0.0);
+    busy.update(4.0, 1.0);
+    busy.update(5.0, 0.0);
+    EXPECT_DOUBLE_EQ(busy.timeAverage(10.0), 0.3);
+}
+
+TEST(TimeWeightedDeath, BackwardTimePanics)
+{
+    TimeWeighted tw(5.0, 0.0);
+    EXPECT_DEATH(tw.update(4.0, 1.0), "backward");
+    EXPECT_DEATH(tw.timeAverage(4.0), "precedes");
+}
+
+} // namespace
+} // namespace snoop

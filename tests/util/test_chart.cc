@@ -1,0 +1,136 @@
+/** Unit tests for the ASCII chart renderer. */
+
+#include <gtest/gtest.h>
+
+#include "util/chart.hh"
+
+namespace snoop {
+namespace {
+
+ChartSeries
+line(const std::string &label, char marker, std::vector<double> xs,
+     std::vector<double> ys)
+{
+    ChartSeries s;
+    s.label = label;
+    s.marker = marker;
+    s.x = std::move(xs);
+    s.y = std::move(ys);
+    return s;
+}
+
+TEST(Chart, RendersMarkersAndLegend)
+{
+    auto out = renderChart(
+        {line("up", '*', {0, 1, 2}, {0, 1, 2})});
+    EXPECT_NE(out.find('*'), std::string::npos);
+    EXPECT_NE(out.find("* = up"), std::string::npos);
+}
+
+TEST(Chart, AxisLabelsAppear)
+{
+    ChartOptions opt;
+    opt.xLabel = "processors";
+    opt.yLabel = "speedup";
+    auto out = renderChart(
+        {line("s", 'o', {1, 10}, {1, 5})}, opt);
+    EXPECT_NE(out.find("processors"), std::string::npos);
+    EXPECT_NE(out.find("speedup"), std::string::npos);
+}
+
+TEST(Chart, MonotoneSeriesRisesLeftToRight)
+{
+    ChartOptions opt;
+    opt.width = 40;
+    opt.height = 10;
+    auto out = renderChart(
+        {line("s", '*', {0, 1}, {0, 10})}, opt);
+    // split into rows and find the column of '*' in top and bottom
+    // plot rows: the topmost '*' must be right of the bottommost.
+    std::vector<std::string> rows;
+    size_t pos = 0;
+    while (pos < out.size()) {
+        size_t nl = out.find('\n', pos);
+        rows.push_back(out.substr(pos, nl - pos));
+        pos = nl + 1;
+    }
+    long first_star_row = -1, last_star_row = -1;
+    size_t first_col = 0, last_col = 0;
+    for (size_t r = 0; r < rows.size(); ++r) {
+        auto c = rows[r].find('*');
+        if (c == std::string::npos || rows[r].find("* = s") != std::string::npos)
+            continue;
+        if (first_star_row < 0) {
+            first_star_row = static_cast<long>(r);
+            first_col = c;
+        }
+        last_star_row = static_cast<long>(r);
+        last_col = rows[r].rfind('*') == c ? c : rows[r].rfind('*');
+        (void)last_col;
+    }
+    ASSERT_GE(first_star_row, 0);
+    // top row of the rising line is at larger x than bottom row
+    auto bottom_col = rows[static_cast<size_t>(last_star_row)].find('*');
+    EXPECT_GT(first_col, bottom_col);
+}
+
+TEST(Chart, MultipleSeriesAllInLegend)
+{
+    auto out = renderChart({
+        line("a", 'a', {0, 1}, {1, 1}),
+        line("b", 'b', {0, 1}, {2, 2}),
+        line("c", 'c', {0, 1}, {3, 3}),
+    });
+    EXPECT_NE(out.find("a = a"), std::string::npos);
+    EXPECT_NE(out.find("b = b"), std::string::npos);
+    EXPECT_NE(out.find("c = c"), std::string::npos);
+}
+
+TEST(Chart, SinglePointSeries)
+{
+    auto out = renderChart({line("dot", 'x', {5}, {5})});
+    EXPECT_NE(out.find('x'), std::string::npos);
+}
+
+TEST(Chart, ConstantSeriesDoesNotCrash)
+{
+    auto out = renderChart({line("flat", '-', {0, 1, 2}, {3, 3, 3})});
+    EXPECT_FALSE(out.empty());
+}
+
+TEST(Chart, YFromZeroControlsBaseline)
+{
+    ChartOptions opt;
+    opt.yFromZero = true;
+    auto zero = renderChart({line("s", '*', {0, 1}, {10, 12})}, opt);
+    EXPECT_NE(zero.find("\n       0|"), std::string::npos);
+    opt.yFromZero = false;
+    auto tight = renderChart({line("s", '*', {0, 1}, {10, 12})}, opt);
+    EXPECT_EQ(tight.find("\n       0|"), std::string::npos);
+}
+
+TEST(ChartDeath, InvalidInputs)
+{
+    EXPECT_EXIT(renderChart({}), testing::ExitedWithCode(1),
+                "at least one");
+    ChartSeries s;
+    s.label = "bad";
+    s.x = {1, 2};
+    s.y = {1};
+    EXPECT_EXIT(renderChart({s}), testing::ExitedWithCode(1),
+                "x but");
+    ChartSeries empty;
+    empty.label = "empty";
+    EXPECT_EXIT(renderChart({empty}), testing::ExitedWithCode(1),
+                "no data");
+    ChartOptions tiny;
+    tiny.width = 2;
+    ChartSeries ok;
+    ok.x = {0};
+    ok.y = {0};
+    EXPECT_EXIT(renderChart({ok}, tiny), testing::ExitedWithCode(1),
+                "too small");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,122 @@
+/** Unit tests for util/cli. */
+
+#include <gtest/gtest.h>
+
+#include "util/cli.hh"
+
+namespace snoop {
+namespace {
+
+// argv helper: builds a mutable char* array from string literals
+class Argv
+{
+  public:
+    explicit Argv(std::vector<std::string> args) : strings_(std::move(args))
+    {
+        for (auto &s : strings_)
+            ptrs_.push_back(s.data());
+    }
+    int argc() const { return static_cast<int>(ptrs_.size()); }
+    char **argv() { return ptrs_.data(); }
+
+  private:
+    std::vector<std::string> strings_;
+    std::vector<char *> ptrs_;
+};
+
+CliParser
+makeParser()
+{
+    CliParser cli("prog", "test program");
+    cli.addOption("n", "8", "number of processors");
+    cli.addOption("protocol", "writeonce", "protocol name");
+    cli.addOption("tau", "2.5", "execution burst");
+    cli.addFlag("verbose", "verbose output");
+    return cli;
+}
+
+TEST(Cli, DefaultsApplyWhenUnset)
+{
+    auto cli = makeParser();
+    Argv a({"prog"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_EQ(cli.getInt("n"), 8);
+    EXPECT_EQ(cli.get("protocol"), "writeonce");
+    EXPECT_DOUBLE_EQ(cli.getDouble("tau"), 2.5);
+    EXPECT_FALSE(cli.getFlag("verbose"));
+}
+
+TEST(Cli, EqualsSyntax)
+{
+    auto cli = makeParser();
+    Argv a({"prog", "--n=16", "--protocol=illinois"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_EQ(cli.getInt("n"), 16);
+    EXPECT_EQ(cli.get("protocol"), "illinois");
+}
+
+TEST(Cli, SpaceSyntax)
+{
+    auto cli = makeParser();
+    Argv a({"prog", "--n", "32"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_EQ(cli.getInt("n"), 32);
+}
+
+TEST(Cli, FlagsAndPositionals)
+{
+    auto cli = makeParser();
+    Argv a({"prog", "--verbose", "pos1", "pos2"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_TRUE(cli.getFlag("verbose"));
+    ASSERT_EQ(cli.positional().size(), 2u);
+    EXPECT_EQ(cli.positional()[0], "pos1");
+    EXPECT_EQ(cli.positional()[1], "pos2");
+}
+
+TEST(Cli, UsageMentionsEveryOption)
+{
+    auto cli = makeParser();
+    std::string u = cli.usage();
+    EXPECT_NE(u.find("--n"), std::string::npos);
+    EXPECT_NE(u.find("--protocol"), std::string::npos);
+    EXPECT_NE(u.find("--verbose"), std::string::npos);
+    EXPECT_NE(u.find("--help"), std::string::npos);
+    EXPECT_NE(u.find("default: 8"), std::string::npos);
+}
+
+TEST(CliDeath, UnknownOptionExits)
+{
+    auto cli = makeParser();
+    Argv a({"prog", "--bogus=1"});
+    EXPECT_EXIT(cli.parse(a.argc(), a.argv()), testing::ExitedWithCode(1),
+                "unknown option");
+}
+
+TEST(CliDeath, MissingValueExits)
+{
+    auto cli = makeParser();
+    Argv a({"prog", "--n"});
+    EXPECT_EXIT(cli.parse(a.argc(), a.argv()), testing::ExitedWithCode(1),
+                "needs a value");
+}
+
+TEST(CliDeath, NonNumericIntIsFatal)
+{
+    auto cli = makeParser();
+    Argv a({"prog", "--n=abc"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_EXIT(cli.getInt("n"), testing::ExitedWithCode(1),
+                "not an integer");
+}
+
+TEST(CliDeath, HelpExitsZero)
+{
+    auto cli = makeParser();
+    Argv a({"prog", "--help"});
+    EXPECT_EXIT(cli.parse(a.argc(), a.argv()), testing::ExitedWithCode(0),
+                "");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,70 @@
+/** Unit tests for util/csv. */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/csv.hh"
+
+namespace snoop {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+class CsvTest : public testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = testing::TempDir() + "snoop_csv_test.csv";
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_;
+};
+
+TEST_F(CsvTest, WritesHeaderAndRows)
+{
+    {
+        CsvWriter w(path_);
+        w.header({"n", "speedup"});
+        w.row({"4", "3.17"});
+        w.rowDoubles({10.0, 5.49}, 2);
+    }
+    EXPECT_EQ(slurp(path_), "n,speedup\n4,3.17\n10.00,5.49\n");
+}
+
+TEST_F(CsvTest, EscapesSpecialCharacters)
+{
+    {
+        CsvWriter w(path_);
+        w.row({"a,b", "say \"hi\"", "line\nbreak", "plain"});
+    }
+    EXPECT_EQ(slurp(path_),
+              "\"a,b\",\"say \"\"hi\"\"\",\"line\nbreak\",plain\n");
+}
+
+TEST(CsvEscape, OnlyQuotesWhenNeeded)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("with space"), "with space");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
+}
+
+TEST(CsvDeath, UnwritablePathIsFatal)
+{
+    EXPECT_EXIT(CsvWriter w("/nonexistent-dir-xyz/file.csv"),
+                testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace snoop

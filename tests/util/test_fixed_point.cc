@@ -1,0 +1,96 @@
+/** Unit tests for util/fixed_point. */
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/fixed_point.hh"
+
+namespace snoop {
+namespace {
+
+TEST(FixedPoint, SolvesContractionMapping)
+{
+    // x = cos(x) has the Dottie fixed point ~0.739085.
+    FixedPointSolver solver({.maxIterations = 200, .tolerance = 1e-12});
+    auto res = solver.solve(
+        [](const std::vector<double> &x) {
+            return std::vector<double>{std::cos(x[0])};
+        },
+        {0.0});
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 0.7390851332151607, 1e-9);
+}
+
+TEST(FixedPoint, MultiDimensionalSystem)
+{
+    // x = 0.5*y + 1, y = 0.5*x  ->  x = 4/3, y = 2/3.
+    FixedPointSolver solver;
+    auto res = solver.solve(
+        [](const std::vector<double> &v) {
+            return std::vector<double>{0.5 * v[1] + 1.0, 0.5 * v[0]};
+        },
+        {0.0, 0.0});
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 4.0 / 3.0, 1e-9);
+    EXPECT_NEAR(res.x[1], 2.0 / 3.0, 1e-9);
+}
+
+TEST(FixedPoint, ImmediateFixedPointConvergesInOneIteration)
+{
+    FixedPointSolver solver;
+    auto res = solver.solve(
+        [](const std::vector<double> &x) { return x; }, {1.0, 2.0});
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.iterations, 1);
+}
+
+TEST(FixedPoint, ReportsNonConvergence)
+{
+    // x -> x + 1 never converges.
+    FixedPointSolver solver({.maxIterations = 10, .tolerance = 1e-9});
+    auto res = solver.solve(
+        [](const std::vector<double> &x) {
+            return std::vector<double>{x[0] + 1.0};
+        },
+        {0.0});
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(res.iterations, 10);
+    EXPECT_NEAR(res.residual, 1.0, 1e-12);
+}
+
+TEST(FixedPoint, DampingStabilizesOscillation)
+{
+    // x -> -x oscillates undamped but converges to 0 with damping.
+    FixedPointSolver damped(
+        {.maxIterations = 500, .tolerance = 1e-10, .damping = 0.5});
+    auto res = damped.solve(
+        [](const std::vector<double> &x) {
+            return std::vector<double>{-x[0]};
+        },
+        {1.0});
+    EXPECT_TRUE(res.converged);
+    EXPECT_NEAR(res.x[0], 0.0, 1e-8);
+}
+
+TEST(FixedPointDeath, DimensionChangePanics)
+{
+    FixedPointSolver solver;
+    EXPECT_DEATH(solver.solve(
+                     [](const std::vector<double> &) {
+                         return std::vector<double>{1.0, 2.0};
+                     },
+                     {0.0}),
+                 "dimension");
+}
+
+TEST(FixedPointDeath, BadOptionsPanic)
+{
+    EXPECT_DEATH(FixedPointSolver({.maxIterations = 0}), "maxIterations");
+    EXPECT_DEATH(FixedPointSolver({.damping = 0.0}), "damping");
+    EXPECT_DEATH(FixedPointSolver({.damping = 1.5}), "damping");
+    EXPECT_DEATH(FixedPointSolver({.tolerance = 0.0}), "tolerance");
+}
+
+} // namespace
+} // namespace snoop

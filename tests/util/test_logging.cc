@@ -1,0 +1,90 @@
+/** Unit tests for util/logging. */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace snoop {
+namespace {
+
+TEST(Logging, StrprintfFormatsBasicTypes)
+{
+    EXPECT_EQ(strprintf("x=%d", 42), "x=42");
+    EXPECT_EQ(strprintf("%.2f", 3.14159), "3.14");
+    EXPECT_EQ(strprintf("%s/%s", "a", "b"), "a/b");
+}
+
+TEST(Logging, StrprintfEmptyAndNoArgs)
+{
+    EXPECT_EQ(strprintf("%s", ""), "");
+    EXPECT_EQ(strprintf("plain"), "plain");
+}
+
+TEST(Logging, StrprintfLongOutput)
+{
+    std::string big(10000, 'y');
+    EXPECT_EQ(strprintf("%s", big.c_str()).size(), big.size());
+}
+
+TEST(Logging, LogLevelRoundTrip)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(logLevel(), LogLevel::Debug);
+    setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(old);
+}
+
+TEST(Logging, InformRespectsQuiet)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Quiet);
+    testing::internal::CaptureStderr();
+    inform("should be suppressed");
+    warn("also suppressed");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    setLogLevel(old);
+}
+
+TEST(Logging, InformAndWarnTagOutput)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Normal);
+    testing::internal::CaptureStderr();
+    inform("hello %d", 7);
+    warn("careful");
+    std::string out = testing::internal::GetCapturedStderr();
+    EXPECT_NE(out.find("info: hello 7"), std::string::npos);
+    EXPECT_NE(out.find("warn: careful"), std::string::npos);
+    setLogLevel(old);
+}
+
+TEST(Logging, DebugOnlyAtDebugLevel)
+{
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Normal);
+    testing::internal::CaptureStderr();
+    debugLog("hidden");
+    EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+    setLogLevel(LogLevel::Debug);
+    testing::internal::CaptureStderr();
+    debugLog("visible");
+    EXPECT_NE(testing::internal::GetCapturedStderr().find("visible"),
+              std::string::npos);
+    setLogLevel(old);
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("invariant %d", 1), "panic: invariant 1");
+}
+
+TEST(LoggingDeath, FatalExitsWithOne)
+{
+    EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
+                "fatal: bad config");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,134 @@
+/** Unit tests for util/strutil. */
+
+#include <gtest/gtest.h>
+
+#include "util/strutil.hh"
+
+namespace snoop {
+namespace {
+
+TEST(FormatDouble, RespectsDigits)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(3.14159, 0), "3");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(FormatCompact, TrimsTrailingZeros)
+{
+    EXPECT_EQ(formatCompact(5.30, 3), "5.3");
+    EXPECT_EQ(formatCompact(5.0, 3), "5");
+    EXPECT_EQ(formatCompact(5.125, 3), "5.125");
+}
+
+TEST(FormatCompact, HonorsMinDigits)
+{
+    EXPECT_EQ(formatCompact(5.30, 3, 2), "5.30");
+    EXPECT_EQ(formatCompact(5.0, 3, 1), "5.0");
+}
+
+TEST(FormatPercent, ScalesFraction)
+{
+    EXPECT_EQ(formatPercent(0.0312), "3.12%");
+    EXPECT_EQ(formatPercent(1.0, 0), "100%");
+    EXPECT_EQ(formatPercent(-0.05, 1), "-5.0%");
+}
+
+TEST(Pad, LeftRightCenter)
+{
+    EXPECT_EQ(padLeft("ab", 4), "  ab");
+    EXPECT_EQ(padRight("ab", 4), "ab  ");
+    EXPECT_EQ(padCenter("ab", 6), "  ab  ");
+    EXPECT_EQ(padCenter("ab", 5), " ab  ");
+}
+
+TEST(Pad, NoTruncation)
+{
+    EXPECT_EQ(padLeft("abcdef", 3), "abcdef");
+    EXPECT_EQ(padRight("abcdef", 3), "abcdef");
+    EXPECT_EQ(padCenter("abcdef", 3), "abcdef");
+}
+
+TEST(Split, PreservesEmptyFields)
+{
+    auto v = split("a,,b", ',');
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0], "a");
+    EXPECT_EQ(v[1], "");
+    EXPECT_EQ(v[2], "b");
+}
+
+TEST(Split, SingleField)
+{
+    auto v = split("abc", ',');
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "abc");
+}
+
+TEST(Split, EmptyString)
+{
+    auto v = split("", ',');
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], "");
+}
+
+TEST(Join, RoundTripsWithSplit)
+{
+    std::vector<std::string> parts = {"x", "y", "z"};
+    EXPECT_EQ(join(parts, ","), "x,y,z");
+    EXPECT_EQ(split(join(parts, ","), ','), parts);
+}
+
+TEST(Join, EmptyAndSingle)
+{
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"a"}, ","), "a");
+}
+
+TEST(ToLower, Basic)
+{
+    EXPECT_EQ(toLower("WriteOnce"), "writeonce");
+    EXPECT_EQ(toLower("ABC-123"), "abc-123");
+}
+
+TEST(StartsWith, Basic)
+{
+    EXPECT_TRUE(startsWith("--flag", "--"));
+    EXPECT_FALSE(startsWith("-", "--"));
+    EXPECT_TRUE(startsWith("abc", ""));
+}
+
+TEST(Trim, StripsWhitespace)
+{
+    EXPECT_EQ(trim("  a b  "), "a b");
+    EXPECT_EQ(trim("\t\nx"), "x");
+    EXPECT_EQ(trim("   "), "");
+    EXPECT_EQ(trim(""), "");
+}
+
+TEST(ParseDouble, AcceptsValidRejectsGarbage)
+{
+    double v = 0;
+    EXPECT_TRUE(parseDouble("3.5", v));
+    EXPECT_DOUBLE_EQ(v, 3.5);
+    EXPECT_TRUE(parseDouble("-1e3", v));
+    EXPECT_DOUBLE_EQ(v, -1000.0);
+    EXPECT_FALSE(parseDouble("3.5x", v));
+    EXPECT_FALSE(parseDouble("", v));
+    EXPECT_FALSE(parseDouble("abc", v));
+}
+
+TEST(ParseInt, AcceptsValidRejectsGarbage)
+{
+    long v = 0;
+    EXPECT_TRUE(parseInt("42", v));
+    EXPECT_EQ(v, 42);
+    EXPECT_TRUE(parseInt("-7", v));
+    EXPECT_EQ(v, -7);
+    EXPECT_FALSE(parseInt("4.2", v));
+    EXPECT_FALSE(parseInt("", v));
+    EXPECT_FALSE(parseInt("12a", v));
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,112 @@
+/** Tests for the adaptive-RWB input mixture. */
+
+#include <gtest/gtest.h>
+
+#include "mva/solver.hh"
+#include "workload/adaptive.hh"
+
+namespace snoop {
+namespace {
+
+DerivedInputs
+mode(const char *mods, SharingLevel level = SharingLevel::FivePercent)
+{
+    return DerivedInputs::compute(presets::appendixA(level),
+                                  ProtocolConfig::fromModString(mods));
+}
+
+TEST(Blend, EndpointsReproduceInputs)
+{
+    auto a = mode("13");
+    auto b = mode("134");
+    auto at_zero = blendInputs(a, b, 0.0);
+    auto at_one = blendInputs(a, b, 1.0);
+    EXPECT_NEAR(at_zero.pLocal, a.pLocal, 1e-12);
+    EXPECT_NEAR(at_zero.pBc, a.pBc, 1e-12);
+    EXPECT_NEAR(at_zero.tRead, a.tRead, 1e-12);
+    EXPECT_NEAR(at_one.pLocal, b.pLocal, 1e-12);
+    EXPECT_NEAR(at_one.pRr, b.pRr, 1e-12);
+    EXPECT_NEAR(at_one.tRead, b.tRead, 1e-12);
+}
+
+TEST(Blend, RequestTypesStayAPartition)
+{
+    auto a = mode("13");
+    auto b = mode("134");
+    for (double w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        auto m = blendInputs(a, b, w);
+        EXPECT_NEAR(m.pLocal + m.pBc + m.pRr, 1.0, 1e-9) << "w=" << w;
+        EXPECT_GE(m.pA, 0.0);
+        EXPECT_LE(m.pA + m.pB, 1.0);
+    }
+}
+
+TEST(Blend, SpeedupLiesBetweenEndpointsAtEveryN)
+{
+    auto a = mode("13");
+    auto b = mode("134");
+    MvaSolver solver;
+    for (unsigned n : {4u, 10u, 50u}) {
+        double sa = solver.solve(a, n).speedup;
+        double sb = solver.solve(b, n).speedup;
+        double lo = std::min(sa, sb), hi = std::max(sa, sb);
+        for (double w : {0.25, 0.5, 0.75}) {
+            double s = solver.solve(blendInputs(a, b, w), n).speedup;
+            EXPECT_GE(s, lo * 0.995) << "w=" << w << " N=" << n;
+            EXPECT_LE(s, hi * 1.005) << "w=" << w << " N=" << n;
+        }
+    }
+}
+
+TEST(RwbAdaptive, MatchesPureModesAtEndpoints)
+{
+    auto wl = presets::appendixA(SharingLevel::TwentyPercent);
+    MvaSolver solver;
+    double inv = solver
+        .solve(DerivedInputs::compute(
+                   wl, ProtocolConfig::fromModString("13")), 20)
+        .speedup;
+    double bc = solver
+        .solve(DerivedInputs::compute(
+                   wl, ProtocolConfig::fromModString("134")), 20)
+        .speedup;
+    EXPECT_NEAR(solver.solve(rwbAdaptiveInputs(wl, 0.0), 20).speedup,
+                inv, inv * 1e-9);
+    EXPECT_NEAR(solver.solve(rwbAdaptiveInputs(wl, 1.0), 20).speedup,
+                bc, bc * 1e-9);
+}
+
+TEST(RwbAdaptive, SpeedupVariesMonotonicallyInSwitchProbability)
+{
+    // At the Appendix A workloads broadcast mode wins (it lifts h_sw
+    // to 0.95), so speedup should rise with p_broadcast.
+    auto wl = presets::appendixA(SharingLevel::TwentyPercent);
+    MvaSolver solver;
+    double prev = 0.0;
+    for (double p : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+        double s = solver.solve(rwbAdaptiveInputs(wl, p), 20).speedup;
+        EXPECT_GE(s, prev * 0.999) << "p=" << p;
+        prev = s;
+    }
+}
+
+TEST(BlendDeath, BadInputs)
+{
+    auto a = mode("13");
+    auto b = mode("134");
+    EXPECT_EXIT(blendInputs(a, b, 1.5), testing::ExitedWithCode(1),
+                "probability");
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    EXPECT_EXIT(rwbAdaptiveInputs(wl, -0.1), testing::ExitedWithCode(1),
+                "probability");
+    BusTiming other;
+    other.tReadMem = 20.0;
+    auto c = DerivedInputs::compute(
+        presets::appendixA(SharingLevel::FivePercent),
+        ProtocolConfig::fromModString("134"), other);
+    EXPECT_EXIT(blendInputs(a, c, 0.5), testing::ExitedWithCode(1),
+                "timing");
+}
+
+} // namespace
+} // namespace snoop

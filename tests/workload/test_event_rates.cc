@@ -1,0 +1,94 @@
+/** Unit tests for workload/event_rates. */
+
+#include <gtest/gtest.h>
+
+#include "workload/event_rates.hh"
+
+namespace snoop {
+namespace {
+
+class EventRatesAllLevels
+    : public testing::TestWithParam<SharingLevel>
+{
+};
+
+TEST_P(EventRatesAllLevels, CategoriesPartitionUnity)
+{
+    auto e = EventRates::compute(presets::appendixA(GetParam()));
+    EXPECT_NEAR(e.total(), 1.0, 1e-12);
+}
+
+TEST_P(EventRatesAllLevels, AggregatesAreConsistent)
+{
+    auto e = EventRates::compute(presets::appendixA(GetParam()));
+    EXPECT_NEAR(e.privMiss(), e.privReadMiss + e.privWriteMiss, 1e-15);
+    EXPECT_NEAR(e.swMiss(), e.swReadMiss + e.swWriteMiss, 1e-15);
+    EXPECT_NEAR(e.totalMiss(), e.privMiss() + e.sroMiss + e.swMiss(),
+                1e-15);
+    EXPECT_NEAR(e.sharedMiss(), e.sroMiss + e.swMiss(), 1e-15);
+    EXPECT_NEAR(e.writeHitUnmod(),
+                e.privWriteHitUnmod + e.swWriteHitUnmod, 1e-15);
+}
+
+INSTANTIATE_TEST_SUITE_P(AppendixA, EventRatesAllLevels,
+                         testing::ValuesIn(kSharingLevels));
+
+TEST(EventRates, FivePercentKnownValues)
+{
+    auto e = EventRates::compute(
+        presets::appendixA(SharingLevel::FivePercent));
+    // private: 0.95 * 0.7 * 0.95
+    EXPECT_NEAR(e.privReadHit, 0.63175, 1e-12);
+    // private write hit unmodified: 0.95 * 0.3 * 0.95 * 0.3
+    EXPECT_NEAR(e.privWriteHitUnmod, 0.081225, 1e-12);
+    // private misses: 0.95 * 0.05
+    EXPECT_NEAR(e.privMiss(), 0.0475, 1e-12);
+    // sro: 0.03 * 0.05
+    EXPECT_NEAR(e.sroMiss, 0.0015, 1e-12);
+    // sw misses: 0.02 * 0.5
+    EXPECT_NEAR(e.swMiss(), 0.01, 1e-12);
+    // sw write hit unmodified: 0.02 * 0.5 * 0.5 * 0.7
+    EXPECT_NEAR(e.swWriteHitUnmod, 0.0035, 1e-12);
+}
+
+TEST(EventRates, NoSwStreamAtOnePercent)
+{
+    auto e = EventRates::compute(
+        presets::appendixA(SharingLevel::OnePercent));
+    EXPECT_DOUBLE_EQ(e.swReadHit, 0.0);
+    EXPECT_DOUBLE_EQ(e.swMiss(), 0.0);
+    EXPECT_DOUBLE_EQ(e.swWriteHitUnmod, 0.0);
+}
+
+TEST(EventRates, PerfectHitRateMeansNoMisses)
+{
+    WorkloadParams p = presets::appendixA(SharingLevel::FivePercent);
+    p.hPrivate = p.hSro = p.hSw = 1.0;
+    auto e = EventRates::compute(p);
+    EXPECT_DOUBLE_EQ(e.totalMiss(), 0.0);
+    EXPECT_NEAR(e.total(), 1.0, 1e-12);
+}
+
+TEST(EventRates, AllReadsMeansNoWriteEvents)
+{
+    WorkloadParams p = presets::appendixA(SharingLevel::FivePercent);
+    p.rPrivate = 1.0;
+    p.rSw = 1.0;
+    auto e = EventRates::compute(p);
+    EXPECT_DOUBLE_EQ(e.privWriteHitMod, 0.0);
+    EXPECT_DOUBLE_EQ(e.privWriteHitUnmod, 0.0);
+    EXPECT_DOUBLE_EQ(e.privWriteMiss, 0.0);
+    EXPECT_DOUBLE_EQ(e.swWriteMiss, 0.0);
+    EXPECT_NEAR(e.total(), 1.0, 1e-12);
+}
+
+TEST(EventRates, AmodSplitsWriteHits)
+{
+    WorkloadParams p = presets::appendixA(SharingLevel::FivePercent);
+    auto e = EventRates::compute(p);
+    double write_hits = e.privWriteHitMod + e.privWriteHitUnmod;
+    EXPECT_NEAR(e.privWriteHitMod / write_hits, p.amodPrivate, 1e-12);
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,180 @@
+/** Unit and statistical tests for workload/generator. */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.hh"
+
+namespace snoop {
+namespace {
+
+TEST(StreamClass, Names)
+{
+    EXPECT_EQ(to_string(StreamClass::Private), "private");
+    EXPECT_EQ(to_string(StreamClass::SharedReadOnly), "sro");
+    EXPECT_EQ(to_string(StreamClass::SharedWritable), "sw");
+}
+
+TEST(ReferenceSampler, DeterministicGivenSeed)
+{
+    auto p = presets::appendixA(SharingLevel::FivePercent);
+    ReferenceSampler a(p, Rng(5)), b(p, Rng(5));
+    for (int i = 0; i < 200; ++i) {
+        auto ra = a.next(), rb = b.next();
+        EXPECT_EQ(ra.cls, rb.cls);
+        EXPECT_EQ(ra.isWrite, rb.isWrite);
+        EXPECT_EQ(ra.hit, rb.hit);
+    }
+}
+
+TEST(ReferenceSampler, LongRunFrequenciesMatchParameters)
+{
+    auto p = presets::appendixA(SharingLevel::FivePercent);
+    ReferenceSampler s(p, Rng(1234));
+    const int n = 400000;
+    int priv = 0, sro = 0, sw = 0;
+    int priv_reads = 0, priv_total = 0;
+    int priv_hits = 0;
+    int sw_miss_supplied = 0, sw_misses = 0;
+    for (int i = 0; i < n; ++i) {
+        auto r = s.next();
+        switch (r.cls) {
+          case StreamClass::Private:
+            ++priv;
+            ++priv_total;
+            priv_reads += !r.isWrite;
+            priv_hits += r.hit;
+            break;
+          case StreamClass::SharedReadOnly:
+            ++sro;
+            EXPECT_FALSE(r.isWrite);
+            break;
+          case StreamClass::SharedWritable:
+            ++sw;
+            if (!r.hit) {
+                ++sw_misses;
+                sw_miss_supplied += r.copyElsewhere;
+            }
+            break;
+        }
+    }
+    EXPECT_NEAR(priv / double(n), 0.95, 0.005);
+    EXPECT_NEAR(sro / double(n), 0.03, 0.005);
+    EXPECT_NEAR(sw / double(n), 0.02, 0.005);
+    EXPECT_NEAR(priv_reads / double(priv_total), 0.7, 0.01);
+    EXPECT_NEAR(priv_hits / double(priv_total), 0.95, 0.01);
+    EXPECT_NEAR(sw_miss_supplied / double(sw_misses), 0.5, 0.05);
+}
+
+TEST(ReferenceSampler, StructuralInvariants)
+{
+    auto p = presets::appendixA(SharingLevel::TwentyPercent);
+    ReferenceSampler s(p, Rng(9));
+    for (int i = 0; i < 50000; ++i) {
+        auto r = s.next();
+        if (r.hit) {
+            EXPECT_FALSE(r.copyElsewhere);
+            EXPECT_FALSE(r.victimWriteback);
+        }
+        if (!r.isWrite || !r.hit) {
+            EXPECT_FALSE(r.alreadyModified);
+        }
+        if (r.cls == StreamClass::Private && !r.hit) {
+            EXPECT_FALSE(r.copyElsewhere);
+        }
+        if (r.cls == StreamClass::SharedReadOnly) {
+            EXPECT_FALSE(r.isWrite);
+            EXPECT_FALSE(r.supplierDirty);
+            EXPECT_FALSE(r.victimWriteback);
+        }
+        if (!r.copyElsewhere) {
+            EXPECT_FALSE(r.supplierDirty);
+        }
+    }
+}
+
+TEST(TraceGenerator, AddressSpacesAreDisjoint)
+{
+    auto p = presets::appendixA(SharingLevel::TwentyPercent);
+    TraceConfig cfg;
+    SyntheticTraceGenerator g0(p, cfg, 0, 4, Rng(1));
+    SyntheticTraceGenerator g1(p, cfg, 1, 4, Rng(2));
+    uint64_t per_proc = cfg.privateHotBlocks + cfg.privateColdBlocks;
+    for (int i = 0; i < 20000; ++i) {
+        auto t0 = g0.next();
+        auto t1 = g1.next();
+        if (t0.cls == StreamClass::Private) {
+            EXPECT_LT(t0.blockId, per_proc);
+        }
+        if (t1.cls == StreamClass::Private) {
+            EXPECT_GE(t1.blockId, per_proc);
+            EXPECT_LT(t1.blockId, 2 * per_proc);
+        }
+        if (t0.cls == StreamClass::SharedReadOnly) {
+            EXPECT_GE(t0.blockId, g0.sroBase());
+            EXPECT_LT(t0.blockId, g0.swBase());
+        }
+        if (t0.cls == StreamClass::SharedWritable) {
+            EXPECT_GE(t0.blockId, g0.swBase());
+        }
+    }
+}
+
+TEST(TraceGenerator, SharedPoolsAreSharedAcrossProcessors)
+{
+    auto p = presets::appendixA(SharingLevel::TwentyPercent);
+    TraceConfig cfg;
+    SyntheticTraceGenerator g0(p, cfg, 0, 2, Rng(1));
+    SyntheticTraceGenerator g1(p, cfg, 1, 2, Rng(2));
+    EXPECT_EQ(g0.sroBase(), g1.sroBase());
+    EXPECT_EQ(g0.swBase(), g1.swBase());
+}
+
+TEST(TraceGenerator, SroReferencesAreNeverWrites)
+{
+    auto p = presets::appendixA(SharingLevel::TwentyPercent);
+    SyntheticTraceGenerator g(p, TraceConfig{}, 0, 1, Rng(3));
+    for (int i = 0; i < 20000; ++i) {
+        auto t = g.next();
+        if (t.cls == StreamClass::SharedReadOnly) {
+            EXPECT_FALSE(t.isWrite);
+        }
+    }
+}
+
+TEST(TraceGenerator, HotSetCreatesLocality)
+{
+    auto p = presets::appendixA(SharingLevel::OnePercent);
+    TraceConfig cfg;
+    cfg.privateHotBlocks = 4;
+    cfg.privateLocality = 0.9;
+    SyntheticTraceGenerator g(p, cfg, 0, 1, Rng(4));
+    std::map<uint64_t, int> counts;
+    int privs = 0;
+    for (int i = 0; i < 100000; ++i) {
+        auto t = g.next();
+        if (t.cls != StreamClass::Private)
+            continue;
+        ++privs;
+        counts[t.blockId]++;
+    }
+    int hot = 0;
+    for (uint64_t b = 0; b < 4; ++b)
+        hot += counts[b];
+    EXPECT_NEAR(hot / double(privs), 0.9, 0.01);
+}
+
+TEST(TraceGeneratorDeath, BadConfiguration)
+{
+    auto p = presets::appendixA(SharingLevel::FivePercent);
+    TraceConfig cfg;
+    EXPECT_DEATH(SyntheticTraceGenerator(p, cfg, 3, 2, Rng(1)),
+                 "out of range");
+    cfg.swBlocks = 0;
+    EXPECT_EXIT(SyntheticTraceGenerator(p, cfg, 0, 2, Rng(1)),
+                testing::ExitedWithCode(1), "non-empty");
+}
+
+} // namespace
+} // namespace snoop
