@@ -32,7 +32,8 @@ report()
     for (unsigned clusters : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
         unsigned per = 64 / clusters;
         auto cfg = hierarchicalFromFlat(d, clusters, per, 0.5);
-        auto r = solveHierarchical(cfg);
+        auto r = solveHierarchical(
+            cfg, {.onNonConvergence = NonConvergencePolicy::Warn});
         t.addRow({strprintf("%ux%u", clusters, per),
                   formatDouble(r.speedup, 2),
                   formatPercent(r.localBusUtil, 1),
@@ -50,7 +51,8 @@ report()
     Table s({"clusters", "N", "speedup", "U_global"});
     for (unsigned clusters : {2u, 4u, 8u, 16u, 32u, 64u, 128u}) {
         auto cfg = hierarchicalFromFlat(d, clusters, 4, 0.8);
-        auto r = solveHierarchical(cfg);
+        auto r = solveHierarchical(
+            cfg, {.onNonConvergence = NonConvergencePolicy::Warn});
         s.addRow({strprintf("%u", clusters),
                   strprintf("%u", cfg.totalProcessors()),
                   formatDouble(r.speedup, 2),
@@ -82,7 +84,8 @@ report()
         sc.seed = 7;
         sc.measuredRequests = 200000;
         auto sim = simulateHierarchical(sc);
-        auto mva = solveHierarchical(sc.machine);
+        auto mva = solveHierarchical(
+            sc.machine, {.onNonConvergence = NonConvergencePolicy::Warn});
         v.addRow({strprintf("%ux%u", shape.clusters, shape.per),
                   formatDouble(shape.p_remote, 1),
                   formatDouble(mva.speedup, 3),
@@ -105,7 +108,9 @@ BM_Hierarchical_Solve(benchmark::State &state)
     auto cfg = hierarchicalFromFlat(
         d, static_cast<unsigned>(state.range(0)), 4, 0.8);
     for (auto _ : state)
-        benchmark::DoNotOptimize(solveHierarchical(cfg).speedup);
+        benchmark::DoNotOptimize(solveHierarchical(
+            cfg, {.onNonConvergence =
+                NonConvergencePolicy::Warn}).speedup);
 }
 BENCHMARK(BM_Hierarchical_Solve)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
 

@@ -39,7 +39,8 @@ report()
         std::vector<ProcessorClass> classes = {{"compute", 8, compute}};
         if (k > 0)
             classes.push_back({"io", k, io});
-        auto r = solveMulticlass(classes);
+        auto r = solveMulticlass(
+            classes, {.onNonConvergence = NonConvergencePolicy::Warn});
         t.addRow({strprintf("%u", k),
                   formatDouble(r.classes[0].speedup, 2),
                   k ? formatDouble(r.classes[1].speedup, 2)
@@ -66,7 +67,8 @@ report()
             classes.push_back({"wo", 16 - k, wo});
         if (k > 0)
             classes.push_back({"dragon", k, dragon});
-        auto r = solveMulticlass(classes);
+        auto r = solveMulticlass(
+            classes, {.onNonConvergence = NonConvergencePolicy::Warn});
         double wo_pp = (k < 16)
             ? r.classes[0].speedup / static_cast<double>(16 - k) : 0.0;
         double dr_pp = (k > 0)
@@ -89,7 +91,9 @@ BM_Multiclass_Solve(benchmark::State &state)
     std::vector<ProcessorClass> classes = {{"compute", 8, compute},
                                            {"io", 4, io}};
     for (auto _ : state)
-        benchmark::DoNotOptimize(solveMulticlass(classes).totalSpeedup);
+        benchmark::DoNotOptimize(
+            solveMulticlass(classes, {.onNonConvergence =
+                NonConvergencePolicy::Warn}).totalSpeedup);
 }
 BENCHMARK(BM_Multiclass_Solve);
 

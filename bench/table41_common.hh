@@ -26,7 +26,7 @@ reportTable41(char sub_table, const std::string &caption)
                 "library's MVA and its detailed discrete-event "
                 "simulator (GTPN stand-in, 300k requests).\n\n");
 
-    MvaSolver solver;
+    MvaSolver solver({.onNonConvergence = NonConvergencePolicy::Warn});
     auto mods = ProtocolConfig::fromModString(table41Mods(sub_table));
 
     double worst_vs_paper = 0.0;
@@ -72,7 +72,7 @@ reportTable41(char sub_table, const std::string &caption)
 inline void
 mvaSubTableTiming(benchmark::State &state, char sub_table)
 {
-    MvaSolver solver;
+    MvaSolver solver({.onNonConvergence = NonConvergencePolicy::Warn});
     auto mods = ProtocolConfig::fromModString(table41Mods(sub_table));
     for (auto _ : state) {
         double acc = 0.0;

@@ -28,6 +28,8 @@ MvaResult
 Analyzer::analyze(const ProtocolConfig &protocol,
                   const WorkloadParams &workload, unsigned n) const
 {
+    // snoop-lint: nonconvergence-ok (result forwarded to the caller,
+    // who sees the converged flag; the solver's policy applies here)
     return solver_.solve(
         DerivedInputs::compute(workload, protocol, timing_), n);
 }
@@ -64,12 +66,16 @@ Analyzer::saturationPoint(const ProtocolConfig &protocol,
     if (target <= 0.0 || target > 1.0)
         fatal("Analyzer::saturationPoint: target must be in (0, 1]");
     auto inputs = DerivedInputs::compute(workload, protocol, timing_);
-    // Utilization is monotone in N, so binary search.
+    // Utilization is monotone in N, so binary search. Unconverged
+    // saturated probes are fine: busUtil is clamped to [0, 1] and the
+    // probe only feeds a threshold comparison.
     unsigned lo = 1, hi = limit;
+    // snoop-lint: nonconvergence-ok (threshold probe, see above)
     if (solver_.solve(inputs, hi).busUtil < target)
         return 0;
     while (lo < hi) {
         unsigned mid = lo + (hi - lo) / 2;
+        // snoop-lint: nonconvergence-ok (threshold probe, see above)
         if (solver_.solve(inputs, mid).busUtil >= target)
             hi = mid;
         else

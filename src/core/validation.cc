@@ -12,7 +12,7 @@ namespace snoop {
 std::vector<ComparisonPoint>
 validate(const ValidationConfig &config)
 {
-    MvaSolver solver;
+    MvaSolver solver({.onNonConvergence = NonConvergencePolicy::Warn});
     auto inputs = DerivedInputs::compute(config.workload, config.protocol,
                                          config.timing);
     std::vector<ComparisonPoint> points;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "markov/dtmc.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -55,8 +56,12 @@ Ctmc::stationary() const
         pi[s] /= exit_[s];
         total += pi[s];
     }
+    SNOOP_NUMERIC_CHECK(std::isfinite(total) && total > 0.0,
+                        "sojourn weighting lost all probability mass "
+                        "(total %g)", total);
     for (double &p : pi)
         p /= total;
+    NumericGuard("Ctmc::stationary").distribution("pi", pi);
     return pi;
 }
 
@@ -118,6 +123,9 @@ Ctmc::transient(const std::vector<double> &initial, double t,
             fatal("Ctmc::transient: uniformization did not converge "
                   "(Lambda*t = %g too large)", lt);
     }
+    // The truncated Poisson tail leaves at most epsilon mass missing.
+    NumericGuard("Ctmc::transient")
+        .distribution("pi(t)", result, epsilon + 1e-9);
     return result;
 }
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -89,8 +90,12 @@ Dtmc::steadyStateGth() const
     double total = 0.0;
     for (double x : pi)
         total += x;
+    SNOOP_NUMERIC_CHECK(std::isfinite(total) && total > 0.0,
+                        "GTH back substitution lost all probability "
+                        "mass (total %g)", total);
     for (double &x : pi)
         x /= total;
+    NumericGuard("Dtmc::steadyStateGth").distribution("pi", pi);
     return pi;
 }
 
@@ -115,8 +120,10 @@ Dtmc::steadyStatePower(double tolerance, int max_iterations) const
             delta = std::max(delta, std::fabs(next[s] - pi[s]));
         }
         pi.swap(next);
-        if (delta < tolerance)
+        if (delta < tolerance) {
+            NumericGuard("Dtmc::steadyStatePower").distribution("pi", pi);
             return pi;
+        }
     }
     fatal("Dtmc::steadyStatePower: no convergence after %d iterations",
           max_iterations);

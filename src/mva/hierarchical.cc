@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -142,10 +143,29 @@ solveHierarchical(const HierarchicalConfig &config,
         res = solveOnce(config, options, damping);
     }
     if (!res.converged) {
-        warn("solveHierarchical: no convergence after %d iterations "
-             "(C=%u, P=%u)", options.maxIterations, config.clusters,
-             config.processorsPerCluster);
+        switch (options.onNonConvergence) {
+          case NonConvergencePolicy::Warn:
+            warn("solveHierarchical: no convergence after %d iterations "
+                 "(C=%u, P=%u)", options.maxIterations, config.clusters,
+                 config.processorsPerCluster);
+            break;
+          case NonConvergencePolicy::Fatal:
+            fatal("solveHierarchical: no convergence after %d iterations "
+                  "(C=%u, P=%u)", options.maxIterations, config.clusters,
+                  config.processorsPerCluster);
+          case NonConvergencePolicy::Accept:
+            break;
+        }
     }
+    NumericGuard("solveHierarchical",
+                 strprintf("C=%u P=%u", config.clusters,
+                           config.processorsPerCluster))
+        .positive("responseTime", res.responseTime)
+        .positive("speedup", res.speedup)
+        .nonNegative("wLocalBus", res.wLocalBus)
+        .nonNegative("wGlobalBus", res.wGlobalBus)
+        .utilization("localBusUtil", res.localBusUtil)
+        .utilization("globalBusUtil", res.globalBusUtil);
     return res;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -214,9 +215,32 @@ solveMulticlass(const std::vector<ProcessorClass> &classes,
             break;
         res = solveOnce(classes, options, damping);
     }
-    if (!res.converged)
-        warn("solveMulticlass: no convergence after %d iterations",
-             options.maxIterations);
+    if (!res.converged) {
+        switch (options.onNonConvergence) {
+          case NonConvergencePolicy::Warn:
+            warn("solveMulticlass: no convergence after %d iterations",
+                 options.maxIterations);
+            break;
+          case NonConvergencePolicy::Fatal:
+            fatal("solveMulticlass: no convergence after %d iterations",
+                  options.maxIterations);
+          case NonConvergencePolicy::Accept:
+            break;
+        }
+    }
+
+    NumericGuard guard("solveMulticlass",
+                       strprintf("%zu classes", classes.size()));
+    guard.positive("totalSpeedup", res.totalSpeedup)
+        .utilization("busUtil", res.busUtil)
+        .utilization("memUtil", res.memUtil)
+        .nonNegative("wBus", res.wBus)
+        .nonNegative("wMem", res.wMem);
+    for (const auto &c : res.classes) {
+        guard.positive("class.responseTime", c.responseTime)
+            .positive("class.speedup", c.speedup)
+            .probability("class.busDemandShare", c.busDemandShare);
+    }
     return res;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -57,6 +58,35 @@ pBusyFromUtilization(double util, unsigned n)
     return std::clamp(p, 0.0, 1.0);
 }
 
+/**
+ * Validity contract on a finished solve: the measures the paper
+ * publishes (speedup, R, utilizations, busy probabilities) must be
+ * finite and inside their defining ranges regardless of how hard the
+ * fixed point fought. Anything else is corrupted solver state.
+ */
+void
+guardResult(const MvaResult &res)
+{
+    NumericGuard guard("MvaSolver",
+                       strprintf("N=%u protocol=%s", res.numProcessors,
+                                 res.inputs.protocol.name().c_str()));
+    guard.positive("responseTime", res.responseTime)
+        .positive("speedup", res.speedup)
+        .nonNegative("processingPower", res.processingPower)
+        .nonNegative("rLocal", res.rLocal)
+        .nonNegative("rBroadcast", res.rBroadcast)
+        .nonNegative("rRemoteRead", res.rRemoteRead)
+        .nonNegative("wBus", res.wBus)
+        .nonNegative("wMem", res.wMem)
+        .nonNegative("qBus", res.qBus)
+        .utilization("busUtil", res.busUtil)
+        .utilization("memUtil", res.memUtil)
+        .probability("pBusyBus", res.pBusyBus)
+        .probability("pBusyMem", res.pBusyMem)
+        .nonNegative("nInterference", res.nInterference)
+        .nonNegative("tInterference", res.tInterference);
+}
+
 } // namespace
 
 MvaResult
@@ -76,10 +106,21 @@ MvaSolver::solve(const DerivedInputs &d, unsigned n) const
         res = solveOnce(d, n, damping);
     }
     if (!res.converged) {
-        warn("MvaSolver: no convergence after %d iterations (N=%u, "
-             "protocol %s)", opts_.maxIterations, n,
-             d.protocol.name().c_str());
+        switch (opts_.onNonConvergence) {
+          case NonConvergencePolicy::Warn:
+            warn("MvaSolver: no convergence after %d iterations (N=%u, "
+                 "protocol %s)", opts_.maxIterations, n,
+                 d.protocol.name().c_str());
+            break;
+          case NonConvergencePolicy::Fatal:
+            fatal("MvaSolver: no convergence after %d iterations (N=%u, "
+                  "protocol %s)", opts_.maxIterations, n,
+                  d.protocol.name().c_str());
+          case NonConvergencePolicy::Accept:
+            break;
+        }
     }
+    guardResult(res);
     return res;
 }
 

@@ -13,6 +13,7 @@
 
 #include "mva/result.hh"
 #include "protocol/config.hh"
+#include "util/fixed_point.hh"
 #include "workload/derived.hh"
 #include "workload/params.hh"
 
@@ -27,6 +28,11 @@ struct MvaOptions
     double damping = 1.0;
     /** Record the per-iteration residual trace in the result. */
     bool recordTrace = false;
+    /**
+     * Behavior when the damping fallback ladder is exhausted without
+     * convergence (see NonConvergencePolicy in util/fixed_point.hh).
+     */
+    NonConvergencePolicy onNonConvergence = NonConvergencePolicy::Warn;
 };
 
 /**

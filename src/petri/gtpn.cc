@@ -5,6 +5,7 @@
 #include <queue>
 
 #include "markov/dtmc.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -315,6 +316,24 @@ Gtpn::analyze(size_t max_states) const
         // steps per unit time = 1 / mean_cycle
         a.throughput[t] /= mean_cycle;
         a.utilization[t] = a.throughput[t] * transitions_[t].duration;
+    }
+
+    // A semi-Markov analysis that produced a negative token count, a
+    // utilization above 1, or a non-finite throughput is corrupted
+    // regardless of how plausible the rest of the numbers look.
+    NumericGuard guard("Gtpn::analyze",
+                       strprintf("%zu states", a.numStates));
+    guard.positive("meanCycleTime", a.meanCycleTime);
+    for (size_t p = 0; p < a.meanTokens.size(); ++p)
+        guard.nonNegative("meanTokens", a.meanTokens[p]);
+    for (size_t t = 0; t < transitions_.size(); ++t) {
+        guard.nonNegative("throughput", a.throughput[t]);
+        // utilization = weight x fraction-of-time-enabled, so it is a
+        // [0,1] busy fraction only for unit-weight transitions.
+        if (transitions_[t].weight <= 1.0)
+            guard.utilization("utilization", a.utilization[t]);
+        else
+            guard.nonNegative("utilization", a.utilization[t]);
     }
     return a;
 }

@@ -8,6 +8,7 @@
 #include "sim/bus.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 #include "workload/generator.hh"
@@ -414,7 +415,25 @@ simulate(const SimConfig &config)
 {
     config.validate();
     Simulator sim(config);
-    return sim.run();
+    SimResult r = sim.run();
+
+    // The simulator is the accuracy reference the MVA model is judged
+    // against (Section 4), so its own outputs get the same validity
+    // contract as the analytic solvers.
+    NumericGuard guard("simulate",
+                       strprintf("N=%u seed=%llu", r.numProcessors,
+                                 static_cast<unsigned long long>(
+                                     config.seed)));
+    guard.positive("responseTime.mean", r.responseTime.mean)
+        .positive("speedup", r.speedup)
+        .nonNegative("speedupCi.halfWidth", r.speedupCi.halfWidth)
+        .utilization("busUtilization", r.busUtilization)
+        .utilization("memUtilization", r.memUtilization)
+        .nonNegative("meanBusWait", r.meanBusWait)
+        .nonNegative("meanSnoopDelay", r.meanSnoopDelay)
+        .positive("simulatedCycles", r.simulatedCycles)
+        .finiteVector("perProcessorResponse", r.perProcessorResponse);
+    return r;
 }
 
 } // namespace snoop

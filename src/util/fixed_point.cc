@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -27,6 +28,9 @@ FixedPointSolver::solve(const UpdateFn &f, std::vector<double> x0) const
             panic("FixedPointSolver: update changed dimension");
         double resid = 0.0;
         for (size_t i = 0; i < next.size(); ++i) {
+            SNOOP_NUMERIC_CHECK(
+                !std::isnan(next[i]),
+                "iterate component %zu became NaN at iteration %d", i, it);
             double blended =
                 opts_.damping * next[i] + (1.0 - opts_.damping) * res.x[i];
             resid = std::max(resid, std::fabs(blended - res.x[i]));
@@ -37,6 +41,23 @@ FixedPointSolver::solve(const UpdateFn &f, std::vector<double> x0) const
         res.residual = resid;
         if (resid < opts_.tolerance) {
             res.converged = true;
+            break;
+        }
+    }
+    if (res.converged) {
+        NumericGuard("FixedPointSolver").finiteVector("x", res.x);
+    } else {
+        switch (opts_.onNonConvergence) {
+          case NonConvergencePolicy::Warn:
+            warn("FixedPointSolver: no convergence after %d iterations "
+                 "(residual %g, tolerance %g)",
+                 res.iterations, res.residual, opts_.tolerance);
+            break;
+          case NonConvergencePolicy::Fatal:
+            fatal("FixedPointSolver: no convergence after %d iterations "
+                  "(residual %g, tolerance %g)",
+                  res.iterations, res.residual, opts_.tolerance);
+          case NonConvergencePolicy::Accept:
             break;
         }
     }

@@ -12,6 +12,19 @@
 
 namespace snoop {
 
+/**
+ * What a solver does when the iteration budget runs out before the
+ * tolerance is reached. The silent legacy behavior (return with
+ * converged == false and say nothing) is deliberately not offered:
+ * an unconverged fixed point consumed as if converged is exactly the
+ * failure mode the paper's accuracy claim cannot survive.
+ */
+enum class NonConvergencePolicy {
+    Warn,   ///< warn() and return the last iterate (default)
+    Fatal,  ///< fatal(): treat as an unusable configuration, exit(1)
+    Accept, ///< return silently; caller promises to check converged
+};
+
 /** Options controlling FixedPointSolver. */
 struct FixedPointOptions
 {
@@ -25,6 +38,8 @@ struct FixedPointOptions
      * stabilizes the solve near bus saturation.
      */
     double damping = 1.0;
+    /** Behavior when maxIterations elapse without convergence. */
+    NonConvergencePolicy onNonConvergence = NonConvergencePolicy::Warn;
 };
 
 /** Result of a fixed-point solve. */

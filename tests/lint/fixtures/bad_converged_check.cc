@@ -1,0 +1,18 @@
+// Negative lint fixture: an MVA solve whose result is consumed
+// without checking 'converged', without an explicit onNonConvergence
+// policy, and without a nonconvergence-ok marker. The
+// [converged-check] rule must fire on this file.
+
+#include "mva/solver.hh"
+
+namespace snoop {
+
+double
+unguardedSpeedup(const DerivedInputs &inputs, unsigned n)
+{
+    MvaSolver solver;
+    auto r = solver.solve(inputs, n);
+    return r.speedup;
+}
+
+} // namespace snoop

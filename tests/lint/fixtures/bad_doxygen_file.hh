@@ -1,0 +1,13 @@
+#pragma once
+
+// Negative lint fixture: a header with no Doxygen file-level block.
+// The [doxygen-file] rule must fire on this file.
+
+namespace snoop {
+
+struct Undocumented
+{
+    int value = 0;
+};
+
+} // namespace snoop

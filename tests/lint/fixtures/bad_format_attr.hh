@@ -1,0 +1,14 @@
+#pragma once
+
+/**
+ * @file
+ * Negative lint fixture: a printf-style declaration without the
+ * format attribute, so mismatched format arguments compile silently.
+ * The [format-attr] rule must fire on this file.
+ */
+
+namespace snoop {
+
+void logUnchecked(const char *fmt, ...);
+
+} // namespace snoop

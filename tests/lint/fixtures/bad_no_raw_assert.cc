@@ -1,0 +1,16 @@
+// Negative lint fixture: a raw assert() in non-test code, which
+// vanishes under NDEBUG and leaves release builds unguarded. The
+// [no-raw-assert] rule must fire on this file.
+
+#include <cassert>
+
+namespace snoop {
+
+double
+checkedDivide(double num, double den)
+{
+    assert(den != 0.0);
+    return num / den;
+}
+
+} // namespace snoop

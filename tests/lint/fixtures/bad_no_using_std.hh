@@ -1,0 +1,17 @@
+#pragma once
+
+/**
+ * @file
+ * Negative lint fixture: 'using namespace std' at header scope. The
+ * [no-using-std] rule must fire on this file.
+ */
+
+#include <string>
+
+using namespace std;
+
+namespace snoop {
+
+inline string leakyName() { return "oops"; }
+
+} // namespace snoop

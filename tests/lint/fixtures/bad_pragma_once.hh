@@ -1,0 +1,14 @@
+/**
+ * @file
+ * Negative lint fixture: a header that forgot '#pragma once'. The
+ * [pragma-once] rule must fire on this file; see tools/run_lint.sh.
+ */
+
+namespace snoop {
+
+struct DoubleInclusionHazard
+{
+    int value = 0;
+};
+
+} // namespace snoop

@@ -1,0 +1,29 @@
+#pragma once
+
+/**
+ * @file
+ * Positive lint fixture: a header obeying every snoop_lint rule, to
+ * guard against rules growing false positives. run_lint.sh requires
+ * snoop_lint to report this file clean.
+ */
+
+#include "mva/solver.hh"
+
+namespace snoop {
+
+/** Printf-style helper with the format attribute spelled out. */
+void logChecked(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** A solve wrapper that honors the convergence contract. */
+inline double
+guardedSpeedup(const MvaSolver &solver, const DerivedInputs &inputs,
+               unsigned n)
+{
+    auto r = solver.solve(inputs, n);
+    if (!r.converged)
+        return 0.0;
+    return r.speedup;
+}
+
+} // namespace snoop

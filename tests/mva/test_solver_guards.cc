@@ -1,0 +1,143 @@
+/**
+ * Tests for the MVA solver's numeric guards and non-convergence
+ * policy: a solve that exhausts its iteration budget must warn, die,
+ * or pass silently exactly as MvaOptions::onNonConvergence directs,
+ * and every result the solver does hand back must satisfy the
+ * NumericGuard contract (finite, positive response time, utilizations
+ * and probabilities in range).
+ */
+
+#include <gtest/gtest.h>
+
+#include "mva/solver.hh"
+#include "util/fixed_point.hh"
+
+namespace snoop {
+namespace {
+
+DerivedInputs
+appendixAInputs(SharingLevel level, const std::string &mods)
+{
+    return DerivedInputs::compute(presets::appendixA(level),
+                                  ProtocolConfig::fromModString(mods));
+}
+
+/** One iteration cannot converge a contended 10-processor system. */
+MvaOptions
+divergentOptions(NonConvergencePolicy policy)
+{
+    MvaOptions opts;
+    opts.maxIterations = 1;
+    opts.onNonConvergence = policy;
+    return opts;
+}
+
+TEST(SolverGuards, WarnPolicyWarnsAndReturnsPartialResult)
+{
+    MvaSolver solver(divergentOptions(NonConvergencePolicy::Warn));
+    testing::internal::CaptureStderr();
+    auto r = solver.solve(appendixAInputs(SharingLevel::FivePercent, ""),
+                          10);
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(r.converged);
+    EXPECT_NE(err.find("no convergence"), std::string::npos);
+    // The partial result still passed the numeric guard on the way out.
+    EXPECT_GT(r.speedup, 0.0);
+    EXPECT_GT(r.responseTime, 0.0);
+    EXPECT_LE(r.busUtil, 1.0 + 1e-9);
+}
+
+TEST(SolverGuards, AcceptPolicyIsSilent)
+{
+    MvaSolver solver(divergentOptions(NonConvergencePolicy::Accept));
+    testing::internal::CaptureStderr();
+    auto r = solver.solve(appendixAInputs(SharingLevel::FivePercent, ""),
+                          10);
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(r.converged);
+    EXPECT_EQ(err.find("no convergence"), std::string::npos);
+}
+
+TEST(SolverGuardsDeath, FatalPolicyExitsWithCode1)
+{
+    MvaSolver solver(divergentOptions(NonConvergencePolicy::Fatal));
+    EXPECT_EXIT(solver.solve(
+                    appendixAInputs(SharingLevel::FivePercent, ""), 10),
+                testing::ExitedWithCode(1), "no convergence");
+}
+
+TEST(SolverGuards, ConvergedSolveIsUnaffectedByPolicy)
+{
+    // The policy only matters on non-convergence; a clean solve must
+    // produce identical results under all three.
+    auto inputs = appendixAInputs(SharingLevel::FivePercent, "");
+    MvaResult results[3];
+    NonConvergencePolicy policies[] = {NonConvergencePolicy::Warn,
+                                       NonConvergencePolicy::Fatal,
+                                       NonConvergencePolicy::Accept};
+    for (int i = 0; i < 3; ++i) {
+        MvaOptions opts;
+        opts.onNonConvergence = policies[i];
+        MvaSolver solver(opts);
+        results[i] = solver.solve(inputs, 8);
+        EXPECT_TRUE(results[i].converged);
+    }
+    EXPECT_DOUBLE_EQ(results[0].speedup, results[1].speedup);
+    EXPECT_DOUBLE_EQ(results[0].speedup, results[2].speedup);
+    EXPECT_DOUBLE_EQ(results[0].responseTime, results[1].responseTime);
+    EXPECT_DOUBLE_EQ(results[0].responseTime, results[2].responseTime);
+}
+
+TEST(SolverGuards, GuardedOutputsAreInRangeAcrossTheSweep)
+{
+    // Every solve in a broad sweep runs the output guard internally;
+    // reaching this point without a panic means all outputs validated.
+    MvaSolver solver;
+    for (auto level : kSharingLevels) {
+        for (const char *mods : {"", "1", "14", "123"}) {
+            for (unsigned n : {1u, 2u, 10u, 100u, 1000u}) {
+                auto r = solver.solve(appendixAInputs(level, mods), n);
+                EXPECT_TRUE(r.converged);
+                EXPECT_GE(r.busUtil, 0.0);
+                EXPECT_LE(r.busUtil, 1.0 + 1e-9);
+                EXPECT_GE(r.pBusyBus, 0.0);
+                EXPECT_LE(r.pBusyBus, 1.0 + 1e-9);
+            }
+        }
+    }
+}
+
+TEST(SolverGuards, FixedPointPolicyMatchesSolverPolicy)
+{
+    // The same enum drives the generic fixed-point engine.
+    FixedPointOptions opts;
+    opts.maxIterations = 3;
+    opts.onNonConvergence = NonConvergencePolicy::Accept;
+    FixedPointSolver fp(opts);
+    testing::internal::CaptureStderr();
+    auto res = fp.solve(
+        [](const std::vector<double> &x) {
+            return std::vector<double>{x[0] + 1.0};
+        },
+        {0.0});
+    std::string err = testing::internal::GetCapturedStderr();
+    EXPECT_FALSE(res.converged);
+    EXPECT_EQ(err.find("no convergence"), std::string::npos);
+}
+
+TEST(SolverGuardsDeath, FixedPointFatalPolicyExits)
+{
+    FixedPointOptions opts;
+    opts.maxIterations = 3;
+    opts.onNonConvergence = NonConvergencePolicy::Fatal;
+    FixedPointSolver fp(opts);
+    EXPECT_EXIT(fp.solve(
+                    [](const std::vector<double> &x) {
+                        return std::vector<double>{x[0] + 1.0};
+                    },
+                    {0.0}),
+                testing::ExitedWithCode(1), "no convergence");
+}
+
+} // namespace
+} // namespace snoop

@@ -1,0 +1,51 @@
+#!/bin/sh
+# Drives snoop_lint as a ctest: lints the real tree (must be clean)
+# and then verifies on the negative fixtures that every rule still
+# fires - a linter that silently stopped detecting anything would
+# otherwise keep passing forever.
+#
+# usage: run_lint.sh <snoop_lint-binary> <repo-root>
+set -u
+
+LINT=${1:?usage: run_lint.sh <snoop_lint-binary> <repo-root>}
+ROOT=${2:?usage: run_lint.sh <snoop_lint-binary> <repo-root>}
+status=0
+
+echo "== linting the tree =="
+if ! "$LINT" "$ROOT/src" "$ROOT/tools" "$ROOT/bench" "$ROOT/examples"; then
+    echo "run_lint: tree has convention violations" >&2
+    status=1
+fi
+
+echo "== negative fixtures (each must fail) =="
+for fixture in "$ROOT"/tests/lint/fixtures/bad_*; do
+    [ -e "$fixture" ] || continue
+    # Expected rule name is encoded in the fixture file name:
+    # bad_<rule-with-underscores>.<ext>
+    rule=$(basename "$fixture" | sed 's/^bad_//; s/\.[^.]*$//; s/_/-/g')
+    out=$("$LINT" "$fixture" 2>&1)
+    code=$?
+    if [ "$code" -ne 1 ]; then
+        echo "run_lint: $fixture: expected exit 1, got $code" >&2
+        status=1
+    elif ! printf '%s\n' "$out" | grep -q "\[$rule\]"; then
+        echo "run_lint: $fixture: rule [$rule] did not fire; got:" >&2
+        printf '%s\n' "$out" >&2
+        status=1
+    else
+        echo "ok: $fixture fires [$rule]"
+    fi
+done
+
+# A clean fixture must stay clean (guards against over-eager rules).
+good="$ROOT/tests/lint/fixtures/good_header.hh"
+if [ -e "$good" ]; then
+    if ! "$LINT" "$good" >/dev/null 2>&1; then
+        echo "run_lint: $good: clean fixture reported findings" >&2
+        status=1
+    else
+        echo "ok: $good is clean"
+    fi
+fi
+
+exit $status

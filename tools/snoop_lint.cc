@@ -1,0 +1,389 @@
+/**
+ * @file
+ * snoop_lint: mechanical enforcement of this repository's coding
+ * conventions. clang-tidy covers generic C++ hazards; this tool
+ * covers the rules that are specific to this tree and that reviews
+ * keep re-litigating by hand:
+ *
+ *  R1 pragma-once     every header starts with #pragma once
+ *  R2 doxygen-file    every header carries a Doxygen @file block
+ *  R3 no-using-std    no `using namespace std` at header scope
+ *  R4 format-attr     varargs printf-style functions declare
+ *                     __attribute__((format(printf, ...)))
+ *  R5 converged-check every MVA / fixed-point solve call site either
+ *                     inspects .converged nearby, opts into an
+ *                     explicit NonConvergencePolicy earlier in the
+ *                     file, or carries a
+ *                     `snoop-lint: nonconvergence-ok` marker
+ *  R6 no-raw-assert   no raw assert() outside tests/ (use
+ *                     SNOOP_ASSERT / SNOOP_REQUIRE, which stay armed
+ *                     in release builds)
+ *
+ * Usage: snoop_lint [--list-rules] <file-or-dir>...
+ * Exit status: 0 when clean, 1 when any rule fired, 2 on usage error.
+ *
+ * The scanner is line-oriented on purpose: the rules are chosen so
+ * that a textual check has no false positives on idiomatic code, and
+ * a deliberately dumb linter is auditable in a way a libclang pass is
+ * not. Comment lines are skipped where the rule concerns code.
+ */
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding
+{
+    std::string file;
+    size_t line; // 1-based; 0 for whole-file findings
+    std::string rule;
+    std::string message;
+};
+
+std::vector<Finding> g_findings;
+
+void
+report(const std::string &file, size_t line, const char *rule,
+       std::string message)
+{
+    g_findings.push_back({file, line, rule, std::move(message)});
+}
+
+std::vector<std::string>
+readLines(const fs::path &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+/** Strip leading whitespace. */
+std::string
+lstrip(const std::string &s)
+{
+    size_t i = s.find_first_not_of(" \t");
+    return i == std::string::npos ? std::string() : s.substr(i);
+}
+
+/** True for lines that are entirely comment or blank (heuristic). */
+bool
+isCommentOrBlank(const std::string &line)
+{
+    std::string t = lstrip(line);
+    return t.empty() || t[0] == '*' || t.rfind("//", 0) == 0 ||
+        t.rfind("/*", 0) == 0;
+}
+
+bool
+contains(const std::string &haystack, const char *needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+/**
+ * Drop the contents of double-quoted string literals so an error
+ * message mentioning solveMulticlass() or assert() cannot trip the
+ * code rules. Escaped quotes are honored; multi-line raw strings are
+ * not used in this tree.
+ */
+std::string
+stripStrings(const std::string &line)
+{
+    std::string out;
+    out.reserve(line.size());
+    bool in_string = false;
+    for (size_t i = 0; i < line.size(); ++i) {
+        char c = line[i];
+        if (in_string && c == '\\') {
+            ++i; // skip the escaped character
+            continue;
+        }
+        if (c == '"') {
+            in_string = !in_string;
+            continue;
+        }
+        if (!in_string)
+            out.push_back(c);
+    }
+    return out;
+}
+
+/** Word-boundary search: needle not preceded/followed by ident chars. */
+bool
+containsWord(const std::string &line, const char *needle)
+{
+    size_t len = std::strlen(needle);
+    for (size_t pos = line.find(needle); pos != std::string::npos;
+         pos = line.find(needle, pos + 1)) {
+        bool left_ok = pos == 0 ||
+            (!std::isalnum(static_cast<unsigned char>(line[pos - 1])) &&
+             line[pos - 1] != '_');
+        size_t end = pos + len;
+        bool right_ok = end >= line.size() ||
+            (!std::isalnum(static_cast<unsigned char>(line[end])) &&
+             line[end] != '_');
+        if (left_ok && right_ok)
+            return true;
+    }
+    return false;
+}
+
+// --- R1 + R2 + R3: header hygiene -----------------------------------
+
+void
+checkHeader(const std::string &file, const std::vector<std::string> &lines)
+{
+    if (lines.empty() || lstrip(lines[0]) != "#pragma once") {
+        report(file, 1, "pragma-once",
+               "header must start with '#pragma once' on line 1");
+    }
+    bool has_file_doc = false;
+    for (const auto &line : lines) {
+        if (contains(line, "@file")) {
+            has_file_doc = true;
+            break;
+        }
+    }
+    if (!has_file_doc) {
+        report(file, 0, "doxygen-file",
+               "header lacks a Doxygen '@file' comment block");
+    }
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (isCommentOrBlank(lines[i]))
+            continue;
+        if (contains(lines[i], "using namespace std")) {
+            report(file, i + 1, "no-using-std",
+                   "'using namespace std' leaks into every includer");
+        }
+    }
+}
+
+// --- R4: printf-style declarations carry a format attribute ----------
+
+void
+checkFormatAttribute(const std::string &file,
+                     const std::vector<std::string> &lines)
+{
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (isCommentOrBlank(lines[i]))
+            continue;
+        // A varargs declaration whose last named parameter is a format
+        // string: "const char *fmt, ...".
+        if (!(contains(lines[i], "*fmt, ...") ||
+              contains(lines[i], "* fmt, ...")))
+            continue;
+        // Scan the whole declaration (to the terminating ';' or '{').
+        bool has_attr = false;
+        for (size_t j = i; j < lines.size() && j < i + 6; ++j) {
+            if (contains(lines[j], "__attribute__((format")) {
+                has_attr = true;
+                break;
+            }
+            if (contains(lines[j], ";") || contains(lines[j], "{"))
+                break;
+        }
+        // Definitions in .cc files repeat the signature without the
+        // attribute; only declarations (headers) must carry it.
+        if (!has_attr) {
+            report(file, i + 1, "format-attr",
+                   "printf-style declaration missing "
+                   "__attribute__((format(printf, ...)))");
+        }
+    }
+}
+
+// --- R5: solver call sites honor the convergence contract ------------
+
+constexpr const char *kMarker = "snoop-lint: nonconvergence-ok";
+
+bool
+isSolveCall(const std::string &line)
+{
+    // Declarations start with the result type; gem5-style definitions
+    // start with the function name itself (return type on the line
+    // above). Neither is a call site.
+    static constexpr const char *kNotCalls[] = {
+        "MvaResult ",          "FixedPointResult ",
+        "MulticlassResult ",   "HierarchicalResult ",
+        "solveMulticlass(",    "solveHierarchical(",
+    };
+    std::string t = lstrip(line);
+    if (!contains(t, "=")) {
+        for (const char *prefix : kNotCalls)
+            if (t.rfind(prefix, 0) == 0)
+                return false;
+    }
+    if (contains(line, ".solve(") && !contains(line, "::solve("))
+        return true;
+    return containsWord(line, "solveMulticlass") ||
+        containsWord(line, "solveHierarchical");
+}
+
+void
+checkConvergedUse(const std::string &file,
+                  const std::vector<std::string> &lines)
+{
+    bool policy_seen = false;
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (isCommentOrBlank(lines[i]))
+            continue; // a policy mentioned in prose does not opt in
+        std::string code = stripStrings(lines[i]);
+        if (contains(code, "onNonConvergence"))
+            policy_seen = true;
+        if (!isSolveCall(code))
+            continue;
+        if (policy_seen)
+            continue; // explicit policy opted into earlier in the file
+        bool marker = false;
+        for (size_t j = i >= 3 ? i - 3 : 0; j <= i; ++j) {
+            if (contains(lines[j], kMarker)) {
+                marker = true;
+                break;
+            }
+        }
+        if (marker)
+            continue;
+        bool checked = false;
+        for (size_t j = i; j < lines.size() && j < i + 8; ++j) {
+            // A policy named in the call's own argument list (wrapped
+            // onto the following lines) opts in just as well as a
+            // .converged inspection of the result.
+            std::string window = stripStrings(lines[j]);
+            if (containsWord(window, "converged") ||
+                contains(window, "onNonConvergence")) {
+                checked = true;
+                break;
+            }
+        }
+        if (!checked) {
+            report(file, i + 1, "converged-check",
+                   "solve() result consumed without checking "
+                   "'converged', an explicit onNonConvergence policy, "
+                   "or a 'snoop-lint: nonconvergence-ok' marker");
+        }
+    }
+}
+
+// --- R6: no raw assert() outside tests -------------------------------
+
+void
+checkRawAssert(const std::string &file,
+               const std::vector<std::string> &lines)
+{
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (isCommentOrBlank(lines[i]))
+            continue;
+        std::string code = stripStrings(lines[i]);
+        if (containsWord(code, "assert") && contains(code, "assert(") &&
+            !contains(code, "static_assert") &&
+            !contains(code, "SNOOP_ASSERT")) {
+            report(file, i + 1, "no-raw-assert",
+                   "raw assert() vanishes under NDEBUG; use "
+                   "SNOOP_ASSERT / SNOOP_REQUIRE instead");
+        }
+    }
+}
+
+// --- driver ----------------------------------------------------------
+
+bool
+underTests(const fs::path &p)
+{
+    // The negative fixtures live under tests/lint/fixtures/ but must
+    // be linted with the non-test rule set, or the fixtures for the
+    // code-side rules could never fire.
+    for (const auto &part : p)
+        if (part == "fixtures")
+            return false;
+    for (const auto &part : p)
+        if (part == "tests")
+            return true;
+    return false;
+}
+
+void
+lintFile(const fs::path &path)
+{
+    std::string file = path.string();
+    std::vector<std::string> lines = readLines(path);
+    bool is_header = path.extension() == ".hh";
+    bool in_tests = underTests(path);
+
+    if (is_header) {
+        checkHeader(file, lines);
+        checkFormatAttribute(file, lines);
+    }
+    if (!in_tests) {
+        checkConvergedUse(file, lines);
+        checkRawAssert(file, lines);
+    }
+}
+
+void
+lintTree(const fs::path &root)
+{
+    std::vector<fs::path> files;
+    if (fs::is_regular_file(root)) {
+        files.push_back(root);
+    } else {
+        for (const auto &entry : fs::recursive_directory_iterator(root)) {
+            if (!entry.is_regular_file())
+                continue;
+            auto ext = entry.path().extension();
+            if (ext == ".hh" || ext == ".cc")
+                files.push_back(entry.path());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto &f : files)
+        lintFile(f);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> args(argv + 1, argv + argc);
+    if (!args.empty() && args[0] == "--list-rules") {
+        std::puts("pragma-once doxygen-file no-using-std format-attr "
+                  "converged-check no-raw-assert");
+        return 0;
+    }
+    if (args.empty()) {
+        std::fprintf(stderr,
+                     "usage: snoop_lint [--list-rules] <file-or-dir>...\n");
+        return 2;
+    }
+    for (const auto &arg : args) {
+        fs::path p(arg);
+        if (!fs::exists(p)) {
+            std::fprintf(stderr, "snoop_lint: no such path: %s\n",
+                         arg.c_str());
+            return 2;
+        }
+        lintTree(p);
+    }
+    for (const auto &f : g_findings) {
+        std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                     f.rule.c_str(), f.message.c_str());
+    }
+    if (!g_findings.empty()) {
+        std::fprintf(stderr, "snoop_lint: %zu finding(s)\n",
+                     g_findings.size());
+        return 1;
+    }
+    return 0;
+}
