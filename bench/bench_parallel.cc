@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Parallel-engine benchmark: the acceptance gauge for the
+ * snoop_parallel layer (util/parallel.hh). It runs the two workloads
+ * the layer exists for -
+ *
+ *  - a 13-value x 4-protocol runSweep grid (the Table 4.1-style
+ *    design-space exploration the paper's conclusion advertises), and
+ *  - a 32-replication prob_sim batch (the validation workhorse),
+ *
+ * once serially (1 job) and once on the full pool, verifies the
+ * outputs are bit-identical, and writes the wall-clock comparison as
+ * a JSON entry (default: BENCH_parallel.json in the current
+ * directory, or the path given as argv[1]).
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "sim/prob_sim.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+#include "util/strutil.hh"
+
+#include <thread>
+
+namespace snoop {
+namespace {
+
+double
+elapsedMs(const std::function<void()> &fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+/** Bitwise equality, the standard the determinism contract promises. */
+bool
+sameBits(double a, double b)
+{
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+SweepSpec
+sweepSpec()
+{
+    SweepSpec spec;
+    spec.base = presets::appendixA(SharingLevel::FivePercent);
+    spec.paramName = "h_sw";
+    spec.set = findParamSetter("h_sw");
+    spec.values = {0.20, 0.25, 0.30, 0.35, 0.40, 0.45, 0.50,
+                   0.55, 0.60, 0.65, 0.70, 0.75, 0.80};
+    spec.protocols = {ProtocolConfig::writeOnce(),
+                      ProtocolConfig::fromModString("1"),
+                      ProtocolConfig::fromModString("13"),
+                      ProtocolConfig::fromModString("14")};
+    spec.n = 16;
+    return spec;
+}
+
+bool
+sweepsIdentical(const SweepResult &a, const SweepResult &b)
+{
+    if (a.results.size() != b.results.size())
+        return false;
+    for (size_t v = 0; v < a.results.size(); ++v) {
+        if (a.results[v].size() != b.results[v].size())
+            return false;
+        for (size_t p = 0; p < a.results[v].size(); ++p) {
+            if (!sameBits(a.results[v][p].speedup,
+                          b.results[v][p].speedup) ||
+                !sameBits(a.results[v][p].responseTime,
+                          b.results[v][p].responseTime))
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+replicationsIdentical(const ReplicationSet &a, const ReplicationSet &b)
+{
+    if (a.runs.size() != b.runs.size())
+        return false;
+    for (size_t i = 0; i < a.runs.size(); ++i) {
+        if (!sameBits(a.runs[i].speedup, b.runs[i].speedup) ||
+            !sameBits(a.runs[i].responseTime.mean,
+                      b.runs[i].responseTime.mean) ||
+            !sameBits(a.runs[i].busUtilization,
+                      b.runs[i].busUtilization))
+            return false;
+    }
+    return sameBits(a.speedup.mean, b.speedup.mean) &&
+        sameBits(a.speedup.halfWidth, b.speedup.halfWidth);
+}
+
+int
+run(const char *out_path)
+{
+    const unsigned jobs = defaultJobs();
+    const unsigned hw = std::thread::hardware_concurrency();
+    // The MVA cells are microseconds each; repeat the sweep so the
+    // grid timing measures throughput rather than pool wake-up.
+    const int sweep_reps = 200;
+
+    SimConfig sim;
+    sim.numProcessors = 8;
+    sim.workload = presets::appendixA(SharingLevel::FivePercent);
+    sim.protocol = ProtocolConfig::writeOnce();
+    sim.seed = 42;
+    sim.warmupRequests = 10000;
+    sim.measuredRequests = 50000;
+    const unsigned replications = 32;
+
+    auto spec = sweepSpec();
+
+    setParallelJobs(1);
+    SweepResult sweep_serial;
+    double sweep_serial_ms = elapsedMs([&] {
+        for (int r = 0; r < sweep_reps; ++r)
+            sweep_serial = runSweep(spec);
+    });
+    ReplicationSet reps_serial;
+    double reps_serial_ms = elapsedMs(
+        [&] { reps_serial = simulateReplications(sim, replications); });
+
+    setParallelJobs(jobs);
+    SweepResult sweep_parallel;
+    double sweep_parallel_ms = elapsedMs([&] {
+        for (int r = 0; r < sweep_reps; ++r)
+            sweep_parallel = runSweep(spec);
+    });
+    ReplicationSet reps_parallel;
+    double reps_parallel_ms = elapsedMs(
+        [&] { reps_parallel = simulateReplications(sim, replications); });
+    setParallelJobs(0);
+
+    bool sweep_ok = sweepsIdentical(sweep_serial, sweep_parallel);
+    bool reps_ok = replicationsIdentical(reps_serial, reps_parallel);
+
+    std::string json = strprintf(
+        "{\n"
+        "  \"bench\": \"parallel\",\n"
+        "  \"jobs\": %u,\n"
+        "  \"hardware_concurrency\": %u,\n"
+        "  \"sweep\": {\n"
+        "    \"values\": %zu, \"protocols\": %zu, \"n\": %u,\n"
+        "    \"repetitions\": %d,\n"
+        "    \"serial_ms\": %.2f, \"parallel_ms\": %.2f,\n"
+        "    \"speedup\": %.2f, \"bit_identical\": %s\n"
+        "  },\n"
+        "  \"replications\": {\n"
+        "    \"count\": %u, \"processors\": %u,\n"
+        "    \"measured_requests\": %llu,\n"
+        "    \"serial_ms\": %.2f, \"parallel_ms\": %.2f,\n"
+        "    \"speedup\": %.2f, \"bit_identical\": %s\n"
+        "  }%s\n"
+        "}\n",
+        jobs, hw, spec.values.size(), spec.protocols.size(), spec.n,
+        sweep_reps, sweep_serial_ms, sweep_parallel_ms,
+        sweep_parallel_ms > 0.0 ? sweep_serial_ms / sweep_parallel_ms
+                                : 0.0,
+        sweep_ok ? "true" : "false", replications, sim.numProcessors,
+        static_cast<unsigned long long>(sim.measuredRequests),
+        reps_serial_ms, reps_parallel_ms,
+        reps_parallel_ms > 0.0 ? reps_serial_ms / reps_parallel_ms : 0.0,
+        reps_ok ? "true" : "false",
+        jobs > hw ? ",\n  \"note\": \"jobs exceed hardware "
+                    "concurrency; wall-clock speedup is bounded by "
+                    "physical cores\""
+                  : "");
+
+    std::fputs(json.c_str(), stdout);
+    if (std::FILE *f = std::fopen(out_path, "w")) {
+        std::fputs(json.c_str(), f);
+        std::fclose(f);
+        inform("wrote %s", out_path);
+    } else {
+        warn("could not write %s", out_path);
+    }
+
+    if (!sweep_ok || !reps_ok) {
+        warn("serial and parallel outputs differ - determinism "
+             "contract violated");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace snoop
+
+int
+main(int argc, char **argv)
+{
+    return snoop::run(argc > 1 ? argv[1] : "BENCH_parallel.json");
+}

@@ -2,7 +2,9 @@
 
 #include <map>
 
+#include "util/contracts.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/strutil.hh"
 
 namespace snoop {
@@ -99,7 +101,13 @@ SweepResult::winners() const
 {
     std::vector<size_t> out;
     out.reserve(results.size());
-    for (const auto &row : results) {
+    for (size_t v = 0; v < results.size(); ++v) {
+        const auto &row = results[v];
+        SNOOP_REQUIRE(!row.empty(),
+                      "SweepResult::winners: row %zu has no protocol "
+                      "results", v);
+        // Ties resolve to the lowest protocol index (the column order
+        // of SweepSpec::protocols), so winners() is deterministic.
         size_t best = 0;
         for (size_t p = 1; p < row.size(); ++p) {
             if (row[p].speedup > row[best].speedup)
@@ -116,17 +124,22 @@ runSweep(const SweepSpec &spec, const Analyzer &analyzer)
     spec.validate();
     SweepResult res;
     res.spec = spec;
-    res.results.reserve(spec.values.size());
-    for (double value : spec.values) {
+    // Pre-sized result grid: each (value, protocol) cell is written by
+    // exactly one worker, so the output is bit-identical to the serial
+    // path regardless of thread count (the determinism contract of
+    // util/parallel.hh).
+    const size_t num_protocols = spec.protocols.size();
+    res.results.assign(spec.values.size(),
+                       std::vector<MvaResult>(num_protocols));
+    parallelFor(spec.values.size() * num_protocols, [&](size_t idx) {
+        size_t v = idx / num_protocols;
+        size_t p = idx % num_protocols;
         WorkloadParams wl = spec.base;
-        spec.set(wl, value);
+        spec.set(wl, spec.values[v]);
         wl.validate();
-        std::vector<MvaResult> row;
-        row.reserve(spec.protocols.size());
-        for (const auto &cfg : spec.protocols)
-            row.push_back(analyzer.analyze(cfg, wl, spec.n));
-        res.results.push_back(std::move(row));
-    }
+        res.results[v][p] = analyzer.analyze(spec.protocols[p], wl,
+                                             spec.n);
+    });
     return res;
 }
 

@@ -59,12 +59,21 @@ struct SweepResult
 
     /**
      * The protocol index with the highest speedup at each swept value
-     * (crossover detection).
+     * (crossover detection). Ties resolve to the lowest protocol
+     * index (column order of SweepSpec::protocols); empty rows are
+     * rejected with SNOOP_REQUIRE.
      */
     std::vector<size_t> winners() const;
 };
 
-/** Run a sweep with the given analyzer (or a default one). */
+/**
+ * Run a sweep with the given analyzer (or a default one).
+ *
+ * Cells of the value x protocol grid are evaluated in parallel on the
+ * process-wide pool (util/parallel.hh; sized by SNOOP_JOBS). Results
+ * land in pre-sized slots, so output is bit-identical to a serial run
+ * at any thread count.
+ */
 SweepResult runSweep(const SweepSpec &spec,
                      const Analyzer &analyzer = Analyzer());
 

@@ -5,6 +5,7 @@
 
 #include "mva/solver.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/strutil.hh"
 
 namespace snoop {
@@ -15,10 +16,13 @@ validate(const ValidationConfig &config)
     MvaSolver solver({.onNonConvergence = NonConvergencePolicy::Warn});
     auto inputs = DerivedInputs::compute(config.workload, config.protocol,
                                          config.timing);
-    std::vector<ComparisonPoint> points;
-    points.reserve(config.ns.size());
-    for (unsigned n : config.ns) {
-        ComparisonPoint p;
+    // One MVA-vs-simulation comparison per N, evaluated in parallel
+    // into pre-sized slots (each point's seed depends only on N, so
+    // the output is identical to the serial loop at any thread count).
+    std::vector<ComparisonPoint> points(config.ns.size());
+    parallelFor(config.ns.size(), [&](size_t i) {
+        unsigned n = config.ns[i];
+        ComparisonPoint &p = points[i];
         p.numProcessors = n;
         p.mva = solver.solve(inputs, n);
 
@@ -31,8 +35,7 @@ validate(const ValidationConfig &config)
         sim_cfg.warmupRequests = config.warmupRequests;
         sim_cfg.measuredRequests = config.measuredRequests;
         p.sim = simulate(sim_cfg);
-        points.push_back(std::move(p));
-    }
+    });
     return points;
 }
 

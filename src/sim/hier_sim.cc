@@ -1,12 +1,16 @@
 #include "sim/hier_sim.hh"
 
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "random/rng.hh"
 #include "sim/bus.hh"
 #include "sim/event_queue.hh"
+#include "stats/student_t.hh"
+#include "util/contracts.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/strutil.hh"
 
 namespace snoop {
@@ -190,6 +194,50 @@ simulateHierarchical(const HierSimConfig &config)
     config.validate();
     HierSimulator sim(config);
     return sim.run();
+}
+
+std::string
+HierReplicationSet::summary() const
+{
+    return strprintf("%zu replications: speedup=%.3f (+/-%.3f)",
+                     runs.size(), speedup.mean, speedup.halfWidth);
+}
+
+HierReplicationSet
+simulateHierarchicalReplications(const HierSimConfig &base,
+                                 unsigned replications)
+{
+    SNOOP_REQUIRE(replications > 0,
+                  "simulateHierarchicalReplications: need at least one "
+                  "replication");
+    base.validate();
+
+    // Same substream scheme as simulateReplications: all seeds derive
+    // serially from base.seed before any replication runs, so the
+    // parallel path is bit-identical to the serial one.
+    std::vector<uint64_t> seeds(replications);
+    uint64_t state = base.seed;
+    for (auto &s : seeds)
+        s = splitMix64(state);
+
+    HierReplicationSet set;
+    set.runs.resize(replications); // pre-sized slots, one per worker
+    parallelFor(replications, [&](size_t i) {
+        HierSimConfig cfg = base;
+        cfg.seed = seeds[i];
+        set.runs[i] = simulateHierarchical(cfg);
+    });
+
+    Accumulator speedups;
+    for (const auto &r : set.runs)
+        speedups.add(r.speedup);
+    set.speedup.batches = static_cast<unsigned>(speedups.count());
+    set.speedup.mean = speedups.mean();
+    set.speedup.halfWidth = speedups.count() >= 2
+        ? studentTCritical(static_cast<unsigned>(speedups.count()) - 1,
+                           0.95) * speedups.stdError()
+        : std::numeric_limits<double>::infinity();
+    return set;
 }
 
 } // namespace snoop

@@ -50,4 +50,27 @@ struct HierSimResult
 /** Run one hierarchical simulation. Deterministic given the seed. */
 HierSimResult simulateHierarchical(const HierSimConfig &config);
 
+/** A batch of independent hierarchical replications. */
+struct HierReplicationSet
+{
+    /** Per-replication results, ordered by replication index. */
+    std::vector<HierSimResult> runs;
+    /** Across-replication speedup estimate (Student-t over runs). */
+    ConfidenceInterval speedup;
+
+    /** One-line summary for logs and examples. */
+    std::string summary() const;
+};
+
+/**
+ * Run @p replications independent replications of @p base with
+ * SplitMix64-derived per-replication seeds (substream i is fixed by
+ * (base.seed, i) alone). Replications run in parallel on the
+ * process-wide pool into pre-sized slots; output is bit-identical to
+ * a serial run at any thread count.
+ */
+HierReplicationSet
+simulateHierarchicalReplications(const HierSimConfig &base,
+                                 unsigned replications);
+
 } // namespace snoop

@@ -1,15 +1,19 @@
 #include "sim/prob_sim.hh"
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <vector>
 
 #include "protocol/fsm.hh"
+#include "random/rng.hh"
 #include "sim/bus.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory.hh"
+#include "stats/student_t.hh"
 #include "util/contracts.hh"
 #include "util/logging.hh"
+#include "util/parallel.hh"
 #include "util/strutil.hh"
 #include "workload/generator.hh"
 
@@ -434,6 +438,66 @@ simulate(const SimConfig &config)
         .positive("simulatedCycles", r.simulatedCycles)
         .finiteVector("perProcessorResponse", r.perProcessorResponse);
     return r;
+}
+
+std::string
+ReplicationSet::summary() const
+{
+    return strprintf(
+        "%zu replications: speedup=%.3f (+/-%.3f) R=%.3f (+/-%.3f)",
+        runs.size(), speedup.mean, speedup.halfWidth, responseTime.mean,
+        responseTime.halfWidth);
+}
+
+namespace {
+
+/** Student-t interval over one scalar across replications. */
+ConfidenceInterval
+acrossReplications(const Accumulator &acc)
+{
+    ConfidenceInterval ci;
+    ci.batches = static_cast<unsigned>(acc.count());
+    ci.mean = acc.mean();
+    ci.halfWidth = acc.count() >= 2
+        ? studentTCritical(static_cast<unsigned>(acc.count()) - 1, 0.95) *
+            acc.stdError()
+        : std::numeric_limits<double>::infinity();
+    return ci;
+}
+
+} // namespace
+
+ReplicationSet
+simulateReplications(const SimConfig &base, unsigned replications)
+{
+    SNOOP_REQUIRE(replications > 0,
+                  "simulateReplications: need at least one replication");
+    base.validate();
+
+    // Derive every replication's seed up front from one SplitMix64
+    // sequence: substreams are fixed by (base.seed, index) alone, so
+    // serial and parallel execution produce bit-identical statistics.
+    std::vector<uint64_t> seeds(replications);
+    uint64_t state = base.seed;
+    for (auto &s : seeds)
+        s = splitMix64(state);
+
+    ReplicationSet set;
+    set.runs.resize(replications); // pre-sized slots, one per worker
+    parallelFor(replications, [&](size_t i) {
+        SimConfig cfg = base;
+        cfg.seed = seeds[i];
+        set.runs[i] = simulate(cfg);
+    });
+
+    Accumulator speedups, responses;
+    for (const auto &r : set.runs) {
+        speedups.add(r.speedup);
+        responses.add(r.responseTime.mean);
+    }
+    set.speedup = acrossReplications(speedups);
+    set.responseTime = acrossReplications(responses);
+    return set;
 }
 
 } // namespace snoop

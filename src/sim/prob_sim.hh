@@ -112,4 +112,29 @@ struct SimResult
  */
 SimResult simulate(const SimConfig &config);
 
+/** A batch of independent replications of one configuration. */
+struct ReplicationSet
+{
+    /** Per-replication results, ordered by replication index. */
+    std::vector<SimResult> runs;
+    /** Across-replication speedup estimate (Student-t over runs). */
+    ConfidenceInterval speedup;
+    /** Across-replication mean response-time estimate. */
+    ConfidenceInterval responseTime;
+
+    /** One-line summary for logs and examples. */
+    std::string summary() const;
+};
+
+/**
+ * Run @p replications independent replications of @p base, each with
+ * its own RNG substream: replication i is seeded with the i-th output
+ * of a SplitMix64 sequence started at base.seed, derived before any
+ * replication runs. Replications execute in parallel on the
+ * process-wide pool (util/parallel.hh) into pre-sized slots, so the
+ * ReplicationSet is bit-identical to a serial run at any thread count.
+ */
+ReplicationSet simulateReplications(const SimConfig &base,
+                                    unsigned replications);
+
 } // namespace snoop

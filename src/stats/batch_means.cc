@@ -30,6 +30,15 @@ BatchMeans::interval(double confidence) const
 {
     ConfidenceInterval ci;
     ci.batches = numBatches();
+    if (all_.count() == 0) {
+        // No observations at all: there is no data to report a mean
+        // of. The empty accumulator's mean() is 0.0, which would
+        // masquerade as a measured value; NaN cannot be mistaken for
+        // one (and trips NumericGuard at any solver boundary).
+        ci.mean = std::numeric_limits<double>::quiet_NaN();
+        ci.halfWidth = std::numeric_limits<double>::infinity();
+        return ci;
+    }
     if (batchMeans_.size() < 2) {
         ci.mean = all_.mean();
         ci.halfWidth = std::numeric_limits<double>::infinity();

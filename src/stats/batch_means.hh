@@ -65,7 +65,9 @@ class BatchMeans
 
     /**
      * Confidence interval over completed batch means.
-     * With fewer than 2 completed batches the half-width is infinite.
+     * With fewer than 2 completed batches the half-width is infinite;
+     * with no observations at all the mean is NaN (there is no data,
+     * and 0.0 would masquerade as a measurement).
      */
     ConfidenceInterval interval(double confidence = 0.95) const;
 

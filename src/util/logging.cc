@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
@@ -8,30 +9,32 @@
 namespace snoop {
 
 namespace {
-LogLevel g_level = LogLevel::Normal;
+std::atomic<LogLevel> g_level{LogLevel::Normal};
 
 void
 emit(const char *tag, const char *fmt, va_list args)
 {
+    // Format the complete line first and write it with one stdio call:
+    // stdio locks the stream per call, so concurrent workers cannot
+    // interleave tag, body, and newline of different messages.
     va_list copy;
     va_copy(copy, args);
-    std::fprintf(stderr, "%s", tag);
-    std::vfprintf(stderr, fmt, copy);
-    std::fprintf(stderr, "\n");
+    std::string line = tag + vstrprintf(fmt, copy) + "\n";
     va_end(copy);
+    std::fwrite(line.data(), 1, line.size(), stderr);
 }
 } // namespace
 
 void
 setLogLevel(LogLevel level)
 {
-    g_level = level;
+    g_level.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logLevel()
 {
-    return g_level;
+    return g_level.load(std::memory_order_relaxed);
 }
 
 std::string
@@ -61,7 +64,7 @@ strprintf(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_level == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list args;
     va_start(args, fmt);
@@ -72,7 +75,7 @@ inform(const char *fmt, ...)
 void
 warn(const char *fmt, ...)
 {
-    if (g_level == LogLevel::Quiet)
+    if (logLevel() == LogLevel::Quiet)
         return;
     va_list args;
     va_start(args, fmt);
@@ -83,7 +86,7 @@ warn(const char *fmt, ...)
 void
 debugLog(const char *fmt, ...)
 {
-    if (g_level != LogLevel::Debug)
+    if (logLevel() != LogLevel::Debug)
         return;
     va_list args;
     va_start(args, fmt);
@@ -98,7 +101,12 @@ fatal(const char *fmt, ...)
     va_start(args, fmt);
     emit("fatal: ", fmt, args);
     va_end(args);
-    std::exit(1);
+    // _exit, not exit: fatal may fire on a pool worker (e.g. inside a
+    // parallelFor body), where running static destructors would join
+    // the calling thread itself, and two workers hitting fatal
+    // concurrently would race in exit(). Flush stdio, then leave.
+    std::fflush(nullptr);
+    std::_Exit(1);
 }
 
 void

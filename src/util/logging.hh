@@ -25,7 +25,10 @@ enum class LogLevel {
     Debug,   ///< additionally, debug trace messages
 };
 
-/** Set the global log verbosity. Thread-unsafe by design (set at startup). */
+/**
+ * Set the global log verbosity. Safe to call from any thread (the
+ * level is atomic; messages are emitted as one write per line).
+ */
 void setLogLevel(LogLevel level);
 
 /** Current global log verbosity. */
@@ -48,8 +51,10 @@ void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 void debugLog(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
 
 /**
- * Report an unrecoverable user-level error and exit(1).
- * Use for bad configurations and invalid arguments.
+ * Report an unrecoverable user-level error and terminate with exit
+ * status 1 (stdio flushed, atexit handlers skipped, so it is safe to
+ * call from pool worker threads). Use for bad configurations and
+ * invalid arguments.
  */
 [[noreturn]] void fatal(const char *fmt, ...)
     __attribute__((format(printf, 1, 2)));

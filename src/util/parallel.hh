@@ -1,0 +1,85 @@
+#pragma once
+
+/**
+ * @file
+ * The snoop_parallel execution layer: a fixed-size ThreadPool and a
+ * parallelFor(n, fn) helper used by the sweep and replication engines.
+ *
+ * Design rules (the determinism contract, docs/CORRECTNESS.md):
+ *  - Work is identified by index. parallelFor(n, fn) runs fn(i) for
+ *    every i in [0, n) exactly once; callers write results into
+ *    pre-sized slots indexed by i, never push_back from workers, so
+ *    output is bit-identical regardless of thread count or schedule.
+ *  - Randomness is never shared: each work item derives its own RNG
+ *    substream (SplitMix64-seeded) before the parallel region starts.
+ *  - Nested parallelFor calls run serially on the calling worker, so
+ *    composing parallel facilities cannot deadlock a fixed pool.
+ *
+ * The process-wide pool is sized from the SNOOP_JOBS environment
+ * variable when set, otherwise from std::thread::hardware_concurrency.
+ * Tests and benchmarks override the size with setParallelJobs().
+ */
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace snoop {
+
+/**
+ * The default total parallelism: SNOOP_JOBS when set to a positive
+ * integer, otherwise hardware concurrency (at least 1).
+ */
+unsigned defaultJobs();
+
+/**
+ * Override the process-wide pool's total parallelism (0 restores the
+ * SNOOP_JOBS / hardware default). Destroys and lazily recreates the
+ * global pool; must not race a concurrent parallelFor.
+ */
+void setParallelJobs(unsigned jobs);
+
+/** The total parallelism the global pool uses (override or default). */
+unsigned parallelJobs();
+
+/**
+ * A fixed-size pool of worker threads executing index ranges. The
+ * calling thread of parallelFor participates in the work, so a pool
+ * built for total parallelism J owns J - 1 worker threads.
+ */
+class ThreadPool
+{
+  public:
+    /** @param workers number of owned worker threads (0 = serial). */
+    explicit ThreadPool(unsigned workers);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of owned worker threads. */
+    unsigned workerCount() const;
+
+    /**
+     * Run fn(i) for every i in [0, n); blocks until all indices have
+     * completed. The first exception thrown by fn cancels the
+     * remaining indices and is rethrown on the calling thread. Runs
+     * serially when n <= 1, when the pool owns no workers, or when
+     * called from inside one of this process's pool workers (nested
+     * parallelism).
+     */
+    void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+  private:
+    struct Impl;
+    std::unique_ptr<Impl> impl_;
+};
+
+/**
+ * Run fn(i) for every i in [0, n) on the process-wide pool (created
+ * on first use with parallelJobs() total parallelism). Same contract
+ * as ThreadPool::parallelFor.
+ */
+void parallelFor(size_t n, const std::function<void(size_t)> &fn);
+
+} // namespace snoop

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "core/sweep.hh"
+#include "util/parallel.hh"
 
 namespace snoop {
 namespace {
@@ -99,8 +100,65 @@ TEST(Sweep, AmodSweepReproducesSection44Crossover)
     EXPECT_NEAR(gap_high, 1.0, 0.05);
 }
 
+TEST(Sweep, WinnersTieBreaksToLowestIndex)
+{
+    // Ties resolve to the lowest protocol index (column order).
+    SweepResult res;
+    res.results.resize(1);
+    MvaResult r;
+    r.speedup = 5.0;
+    res.results[0] = {r, r, r}; // three-way tie
+    auto winners = res.winners();
+    ASSERT_EQ(winners.size(), 1u);
+    EXPECT_EQ(winners[0], 0u);
+}
+
+TEST(SweepDeath, WinnersRejectsEmptyRow)
+{
+    // This binary spawns pool workers; fork-style death tests from a
+    // multithreaded process can wedge (notably under TSan), so re-exec.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    SweepResult res;
+    res.results.resize(2); // rows exist but hold no protocol results
+    EXPECT_EXIT(res.winners(), testing::ExitedWithCode(1),
+                "no protocol results");
+}
+
+TEST(Sweep, SerialAndParallelAreBitIdentical)
+{
+    // The determinism contract at the sweep level: the value x
+    // protocol grid must not change a single bit with thread count.
+    SweepSpec spec = basicSpec();
+    spec.values = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7};
+
+    setParallelJobs(1);
+    auto serial = runSweep(spec);
+    for (unsigned jobs : {2u, 8u}) {
+        setParallelJobs(jobs);
+        auto parallel = runSweep(spec);
+        ASSERT_EQ(parallel.results.size(), serial.results.size());
+        for (size_t v = 0; v < serial.results.size(); ++v) {
+            ASSERT_EQ(parallel.results[v].size(),
+                      serial.results[v].size());
+            for (size_t p = 0; p < serial.results[v].size(); ++p) {
+                EXPECT_DOUBLE_EQ(parallel.results[v][p].speedup,
+                                 serial.results[v][p].speedup)
+                    << "jobs=" << jobs << " v=" << v << " p=" << p;
+                EXPECT_DOUBLE_EQ(parallel.results[v][p].responseTime,
+                                 serial.results[v][p].responseTime);
+                EXPECT_DOUBLE_EQ(parallel.results[v][p].busUtil,
+                                 serial.results[v][p].busUtil);
+                EXPECT_EQ(parallel.results[v][p].iterations,
+                          serial.results[v][p].iterations);
+            }
+        }
+    }
+    setParallelJobs(0);
+}
+
 TEST(SweepDeath, BadSpecs)
 {
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
     SweepSpec spec = basicSpec();
     spec.set = nullptr;
     EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "setter");

@@ -1,0 +1,17 @@
+// Negative fixture: raw std::thread construction outside
+// src/util/parallel.cc must trip the no-raw-thread rule. The
+// qualified static below must NOT trip it.
+#include <thread>
+
+unsigned
+okQualifiedUse()
+{
+    return std::thread::hardware_concurrency();
+}
+
+void
+badRawThread()
+{
+    std::thread t([] {});
+    t.join();
+}

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sim/hier_sim.hh"
+#include "util/parallel.hh"
 
 namespace snoop {
 namespace {
@@ -107,6 +108,9 @@ TEST(HierSim, MoreClustersRelieveLocalContention)
 
 TEST(HierSimDeath, BadConfig)
 {
+    // This binary spawns pool workers; fork-style death tests from a
+    // multithreaded process can wedge (notably under TSan), so re-exec.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
     HierSimConfig cfg;
     cfg.machine.clusters = 0;
     EXPECT_EXIT(simulateHierarchical(cfg), testing::ExitedWithCode(1),
@@ -115,6 +119,36 @@ TEST(HierSimDeath, BadConfig)
     cfg2.measuredRequests = 0;
     EXPECT_EXIT(simulateHierarchical(cfg2), testing::ExitedWithCode(1),
                 "measuredRequests");
+}
+
+TEST(HierReplications, SerialAndParallelAreBitIdentical)
+{
+    auto cfg = base(2, 2, 0.3);
+    cfg.warmupRequests = 2000;
+    cfg.measuredRequests = 10000;
+
+    setParallelJobs(1);
+    auto serial = simulateHierarchicalReplications(cfg, 5);
+    for (unsigned jobs : {2u, 8u}) {
+        setParallelJobs(jobs);
+        auto parallel = simulateHierarchicalReplications(cfg, 5);
+        ASSERT_EQ(parallel.runs.size(), serial.runs.size());
+        for (size_t i = 0; i < serial.runs.size(); ++i) {
+            EXPECT_DOUBLE_EQ(parallel.runs[i].speedup,
+                             serial.runs[i].speedup)
+                << "jobs=" << jobs << " rep=" << i;
+            EXPECT_DOUBLE_EQ(parallel.runs[i].responseTime.mean,
+                             serial.runs[i].responseTime.mean);
+        }
+        EXPECT_DOUBLE_EQ(parallel.speedup.mean, serial.speedup.mean);
+        EXPECT_DOUBLE_EQ(parallel.speedup.halfWidth,
+                         serial.speedup.halfWidth);
+    }
+    setParallelJobs(0);
+
+    // Substreams are distinct, and the batch is reproducible.
+    EXPECT_NE(serial.runs[0].speedup, serial.runs[1].speedup);
+    EXPECT_EQ(serial.speedup.batches, 5u);
 }
 
 } // namespace

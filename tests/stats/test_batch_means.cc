@@ -85,6 +85,41 @@ TEST(ConfidenceInterval, Accessors)
     EXPECT_FALSE(ci.contains(12.5));
 }
 
+TEST(BatchMeans, ZeroSamplesReportNaNMeanNotData)
+{
+    // An empty accumulator's mean (0.0) must not masquerade as a
+    // measurement: with no observations the interval's mean is NaN
+    // and the half-width stays infinite.
+    BatchMeans bm(10);
+    auto ci = bm.interval();
+    EXPECT_TRUE(std::isnan(ci.mean));
+    EXPECT_TRUE(std::isinf(ci.halfWidth));
+    EXPECT_EQ(ci.batches, 0u);
+}
+
+TEST(BatchMeans, OneSampleHasFiniteMeanInfiniteWidth)
+{
+    BatchMeans bm(10);
+    bm.add(7.0);
+    auto ci = bm.interval();
+    EXPECT_DOUBLE_EQ(ci.mean, 7.0);
+    EXPECT_TRUE(std::isinf(ci.halfWidth));
+    EXPECT_EQ(ci.batches, 0u);
+}
+
+TEST(BatchMeans, OneCompletedBatchKeepsInfiniteWidth)
+{
+    // Exactly one completed batch: a point estimate exists but no
+    // variance information does, so the half-width stays infinite.
+    BatchMeans bm(5);
+    for (int i = 0; i < 5; ++i)
+        bm.add(2.0);
+    auto ci = bm.interval();
+    EXPECT_EQ(ci.batches, 1u);
+    EXPECT_DOUBLE_EQ(ci.mean, 2.0);
+    EXPECT_TRUE(std::isinf(ci.halfWidth));
+}
+
 TEST(BatchMeansDeath, ZeroBatchSizePanics)
 {
     EXPECT_DEATH(BatchMeans(0), "batch size");

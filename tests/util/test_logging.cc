@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "util/logging.hh"
+#include "util/parallel.hh"
 
 namespace snoop {
 namespace {
@@ -75,13 +76,56 @@ TEST(Logging, DebugOnlyAtDebugLevel)
     setLogLevel(old);
 }
 
+TEST(Logging, ConcurrentEmitNeverInterleavesLines)
+{
+    // emit() formats the whole line and writes it with one stdio
+    // call, so messages from concurrent workers must come out as
+    // complete "warn: <tag> <body>" lines. (Under the tsan preset
+    // this also exercises the atomic log level.)
+    LogLevel old = logLevel();
+    setLogLevel(LogLevel::Normal);
+    setParallelJobs(4); // force real workers even on small machines
+    testing::internal::CaptureStderr();
+    parallelFor(64, [](size_t i) {
+        warn("worker-%zu says all-of-this-stays-together", i);
+        setLogLevel(LogLevel::Normal); // concurrent level writes
+    });
+    std::string out = testing::internal::GetCapturedStderr();
+    setParallelJobs(0);
+    size_t lines = 0;
+    size_t pos = 0;
+    while ((pos = out.find('\n', pos)) != std::string::npos) {
+        ++lines;
+        ++pos;
+    }
+    EXPECT_EQ(lines, 64u);
+    // Every line is exactly "warn: worker-<i> says ..." - no torn
+    // prefixes, no glued fragments.
+    size_t start = 0;
+    while (start < out.size()) {
+        size_t end = out.find('\n', start);
+        ASSERT_NE(end, std::string::npos);
+        std::string line = out.substr(start, end - start);
+        EXPECT_EQ(line.rfind("warn: worker-", 0), 0u) << line;
+        EXPECT_NE(line.find("says all-of-this-stays-together"),
+                  std::string::npos)
+            << line;
+        start = end + 1;
+    }
+    setLogLevel(old);
+}
+
 TEST(LoggingDeath, PanicAborts)
 {
+    // This binary spawns pool workers; fork-style death tests from a
+    // multithreaded process can wedge (notably under TSan), so re-exec.
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_DEATH(panic("invariant %d", 1), "panic: invariant 1");
 }
 
 TEST(LoggingDeath, FatalExitsWithOne)
 {
+    testing::FLAGS_gtest_death_test_style = "threadsafe";
     EXPECT_EXIT(fatal("bad config"), testing::ExitedWithCode(1),
                 "fatal: bad config");
 }

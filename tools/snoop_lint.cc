@@ -18,6 +18,11 @@
  *  R6 no-raw-assert   no raw assert() outside tests/ (use
  *                     SNOOP_ASSERT / SNOOP_REQUIRE, which stay armed
  *                     in release builds)
+ *  R7 no-raw-thread   no raw std::thread construction outside
+ *                     src/util/parallel.cc (use the ThreadPool /
+ *                     parallelFor layer, which owns the determinism
+ *                     and shutdown contract); qualified statics like
+ *                     std::thread::hardware_concurrency are fine
  *
  * Usage: snoop_lint [--list-rules] <file-or-dir>...
  * Exit status: 0 when clean, 1 when any rule fired, 2 on usage error.
@@ -296,6 +301,33 @@ checkRawAssert(const std::string &file,
     }
 }
 
+// --- R7: no raw std::thread outside the parallel layer ---------------
+
+void
+checkRawThread(const std::string &file,
+               const std::vector<std::string> &lines)
+{
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (isCommentOrBlank(lines[i]))
+            continue;
+        std::string code = stripStrings(lines[i]);
+        static constexpr const char *kNeedle = "std::thread";
+        for (size_t pos = code.find(kNeedle); pos != std::string::npos;
+             pos = code.find(kNeedle, pos + 1)) {
+            size_t end = pos + std::strlen(kNeedle);
+            // Qualified uses (std::thread::hardware_concurrency) read
+            // a static; only owning a thread object is banned.
+            if (code.compare(end, 2, "::") == 0)
+                continue;
+            report(file, i + 1, "no-raw-thread",
+                   "raw std::thread bypasses the ThreadPool/parallelFor "
+                   "layer (util/parallel.hh) and its determinism and "
+                   "shutdown contract");
+            break;
+        }
+    }
+}
+
 // --- driver ----------------------------------------------------------
 
 bool
@@ -321,6 +353,11 @@ lintFile(const fs::path &path)
     bool is_header = path.extension() == ".hh";
     bool in_tests = underTests(path);
 
+    // The one translation unit allowed to own threads: the pool
+    // implementation itself.
+    bool is_parallel_impl = path.filename() == "parallel.cc" &&
+        path.parent_path().filename() == "util";
+
     if (is_header) {
         checkHeader(file, lines);
         checkFormatAttribute(file, lines);
@@ -328,6 +365,8 @@ lintFile(const fs::path &path)
     if (!in_tests) {
         checkConvergedUse(file, lines);
         checkRawAssert(file, lines);
+        if (!is_parallel_impl)
+            checkRawThread(file, lines);
     }
 }
 
@@ -359,7 +398,7 @@ main(int argc, char **argv)
     std::vector<std::string> args(argv + 1, argv + argc);
     if (!args.empty() && args[0] == "--list-rules") {
         std::puts("pragma-once doxygen-file no-using-std format-attr "
-                  "converged-check no-raw-assert");
+                  "converged-check no-raw-assert no-raw-thread");
         return 0;
     }
     if (args.empty()) {
