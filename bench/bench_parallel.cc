@@ -22,6 +22,7 @@
 
 #include "core/sweep.hh"
 #include "sim/prob_sim.hh"
+#include "util/atomic_file.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/strutil.hh"
@@ -177,13 +178,14 @@ run(const char *out_path)
                   : "");
 
     std::fputs(json.c_str(), stdout);
-    if (std::FILE *f = std::fopen(out_path, "w")) {
-        std::fputs(json.c_str(), f);
-        std::fclose(f);
+    AtomicFile out(out_path);
+    if (out.ok())
+        out.stream() << json;
+    if (auto ok = out.commit(); ok)
         inform("wrote %s", out_path);
-    } else {
-        warn("could not write %s", out_path);
-    }
+    else
+        warn("could not write %s: %s", out_path,
+             ok.error().describe().c_str());
 
     if (!sweep_ok || !reps_ok) {
         warn("serial and parallel outputs differ - determinism "

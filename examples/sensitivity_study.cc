@@ -11,9 +11,9 @@
  */
 
 #include <cstdio>
-#include <fstream>
 
 #include "core/sweep.hh"
+#include "util/atomic_file.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -109,10 +109,12 @@ main(int argc, char **argv)
 
     std::string csv_path = cli.get("csv");
     if (!csv_path.empty()) {
-        std::ofstream out(csv_path);
-        if (!out)
+        AtomicFile out(csv_path);
+        if (!out.ok())
             fatal("cannot open '%s' for writing", csv_path.c_str());
-        out << res.csv();
+        out.stream() << res.csv();
+        if (auto ok = out.commit(); !ok)
+            fatal("%s", ok.error().describe().c_str());
         std::printf("wrote %s\n", csv_path.c_str());
     }
     return 0;

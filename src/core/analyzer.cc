@@ -16,21 +16,44 @@ MvaResult
 Analyzer::analyze(const std::string &protocol,
                   const WorkloadParams &workload, unsigned n) const
 {
-    auto cfg = findProtocol(protocol);
-    if (!cfg) {
-        fatal("Analyzer: unknown protocol '%s' (try a catalog name like "
-              "'Illinois' or a mod string like '13')", protocol.c_str());
-    }
-    return analyze(*cfg, workload, n);
+    return tryAnalyze(protocol, workload, n).orThrow();
 }
 
 MvaResult
 Analyzer::analyze(const ProtocolConfig &protocol,
                   const WorkloadParams &workload, unsigned n) const
 {
+    return tryAnalyze(protocol, workload, n).orThrow();
+}
+
+Expected<MvaResult>
+Analyzer::tryAnalyze(const std::string &protocol,
+                     const WorkloadParams &workload, unsigned n) const
+{
+    auto cfg = findProtocol(protocol);
+    if (!cfg) {
+        return makeError(
+            SolveErrorCode::UnknownProtocol, "Analyzer",
+            "unknown protocol '%s' (try a catalog name like 'Illinois' "
+            "or a mod string like '13')", protocol.c_str());
+    }
+    return tryAnalyze(*cfg, workload, n);
+}
+
+Expected<MvaResult>
+Analyzer::tryAnalyze(const ProtocolConfig &protocol,
+                     const WorkloadParams &workload, unsigned n) const
+{
+    // Check the workload up front: DerivedInputs::compute re-validates
+    // with a fatal() that a library path must never reach.
+    if (auto ok = workload.check(); !ok) {
+        return SolveError(ok.error())
+            .withContext(strprintf("Analyzer::tryAnalyze(%s, N=%u)",
+                                   protocol.name().c_str(), n));
+    }
     // snoop-lint: nonconvergence-ok (result forwarded to the caller,
     // who sees the converged flag; the solver's policy applies here)
-    return solver_.solve(
+    return solver_.trySolve(
         DerivedInputs::compute(workload, protocol, timing_), n);
 }
 
@@ -63,8 +86,11 @@ Analyzer::saturationPoint(const ProtocolConfig &protocol,
                           const WorkloadParams &workload, double target,
                           unsigned limit) const
 {
-    if (target <= 0.0 || target > 1.0)
-        fatal("Analyzer::saturationPoint: target must be in (0, 1]");
+    if (target <= 0.0 || target > 1.0) {
+        throw SolveException(makeError(
+            SolveErrorCode::InvalidArgument, "Analyzer::saturationPoint",
+            "target = %g must be in (0, 1]", target));
+    }
     auto inputs = DerivedInputs::compute(workload, protocol, timing_);
     // Utilization is monotone in N, so binary search. Unconverged
     // saturated probes are fine: busUtil is clamped to [0, 1] and the

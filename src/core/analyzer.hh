@@ -34,14 +34,30 @@ class Analyzer
 
     /**
      * Analyze a named protocol (catalog name or mod string - see
-     * findProtocol()); fatal() on an unknown name.
+     * findProtocol()); throws SolveException on an unknown name or a
+     * solve failure.
      */
     MvaResult analyze(const std::string &protocol,
                       const WorkloadParams &workload, unsigned n) const;
 
-    /** Analyze an explicit protocol configuration. */
+    /** Analyze an explicit protocol configuration; throws on error. */
     MvaResult analyze(const ProtocolConfig &protocol,
                       const WorkloadParams &workload, unsigned n) const;
+
+    /**
+     * Non-throwing analysis: an MvaResult or the structured error
+     * (UnknownProtocol, InvalidArgument for a bad workload,
+     * NonFiniteIterate/NumericRange from the solver). The primitive
+     * sweep cells and other batch drivers build fault isolation on.
+     */
+    Expected<MvaResult> tryAnalyze(const std::string &protocol,
+                                   const WorkloadParams &workload,
+                                   unsigned n) const;
+
+    /** Non-throwing analysis of an explicit configuration. */
+    Expected<MvaResult> tryAnalyze(const ProtocolConfig &protocol,
+                                   const WorkloadParams &workload,
+                                   unsigned n) const;
 
     /** Speedup sweep over processor counts. */
     std::vector<MvaResult> sweep(const ProtocolConfig &protocol,

@@ -2,22 +2,35 @@
 
 #include <cmath>
 
+#include "util/expected.hh"
 #include "util/logging.hh"
 
 namespace snoop {
+
+namespace {
+
+SolveError
+badQuery(std::string message)
+{
+    return makeError(SolveErrorCode::InvalidArgument,
+                     "solveForParameter", "%s", message.c_str());
+}
+
+} // namespace
 
 SolveForResult
 solveForParameter(const SolveForQuery &q, const Analyzer &analyzer)
 {
     if (!q.set)
-        fatal("solveForParameter: no parameter setter");
-    if (!(q.lo < q.hi))
-        fatal("solveForParameter: need lo < hi (got [%g, %g])", q.lo,
-              q.hi);
+        throw SolveException(badQuery("no parameter setter"));
+    if (!(q.lo < q.hi)) {
+        throw SolveException(badQuery(strprintf(
+            "need lo < hi (got [%g, %g])", q.lo, q.hi)));
+    }
     if (q.n == 0)
-        fatal("solveForParameter: need at least one processor");
+        throw SolveException(badQuery("need at least one processor"));
     if (q.tolerance <= 0.0)
-        fatal("solveForParameter: tolerance must be positive");
+        throw SolveException(badQuery("tolerance must be positive"));
 
     auto speedup_at = [&](double v) {
         WorkloadParams wl = q.base;

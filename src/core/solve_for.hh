@@ -42,7 +42,8 @@ struct SolveForResult
 /**
  * Bisect for the parameter value achieving the target speedup.
  * Requires the speedup response over [lo, hi] to be monotone (either
- * direction); fatal() on malformed queries.
+ * direction); throws SolveException (InvalidArgument) on malformed
+ * queries.
  */
 SolveForResult solveForParameter(const SolveForQuery &query,
                                  const Analyzer &analyzer = Analyzer());

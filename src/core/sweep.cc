@@ -1,8 +1,11 @@
 #include "core/sweep.hh"
 
 #include <map>
+#include <utility>
 
 #include "util/contracts.hh"
+#include "util/csv.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/strutil.hh"
@@ -56,35 +59,93 @@ sweepableParams()
     return names;
 }
 
-void
+Expected<void>
 SweepSpec::validate() const
 {
-    if (!set)
-        fatal("SweepSpec: no parameter setter (use findParamSetter)");
-    if (values.empty())
-        fatal("SweepSpec: no values to sweep");
-    if (protocols.empty())
-        fatal("SweepSpec: no protocols to evaluate");
-    if (n == 0)
-        fatal("SweepSpec: need at least one processor");
+    if (!set) {
+        return makeError(SolveErrorCode::InvalidArgument, "SweepSpec",
+                         "field 'set': no parameter setter (use "
+                         "findParamSetter)");
+    }
+    if (values.empty()) {
+        return makeError(SolveErrorCode::InvalidArgument, "SweepSpec",
+                         "field 'values': no values to sweep");
+    }
+    if (protocols.empty()) {
+        return makeError(SolveErrorCode::InvalidArgument, "SweepSpec",
+                         "field 'protocols': no protocols to evaluate");
+    }
+    if (n == 0) {
+        return makeError(SolveErrorCode::InvalidArgument, "SweepSpec",
+                         "field 'n': need at least one processor");
+    }
+    return {};
+}
+
+namespace {
+
+std::string
+protocolHeader(const ProtocolConfig &cfg)
+{
+    auto names = namesForConfig(cfg);
+    return names.empty() ? cfg.name() : names.front();
+}
+
+} // namespace
+
+bool
+SweepResult::cellFailed(size_t v, size_t p) const
+{
+    return v < errors.size() && p < errors[v].size() &&
+           errors[v][p].has_value();
+}
+
+size_t
+SweepResult::failureCount() const
+{
+    size_t count = 0;
+    for (const auto &row : errors) {
+        for (const auto &cell : row)
+            count += cell.has_value() ? 1 : 0;
+    }
+    return count;
+}
+
+std::string
+SweepResult::failureSummary() const
+{
+    std::vector<std::string> lines;
+    for (size_t v = 0; v < errors.size(); ++v) {
+        for (size_t p = 0; p < errors[v].size(); ++p) {
+            if (!errors[v][p])
+                continue;
+            lines.push_back(strprintf(
+                "%s=%s %s: %s", spec.paramName.c_str(),
+                formatCompact(spec.values[v], 4).c_str(),
+                protocolHeader(spec.protocols[p]).c_str(),
+                errors[v][p]->describe().c_str()));
+        }
+    }
+    return join(lines, "\n");
 }
 
 Table
 SweepResult::table() const
 {
     std::vector<std::string> headers = {spec.paramName};
-    for (const auto &cfg : spec.protocols) {
-        auto names = namesForConfig(cfg);
-        headers.push_back(names.empty() ? cfg.name() : names.front());
-    }
+    for (const auto &cfg : spec.protocols)
+        headers.push_back(protocolHeader(cfg));
     Table t(headers);
     t.setTitle(strprintf("speedup at N=%u while sweeping %s", spec.n,
                          spec.paramName.c_str()));
     for (size_t v = 0; v < spec.values.size(); ++v) {
         std::vector<std::string> row = {
             formatCompact(spec.values[v], 4)};
-        for (size_t p = 0; p < spec.protocols.size(); ++p)
-            row.push_back(formatDouble(results[v][p].speedup, 3));
+        for (size_t p = 0; p < spec.protocols.size(); ++p) {
+            row.push_back(cellFailed(v, p)
+                              ? "—"
+                              : formatDouble(results[v][p].speedup, 3));
+        }
         t.addRow(row);
     }
     return t;
@@ -93,7 +154,38 @@ SweepResult::table() const
 std::string
 SweepResult::csv() const
 {
-    return table().renderCsv();
+    // Built by hand rather than via table(): machine consumers need
+    // "nan" (not an em dash) in failed cells, plus a trailing errors
+    // column carrying the structured failure of each error cell.
+    std::vector<std::string> headers = {spec.paramName};
+    for (const auto &cfg : spec.protocols)
+        headers.push_back(protocolHeader(cfg));
+    headers.push_back("errors");
+
+    std::string out;
+    std::vector<std::string> fields;
+    for (const auto &h : headers)
+        fields.push_back(CsvWriter::escape(h));
+    out += join(fields, ",") + "\n";
+
+    for (size_t v = 0; v < spec.values.size(); ++v) {
+        fields = {CsvWriter::escape(formatCompact(spec.values[v], 4))};
+        std::vector<std::string> cell_errors;
+        for (size_t p = 0; p < spec.protocols.size(); ++p) {
+            if (cellFailed(v, p)) {
+                fields.push_back("nan");
+                cell_errors.push_back(
+                    protocolHeader(spec.protocols[p]) + ": " +
+                    errors[v][p]->describe());
+            } else {
+                fields.push_back(
+                    formatDouble(results[v][p].speedup, 3));
+            }
+        }
+        fields.push_back(CsvWriter::escape(join(cell_errors, "; ")));
+        out += join(fields, ",") + "\n";
+    }
+    return out;
 }
 
 std::vector<size_t>
@@ -108,9 +200,13 @@ SweepResult::winners() const
                       "results", v);
         // Ties resolve to the lowest protocol index (the column order
         // of SweepSpec::protocols), so winners() is deterministic.
-        size_t best = 0;
-        for (size_t p = 1; p < row.size(); ++p) {
-            if (row[p].speedup > row[best].speedup)
+        // Error cells never win; a row of only error cells yields
+        // kNoWinner.
+        size_t best = kNoWinner;
+        for (size_t p = 0; p < row.size(); ++p) {
+            if (cellFailed(v, p))
+                continue;
+            if (best == kNoWinner || row[p].speedup > row[best].speedup)
                 best = p;
         }
         out.push_back(best);
@@ -121,7 +217,7 @@ SweepResult::winners() const
 SweepResult
 runSweep(const SweepSpec &spec, const Analyzer &analyzer)
 {
-    spec.validate();
+    spec.validate().orThrow();
     SweepResult res;
     res.spec = spec;
     // Pre-sized result grid: each (value, protocol) cell is written by
@@ -131,15 +227,40 @@ runSweep(const SweepSpec &spec, const Analyzer &analyzer)
     const size_t num_protocols = spec.protocols.size();
     res.results.assign(spec.values.size(),
                        std::vector<MvaResult>(num_protocols));
+    res.errors.assign(
+        spec.values.size(),
+        std::vector<std::optional<SolveError>>(num_protocols));
     parallelFor(spec.values.size() * num_protocols, [&](size_t idx) {
         size_t v = idx / num_protocols;
         size_t p = idx % num_protocols;
-        WorkloadParams wl = spec.base;
-        spec.set(wl, spec.values[v]);
-        wl.validate();
-        res.results[v][p] = analyzer.analyze(spec.protocols[p], wl,
-                                             spec.n);
+        // Everything is caught *inside* the cell: an exception
+        // escaping into parallelFor would cancel the remaining cells,
+        // which is exactly the blast radius fault isolation exists to
+        // prevent.
+        try {
+            if (faultFires("sweep.cell", idx))
+                throw SolveException(injectedFault("sweep.cell", idx));
+            WorkloadParams wl = spec.base;
+            spec.set(wl, spec.values[v]);
+            auto r = analyzer.tryAnalyze(spec.protocols[p], wl, spec.n);
+            if (r)
+                res.results[v][p] = std::move(r).value();
+            else
+                res.errors[v][p] = std::move(r).error();
+        } catch (const SolveException &e) {
+            res.errors[v][p] = e.error();
+        } catch (const std::exception &e) {
+            res.errors[v][p] = makeError(
+                SolveErrorCode::Internal, "runSweep",
+                "unexpected exception in cell (%zu, %zu): %s", v, p,
+                e.what());
+        }
     });
+    if (size_t failed = res.failureCount(); failed > 0) {
+        warn("runSweep: %zu of %zu cells failed:\n%s", failed,
+             spec.values.size() * num_protocols,
+             res.failureSummary().c_str());
+    }
     return res;
 }
 

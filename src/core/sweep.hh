@@ -8,11 +8,14 @@
  * advertises, packaged as a reusable facility.
  */
 
+#include <cstddef>
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/analyzer.hh"
+#include "util/expected.hh"
 #include "util/table.hh"
 
 namespace snoop {
@@ -41,38 +44,72 @@ struct SweepSpec
     std::vector<ProtocolConfig> protocols; ///< columns
     unsigned n = 16;                ///< system size
 
-    /** fatal() on malformed specs. */
-    void validate() const;
+    /**
+     * Structured validity check: an InvalidArgument error naming the
+     * offending field ("set", "values", "protocols", "n") on a
+     * malformed spec.
+     */
+    Expected<void> validate() const;
 };
 
-/** Results of a sweep: results[v][p] for value v, protocol p. */
+/**
+ * Results of a sweep: results[v][p] for value v, protocol p.
+ *
+ * A cell whose solve failed is an *error cell*: errors[v][p] holds
+ * the structured failure, results[v][p] stays default-constructed,
+ * table() renders an em dash, csv() emits "nan" plus an errors
+ * column, and winners() skips it. One stiff grid point near bus
+ * saturation no longer takes down the whole design-space exploration.
+ */
 struct SweepResult
 {
+    /** winners() marker for a row whose cells all failed. */
+    static constexpr size_t kNoWinner = static_cast<size_t>(-1);
+
     SweepSpec spec;
     std::vector<std::vector<MvaResult>> results;
+    /** errors[v][p] is set iff cell (v, p) failed. */
+    std::vector<std::vector<std::optional<SolveError>>> errors;
+
+    /** True when cell (v, p) failed (false for hand-built results
+     *  with no error grid). */
+    bool cellFailed(size_t v, size_t p) const;
+
+    /** Number of failed cells in the grid. */
+    size_t failureCount() const;
+
+    /**
+     * One line per failed cell: "h_sw=0.3 Illinois: [code] ...".
+     * Empty string when every cell succeeded.
+     */
+    std::string failureSummary() const;
 
     /** Render as a table (one row per value, one column per protocol). */
     Table table() const;
 
-    /** Emit as CSV (same layout as table()). */
+    /** Emit as CSV (same layout as table(), plus an errors column). */
     std::string csv() const;
 
     /**
      * The protocol index with the highest speedup at each swept value
      * (crossover detection). Ties resolve to the lowest protocol
-     * index (column order of SweepSpec::protocols); empty rows are
+     * index (column order of SweepSpec::protocols); error cells are
+     * skipped and an all-failed row yields kNoWinner. Empty rows are
      * rejected with SNOOP_REQUIRE.
      */
     std::vector<size_t> winners() const;
 };
 
 /**
- * Run a sweep with the given analyzer (or a default one).
+ * Run a sweep with the given analyzer (or a default one). Throws
+ * SolveException on a malformed spec.
  *
  * Cells of the value x protocol grid are evaluated in parallel on the
  * process-wide pool (util/parallel.hh; sized by SNOOP_JOBS). Results
  * land in pre-sized slots, so output is bit-identical to a serial run
- * at any thread count.
+ * at any thread count. A failing cell (bad workload value, solver
+ * failure, injected fault) is captured as an error cell rather than
+ * propagating; a warn() summary reports the failures at the end.
  */
 SweepResult runSweep(const SweepSpec &spec,
                      const Analyzer &analyzer = Analyzer());

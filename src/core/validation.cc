@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "mva/solver.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/strutil.hh"
@@ -24,18 +25,39 @@ validate(const ValidationConfig &config)
         unsigned n = config.ns[i];
         ComparisonPoint &p = points[i];
         p.numProcessors = n;
-        p.mva = solver.solve(inputs, n);
+        // Isolate failures per point: an exception escaping into
+        // parallelFor would cancel the remaining comparison points.
+        try {
+            if (faultFires("validate.point", i)) {
+                throw SolveException(
+                    injectedFault("validate.point", i));
+            }
+            p.mva = solver.solve(inputs, n);
 
-        SimConfig sim_cfg;
-        sim_cfg.numProcessors = n;
-        sim_cfg.workload = config.workload;
-        sim_cfg.protocol = config.protocol;
-        sim_cfg.timing = config.timing;
-        sim_cfg.seed = config.seed + n; // distinct but reproducible
-        sim_cfg.warmupRequests = config.warmupRequests;
-        sim_cfg.measuredRequests = config.measuredRequests;
-        p.sim = simulate(sim_cfg);
+            SimConfig sim_cfg;
+            sim_cfg.numProcessors = n;
+            sim_cfg.workload = config.workload;
+            sim_cfg.protocol = config.protocol;
+            sim_cfg.timing = config.timing;
+            sim_cfg.seed = config.seed + n; // distinct but reproducible
+            sim_cfg.warmupRequests = config.warmupRequests;
+            sim_cfg.measuredRequests = config.measuredRequests;
+            p.sim = simulate(sim_cfg);
+        } catch (const SolveException &e) {
+            p.error = e.error();
+        } catch (const std::exception &e) {
+            p.error = makeError(SolveErrorCode::Internal, "validate",
+                                "unexpected exception at N=%u: %s", n,
+                                e.what());
+        }
     });
+    size_t failed = 0;
+    for (const auto &p : points)
+        failed += p.ok() ? 0 : 1;
+    if (failed > 0) {
+        warn("validate: %zu of %zu comparison points failed", failed,
+             points.size());
+    }
     return points;
 }
 
@@ -46,6 +68,11 @@ comparisonTable(const std::vector<ComparisonPoint> &points,
     Table t({"N", "MVA speedup", "sim speedup", "sim 95% CI", "error"});
     t.setTitle(title);
     for (const auto &p : points) {
+        if (!p.ok()) {
+            t.addRow({strprintf("%u", p.numProcessors), "—", "—", "—",
+                      "—"});
+            continue;
+        }
         t.addRow({
             strprintf("%u", p.numProcessors),
             formatDouble(p.mva.speedup, 3),
@@ -62,8 +89,10 @@ double
 maxAbsError(const std::vector<ComparisonPoint> &points)
 {
     double worst = 0.0;
-    for (const auto &p : points)
-        worst = std::max(worst, std::fabs(p.speedupError()));
+    for (const auto &p : points) {
+        if (p.ok())
+            worst = std::max(worst, std::fabs(p.speedupError()));
+    }
     return worst;
 }
 

@@ -9,11 +9,13 @@
  * GTPN's role.
  */
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "mva/result.hh"
 #include "sim/prob_sim.hh"
+#include "util/expected.hh"
 #include "util/table.hh"
 
 namespace snoop {
@@ -24,6 +26,11 @@ struct ComparisonPoint
     unsigned numProcessors = 0;
     MvaResult mva;
     SimResult sim;
+    /** Set iff this point failed; mva/sim are then default-valued. */
+    std::optional<SolveError> error;
+
+    /** True when the point solved and simulated successfully. */
+    bool ok() const { return !error.has_value(); }
 
     /** (MVA - sim) / sim speedup error. */
     double speedupError() const
@@ -51,7 +58,12 @@ struct ValidationConfig
     uint64_t measuredRequests = 300000;
 };
 
-/** Run the MVA and the simulator across @p config's sweep. */
+/**
+ * Run the MVA and the simulator across @p config's sweep. A failing
+ * point (solver failure, injected fault) is isolated: its error field
+ * is set and the remaining points still run; comparisonTable renders
+ * it with an em dash and maxAbsError skips it.
+ */
 std::vector<ComparisonPoint> validate(const ValidationConfig &config);
 
 /**

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/contracts.hh"
+#include "util/expected.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -12,20 +13,27 @@ namespace snoop {
 void
 HierarchicalConfig::validate() const
 {
-    if (clusters == 0 || processorsPerCluster == 0)
-        fatal("HierarchicalConfig: need at least one cluster and one "
-              "processor per cluster");
+    if (clusters == 0 || processorsPerCluster == 0) {
+        throw SolveException(makeError(
+            SolveErrorCode::InvalidArgument, "HierarchicalConfig",
+            "need at least one cluster and one processor per cluster"));
+    }
     if (tau < 0.0 || tSupply <= 0.0 || tLocalBus <= 0.0 ||
         tGlobalBus <= 0.0) {
-        fatal("HierarchicalConfig: times must be positive "
-              "(tau may be zero)");
+        throw SolveException(makeError(
+            SolveErrorCode::InvalidArgument, "HierarchicalConfig",
+            "times must be positive (tau may be zero)"));
     }
-    if (pLocal < 0.0 || pLocal > 1.0)
-        fatal("HierarchicalConfig: pLocal = %g is not a probability",
-              pLocal);
-    if (pRemote < 0.0 || pRemote > 1.0)
-        fatal("HierarchicalConfig: pRemote = %g is not a probability",
-              pRemote);
+    if (pLocal < 0.0 || pLocal > 1.0) {
+        throw SolveException(makeError(
+            SolveErrorCode::InvalidArgument, "HierarchicalConfig",
+            "pLocal = %g is not a probability", pLocal));
+    }
+    if (pRemote < 0.0 || pRemote > 1.0) {
+        throw SolveException(makeError(
+            SolveErrorCode::InvalidArgument, "HierarchicalConfig",
+            "pRemote = %g is not a probability", pRemote));
+    }
 }
 
 std::string
@@ -150,9 +158,11 @@ solveHierarchical(const HierarchicalConfig &config,
                  config.processorsPerCluster);
             break;
           case NonConvergencePolicy::Fatal:
-            fatal("solveHierarchical: no convergence after %d iterations "
-                  "(C=%u, P=%u)", options.maxIterations, config.clusters,
-                  config.processorsPerCluster);
+            throw SolveException(makeError(
+                SolveErrorCode::NonConvergence, "solveHierarchical",
+                "no convergence after %d iterations (C=%u, P=%u)",
+                options.maxIterations, config.clusters,
+                config.processorsPerCluster));
           case NonConvergencePolicy::Accept:
             break;
         }
@@ -174,9 +184,11 @@ hierarchicalFromFlat(const DerivedInputs &d, unsigned clusters,
                      unsigned processors_per_cluster,
                      double cluster_share)
 {
-    if (cluster_share < 0.0 || cluster_share > 1.0)
-        fatal("hierarchicalFromFlat: cluster_share = %g is not a "
-              "probability", cluster_share);
+    if (cluster_share < 0.0 || cluster_share > 1.0) {
+        throw SolveException(makeError(
+            SolveErrorCode::InvalidArgument, "hierarchicalFromFlat",
+            "cluster_share = %g is not a probability", cluster_share));
+    }
 
     HierarchicalConfig c;
     c.clusters = clusters;

@@ -61,7 +61,7 @@ struct HierarchicalConfig
         return clusters * processorsPerCluster;
     }
 
-    /** fatal() on malformed values. */
+    /** Throws SolveException (InvalidArgument) on malformed values. */
     void validate() const;
 };
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/contracts.hh"
+#include "util/expected.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -193,19 +194,26 @@ MulticlassResult
 solveMulticlass(const std::vector<ProcessorClass> &classes,
                 const MvaOptions &options)
 {
-    if (classes.empty())
-        fatal("solveMulticlass: need at least one class");
+    if (classes.empty()) {
+        throw SolveException(makeError(
+            SolveErrorCode::InvalidArgument, "solveMulticlass",
+            "need at least one class"));
+    }
     for (const auto &c : classes) {
-        if (c.count == 0)
-            fatal("solveMulticlass: class '%s' has zero processors",
-                  c.name.c_str());
+        if (c.count == 0) {
+            throw SolveException(makeError(
+                SolveErrorCode::InvalidArgument, "solveMulticlass",
+                "class '%s' has zero processors", c.name.c_str()));
+        }
         const BusTiming &a = classes.front().inputs.timing;
         const BusTiming &b = c.inputs.timing;
         if (std::fabs(a.tWrite - b.tWrite) > 1e-12 ||
             std::fabs(a.tSupply - b.tSupply) > 1e-12 ||
             std::fabs(a.dMem - b.dMem) > 1e-12 ||
             a.numModules != b.numModules) {
-            fatal("solveMulticlass: classes disagree on bus timing");
+            throw SolveException(makeError(
+                SolveErrorCode::InvalidArgument, "solveMulticlass",
+                "classes disagree on bus timing"));
         }
     }
 
@@ -222,8 +230,10 @@ solveMulticlass(const std::vector<ProcessorClass> &classes,
                  options.maxIterations);
             break;
           case NonConvergencePolicy::Fatal:
-            fatal("solveMulticlass: no convergence after %d iterations",
-                  options.maxIterations);
+            throw SolveException(makeError(
+                SolveErrorCode::NonConvergence, "solveMulticlass",
+                "no convergence after %d iterations",
+                options.maxIterations));
           case NonConvergencePolicy::Accept:
             break;
         }

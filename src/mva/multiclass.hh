@@ -58,7 +58,8 @@ struct MulticlassResult
 
 /**
  * Solve the multi-class model. All classes must share timing constants
- * (fatal() otherwise). With a single class the result matches
+ * (throws SolveException otherwise). With a single class the result
+ * matches
  * MvaSolver::solve exactly.
  */
 MulticlassResult solveMulticlass(const std::vector<ProcessorClass> &classes,

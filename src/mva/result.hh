@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "util/fixed_point.hh"
 #include "workload/derived.hh"
 
 namespace snoop {
@@ -48,8 +49,13 @@ struct MvaResult
     double tInterference = 0; ///< mean cycles per interfering snoop
 
     // solver diagnostics (Section 3.2)
-    int iterations = 0;     ///< iterations to convergence
+    int iterations = 0;     ///< iterations of the final attempt
     bool converged = false; ///< tolerance reached within the limit
+    double residual = 0;    ///< final |R_k - R_{k-1}| residual
+    /** The solve aborted on a non-finite iterate (all attempts). */
+    bool nonFinite = false;
+    /** One entry per damping-ladder attempt, in execution order. */
+    std::vector<SolveAttempt> attempts;
     /** |R_k - R_{k-1}| per iteration, for the convergence study. */
     std::vector<double> convergenceTrace;
 

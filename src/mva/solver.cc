@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "util/contracts.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -19,14 +21,25 @@ MvaResult::summary() const
         iterations, converged ? "" : ", NOT converged");
 }
 
+namespace {
+
+SolveError
+badOption(const char *detail)
+{
+    return makeError(SolveErrorCode::InvalidArgument, "MvaSolver",
+                     "%s", detail);
+}
+
+} // namespace
+
 MvaSolver::MvaSolver(MvaOptions opts) : opts_(opts)
 {
     if (opts_.maxIterations < 1)
-        fatal("MvaSolver: maxIterations must be >= 1");
+        throw SolveException(badOption("maxIterations must be >= 1"));
     if (opts_.tolerance <= 0.0)
-        fatal("MvaSolver: tolerance must be positive");
+        throw SolveException(badOption("tolerance must be positive"));
     if (opts_.damping <= 0.0 || opts_.damping > 1.0)
-        fatal("MvaSolver: damping must be in (0, 1]");
+        throw SolveException(badOption("damping must be in (0, 1]"));
 }
 
 namespace {
@@ -62,72 +75,140 @@ pBusyFromUtilization(double util, unsigned n)
  * Validity contract on a finished solve: the measures the paper
  * publishes (speedup, R, utilizations, busy probabilities) must be
  * finite and inside their defining ranges regardless of how hard the
- * fixed point fought. Anything else is corrupted solver state.
+ * fixed point fought. Anything else is corrupted solver state,
+ * reported as a NumericRange error rather than a panic so one bad
+ * grid point cannot take down a sweep.
  */
-void
-guardResult(const MvaResult &res)
+std::optional<SolveError>
+validateResult(const MvaResult &res)
 {
-    NumericGuard guard("MvaSolver",
-                       strprintf("N=%u protocol=%s", res.numProcessors,
-                                 res.inputs.protocol.name().c_str()));
-    guard.positive("responseTime", res.responseTime)
-        .positive("speedup", res.speedup)
-        .nonNegative("processingPower", res.processingPower)
-        .nonNegative("rLocal", res.rLocal)
-        .nonNegative("rBroadcast", res.rBroadcast)
-        .nonNegative("rRemoteRead", res.rRemoteRead)
-        .nonNegative("wBus", res.wBus)
-        .nonNegative("wMem", res.wMem)
-        .nonNegative("qBus", res.qBus)
-        .utilization("busUtil", res.busUtil)
-        .utilization("memUtil", res.memUtil)
-        .probability("pBusyBus", res.pBusyBus)
-        .probability("pBusyMem", res.pBusyMem)
-        .nonNegative("nInterference", res.nInterference)
-        .nonNegative("tInterference", res.tInterference);
+    // kind: 0 = strictly positive, 1 = non-negative, 2 = in [0, 1]
+    struct Check { const char *name; double value; int kind; };
+    const Check checks[] = {
+        {"responseTime", res.responseTime, 0},
+        {"speedup", res.speedup, 0},
+        {"processingPower", res.processingPower, 1},
+        {"rLocal", res.rLocal, 1},
+        {"rBroadcast", res.rBroadcast, 1},
+        {"rRemoteRead", res.rRemoteRead, 1},
+        {"wBus", res.wBus, 1},
+        {"wMem", res.wMem, 1},
+        {"qBus", res.qBus, 1},
+        {"busUtil", res.busUtil, 2},
+        {"memUtil", res.memUtil, 2},
+        {"pBusyBus", res.pBusyBus, 2},
+        {"pBusyMem", res.pBusyMem, 2},
+        {"nInterference", res.nInterference, 1},
+        {"tInterference", res.tInterference, 1},
+    };
+    for (const auto &c : checks) {
+        const char *violated = nullptr;
+        if (!std::isfinite(c.value))
+            violated = "a finite value";
+        else if (c.kind == 0 && c.value <= 0.0)
+            violated = "> 0";
+        else if (c.kind >= 1 && c.value < 0.0)
+            violated = ">= 0";
+        else if (c.kind == 2 && c.value > 1.0)
+            violated = "[0, 1]";
+        if (violated) {
+            return makeError(
+                SolveErrorCode::NumericRange, "MvaSolver",
+                "%s = %g violates %s (N=%u, protocol %s)", c.name,
+                c.value, violated, res.numProcessors,
+                res.inputs.protocol.name().c_str());
+        }
+    }
+    return std::nullopt;
+}
+
+SolveAttempt
+attemptOf(const MvaResult &res, double damping)
+{
+    SolveAttempt a;
+    a.damping = damping;
+    a.iterations = res.iterations;
+    a.residual = res.residual;
+    a.converged = res.converged;
+    a.nonFinite = res.nonFinite;
+    return a;
 }
 
 } // namespace
 
-MvaResult
-MvaSolver::solve(const DerivedInputs &d, unsigned n) const
+Expected<MvaResult>
+MvaSolver::trySolve(const DerivedInputs &d, unsigned n) const
 {
-    if (n == 0)
-        fatal("MvaSolver::solve: need at least one processor");
+    if (n == 0) {
+        return makeError(SolveErrorCode::InvalidArgument,
+                         "MvaSolver::solve",
+                         "need at least one processor");
+    }
+
+    // Fault-site arming is captured once per solve so injection is a
+    // pure function of the configuration, not of pool scheduling.
+    const bool inject_nonconverge = faultArmed("mva.nonconverge");
+    const bool inject_first = faultArmed("mva.first_attempt");
 
     // The paper's plain successive substitution (Section 3.2) converges
-    // quickly below saturation. Deep in saturation it can cycle, so on
-    // a failed attempt we re-run the whole solve with a heavier fixed
-    // damping factor (geometric contraction restores convergence).
-    MvaResult res = solveOnce(d, n, 0.0);
+    // quickly below saturation. Deep in saturation it can cycle or
+    // blow up, so on a failed attempt we re-run the whole solve with a
+    // heavier fixed damping factor (geometric contraction restores
+    // convergence). Every attempt is recorded for diagnostics.
+    std::vector<SolveAttempt> attempts;
+    MvaResult res =
+        solveOnce(d, n, 0.0, inject_nonconverge || inject_first);
+    attempts.push_back(attemptOf(res, opts_.damping));
     for (double damping : {0.5, 0.25, 0.1, 0.05}) {
         if (res.converged || damping >= opts_.damping)
             break;
-        res = solveOnce(d, n, damping);
+        res = solveOnce(d, n, damping, inject_nonconverge);
+        attempts.push_back(attemptOf(res, damping));
+    }
+    res.attempts = std::move(attempts);
+
+    if (res.nonFinite) {
+        return makeError(
+            SolveErrorCode::NonFiniteIterate, "MvaSolver::solve",
+            "iterate became non-finite in all %zu damping attempts "
+            "(N=%u, protocol %s)", res.attempts.size(), n,
+            d.protocol.name().c_str());
     }
     if (!res.converged) {
         switch (opts_.onNonConvergence) {
           case NonConvergencePolicy::Warn:
-            warn("MvaSolver: no convergence after %d iterations (N=%u, "
-                 "protocol %s)", opts_.maxIterations, n,
+            warn("MvaSolver: no convergence after %d iterations across "
+                 "%zu attempts (N=%u, protocol %s)",
+                 opts_.maxIterations, res.attempts.size(), n,
                  d.protocol.name().c_str());
             break;
           case NonConvergencePolicy::Fatal:
-            fatal("MvaSolver: no convergence after %d iterations (N=%u, "
-                  "protocol %s)", opts_.maxIterations, n,
-                  d.protocol.name().c_str());
+            return makeError(
+                SolveErrorCode::NonConvergence, "MvaSolver::solve",
+                "no convergence after %d iterations across %zu attempts "
+                "(N=%u, protocol %s)", opts_.maxIterations,
+                res.attempts.size(), n, d.protocol.name().c_str());
           case NonConvergencePolicy::Accept:
             break;
         }
     }
-    guardResult(res);
+    if (auto err = validateResult(res))
+        return std::move(*err);
     return res;
 }
 
 MvaResult
-MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
-                     double damping_override) const
+MvaSolver::solve(const DerivedInputs &d, unsigned n) const
 {
+    return trySolve(d, n).orThrow();
+}
+
+MvaResult
+MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
+                     double damping_override,
+                     bool force_nonconverge) const
+{
+    const bool inject_nan = faultArmed("mva.nan");
 
     const double num_proc = static_cast<double>(n);
     const double t_write = d.timing.tWrite;
@@ -216,12 +297,25 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
             ? std::max(0.0, q_bus - p_busy_bus) * t_bus +
                 p_busy_bus * t_res
             : 0.0;
+        if (inject_nan && it == 2)
+            w_bus_new = std::nan("");
 
         // --- Memory submodel, eq. (11)-(12) --------------------------
         double u_mem = num_proc * (1.0 / modules) * d.memFactor * d_mem /
             r_new;
         double p_busy_mem = pBusyFromUtilization(u_mem, n);
         double w_mem_new = p_busy_mem * d_mem / 2.0;
+
+        // --- Non-finite bail-out -------------------------------------
+        // Abort before the poisoned values reach the damped state, so
+        // the returned measures are the last finite iterate and the
+        // ladder can retry from a clean slate.
+        if (!std::isfinite(r_new) || !std::isfinite(w_bus_new) ||
+            !std::isfinite(w_mem_new)) {
+            res.iterations = it;
+            res.nonFinite = true;
+            break;
+        }
 
         // --- Damped update and convergence check ---------------------
         double w_bus_next = damping * w_bus_new + (1.0 - damping) * w_bus;
@@ -234,6 +328,7 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
         w_mem = w_mem_next;
         r_total = r_new;
         res.iterations = it;
+        res.residual = delta;
 
         res.rLocal = r_local;
         res.rBroadcast = r_bc;
@@ -248,7 +343,8 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
         res.nInterference = n_int;
         res.tInterference = t_int;
 
-        if (delta < opts_.tolerance * std::max(1.0, std::fabs(r_total))) {
+        if (!force_nonconverge &&
+            delta < opts_.tolerance * std::max(1.0, std::fabs(r_total))) {
             res.converged = true;
             break;
         }

@@ -13,6 +13,7 @@
 
 #include "mva/result.hh"
 #include "protocol/config.hh"
+#include "util/expected.hh"
 #include "util/fixed_point.hh"
 #include "workload/derived.hh"
 #include "workload/params.hh"
@@ -49,9 +50,21 @@ struct MvaOptions
 class MvaSolver
 {
   public:
+    /** Throws SolveException (InvalidArgument) on malformed options. */
     explicit MvaSolver(MvaOptions opts = {});
 
-    /** Solve for @p n processors; fatal() if n == 0. */
+    /**
+     * Solve for @p n processors without terminating or throwing.
+     * Errors: InvalidArgument (n == 0), NonFiniteIterate (a NaN/inf
+     * iterate survived the damping ladder), NonConvergence (only under
+     * NonConvergencePolicy::Fatal), NumericRange (a finished measure
+     * violates its defining range). Under Warn/Accept an unconverged
+     * solve is a *value* with converged == false.
+     */
+    Expected<MvaResult> trySolve(const DerivedInputs &inputs,
+                                 unsigned n) const;
+
+    /** Solve for @p n processors; throws SolveException on error. */
     MvaResult solve(const DerivedInputs &inputs, unsigned n) const;
 
     /** Convenience: derive inputs and solve in one call. */
@@ -69,10 +82,14 @@ class MvaSolver
   private:
     /**
      * One fixed-point run. @p damping_override replaces the configured
-     * damping when positive (used by the saturation fallback ladder).
+     * damping when positive (used by the saturation fallback ladder);
+     * @p force_nonconverge suppresses the convergence check (fault
+     * injection). A non-finite iterate aborts the run with nonFinite
+     * set instead of poisoning the returned measures.
      */
     MvaResult solveOnce(const DerivedInputs &inputs, unsigned n,
-                        double damping_override) const;
+                        double damping_override,
+                        bool force_nonconverge) const;
 
     MvaOptions opts_;
 };

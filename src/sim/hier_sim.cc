@@ -9,6 +9,7 @@
 #include "sim/event_queue.hh"
 #include "stats/student_t.hh"
 #include "util/contracts.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/strutil.hh"
@@ -196,11 +197,24 @@ simulateHierarchical(const HierSimConfig &config)
     return sim.run();
 }
 
+size_t
+HierReplicationSet::failureCount() const
+{
+    size_t count = 0;
+    for (const auto &e : errors)
+        count += e.has_value() ? 1 : 0;
+    return count;
+}
+
 std::string
 HierReplicationSet::summary() const
 {
-    return strprintf("%zu replications: speedup=%.3f (+/-%.3f)",
-                     runs.size(), speedup.mean, speedup.halfWidth);
+    std::string s = strprintf("%zu replications: speedup=%.3f (+/-%.3f)",
+                              runs.size(), speedup.mean,
+                              speedup.halfWidth);
+    if (size_t failed = failureCount(); failed > 0)
+        s += strprintf(" [%zu failed]", failed);
+    return s;
 }
 
 HierReplicationSet
@@ -222,21 +236,44 @@ simulateHierarchicalReplications(const HierSimConfig &base,
 
     HierReplicationSet set;
     set.runs.resize(replications); // pre-sized slots, one per worker
+    set.errors.resize(replications);
     parallelFor(replications, [&](size_t i) {
-        HierSimConfig cfg = base;
-        cfg.seed = seeds[i];
-        set.runs[i] = simulateHierarchical(cfg);
+        // Isolate failures per replication: an exception escaping
+        // into parallelFor would cancel the remaining replications.
+        try {
+            if (faultFires("sim.replication", i)) {
+                throw SolveException(
+                    injectedFault("sim.replication", i));
+            }
+            HierSimConfig cfg = base;
+            cfg.seed = seeds[i];
+            set.runs[i] = simulateHierarchical(cfg);
+        } catch (const SolveException &e) {
+            set.errors[i] = e.error();
+        } catch (const std::exception &e) {
+            set.errors[i] = makeError(
+                SolveErrorCode::Internal,
+                "simulateHierarchicalReplications",
+                "unexpected exception in replication %zu: %s", i,
+                e.what());
+        }
     });
 
     Accumulator speedups;
-    for (const auto &r : set.runs)
-        speedups.add(r.speedup);
+    for (size_t i = 0; i < set.runs.size(); ++i) {
+        if (!set.errors[i])
+            speedups.add(set.runs[i].speedup);
+    }
     set.speedup.batches = static_cast<unsigned>(speedups.count());
     set.speedup.mean = speedups.mean();
     set.speedup.halfWidth = speedups.count() >= 2
         ? studentTCritical(static_cast<unsigned>(speedups.count()) - 1,
                            0.95) * speedups.stdError()
         : std::numeric_limits<double>::infinity();
+    if (size_t failed = set.failureCount(); failed > 0) {
+        warn("simulateHierarchicalReplications: %zu of %u replications "
+             "failed", failed, replications);
+    }
     return set;
 }
 

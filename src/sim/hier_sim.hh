@@ -11,10 +11,13 @@
  */
 
 #include <cstdint>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "mva/hierarchical.hh"
 #include "stats/batch_means.hh"
+#include "util/expected.hh"
 
 namespace snoop {
 
@@ -55,8 +58,14 @@ struct HierReplicationSet
 {
     /** Per-replication results, ordered by replication index. */
     std::vector<HierSimResult> runs;
+    /** errors[i] is set iff replication i failed (runs[i] is then
+     *  default-valued and excluded from the statistics). */
+    std::vector<std::optional<SolveError>> errors;
     /** Across-replication speedup estimate (Student-t over runs). */
     ConfidenceInterval speedup;
+
+    /** Number of failed replications. */
+    size_t failureCount() const;
 
     /** One-line summary for logs and examples. */
     std::string summary() const;

@@ -12,6 +12,7 @@
 #include "sim/memory.hh"
 #include "stats/student_t.hh"
 #include "util/contracts.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
 #include "util/strutil.hh"
@@ -440,13 +441,25 @@ simulate(const SimConfig &config)
     return r;
 }
 
+size_t
+ReplicationSet::failureCount() const
+{
+    size_t count = 0;
+    for (const auto &e : errors)
+        count += e.has_value() ? 1 : 0;
+    return count;
+}
+
 std::string
 ReplicationSet::summary() const
 {
-    return strprintf(
+    std::string s = strprintf(
         "%zu replications: speedup=%.3f (+/-%.3f) R=%.3f (+/-%.3f)",
         runs.size(), speedup.mean, speedup.halfWidth, responseTime.mean,
         responseTime.halfWidth);
+    if (size_t failed = failureCount(); failed > 0)
+        s += strprintf(" [%zu failed]", failed);
+    return s;
 }
 
 namespace {
@@ -484,19 +497,43 @@ simulateReplications(const SimConfig &base, unsigned replications)
 
     ReplicationSet set;
     set.runs.resize(replications); // pre-sized slots, one per worker
+    set.errors.resize(replications);
     parallelFor(replications, [&](size_t i) {
-        SimConfig cfg = base;
-        cfg.seed = seeds[i];
-        set.runs[i] = simulate(cfg);
+        // Isolate failures per replication: an exception escaping
+        // into parallelFor would cancel the remaining replications.
+        try {
+            if (faultFires("sim.replication", i)) {
+                throw SolveException(
+                    injectedFault("sim.replication", i));
+            }
+            SimConfig cfg = base;
+            cfg.seed = seeds[i];
+            set.runs[i] = simulate(cfg);
+        } catch (const SolveException &e) {
+            set.errors[i] = e.error();
+        } catch (const std::exception &e) {
+            set.errors[i] = makeError(
+                SolveErrorCode::Internal, "simulateReplications",
+                "unexpected exception in replication %zu: %s", i,
+                e.what());
+        }
     });
 
+    // Statistics run over the successful replications only; the
+    // summary reports how many were excluded.
     Accumulator speedups, responses;
-    for (const auto &r : set.runs) {
-        speedups.add(r.speedup);
-        responses.add(r.responseTime.mean);
+    for (size_t i = 0; i < set.runs.size(); ++i) {
+        if (set.errors[i])
+            continue;
+        speedups.add(set.runs[i].speedup);
+        responses.add(set.runs[i].responseTime.mean);
     }
     set.speedup = acrossReplications(speedups);
     set.responseTime = acrossReplications(responses);
+    if (size_t failed = set.failureCount(); failed > 0) {
+        warn("simulateReplications: %zu of %u replications failed",
+             failed, replications);
+    }
     return set;
 }
 

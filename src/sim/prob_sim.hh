@@ -117,10 +117,16 @@ struct ReplicationSet
 {
     /** Per-replication results, ordered by replication index. */
     std::vector<SimResult> runs;
+    /** errors[i] is set iff replication i failed (runs[i] is then
+     *  default-valued and excluded from the statistics). */
+    std::vector<std::optional<SolveError>> errors;
     /** Across-replication speedup estimate (Student-t over runs). */
     ConfidenceInterval speedup;
     /** Across-replication mean response-time estimate. */
     ConfidenceInterval responseTime;
+
+    /** Number of failed replications. */
+    size_t failureCount() const;
 
     /** One-line summary for logs and examples. */
     std::string summary() const;

@@ -1,0 +1,75 @@
+#include "util/atomic_file.hh"
+
+#include <atomic>
+#include <cstdio>
+
+#include <unistd.h>
+
+#include "util/fault.hh"
+#include "util/logging.hh"
+
+namespace snoop {
+
+namespace {
+
+// Distinguishes temporaries when one process stages several files
+// with the same destination (e.g. a test overwriting its own output).
+std::atomic<uint64_t> g_tmp_seq{0};
+
+} // namespace
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path))
+{
+    tmp_path_ = strprintf("%s.tmp.%ld.%llu", path_.c_str(),
+                          static_cast<long>(::getpid()),
+                          static_cast<unsigned long long>(
+                              g_tmp_seq.fetch_add(1)));
+    out_.open(tmp_path_);
+}
+
+AtomicFile::~AtomicFile()
+{
+    if (!committed_)
+        discard();
+}
+
+Expected<void>
+AtomicFile::commit()
+{
+    if (committed_)
+        return {};
+    if (discarded_) {
+        return makeError(SolveErrorCode::IoError, "AtomicFile::commit",
+                         "'%s' was already discarded", path_.c_str());
+    }
+    out_.flush();
+    bool write_ok = static_cast<bool>(out_);
+    out_.close();
+    if (!write_ok || faultArmed("io.commit")) {
+        discard();
+        return makeError(SolveErrorCode::IoError, "AtomicFile::commit",
+                         "failed to write '%s' (temporary discarded, "
+                         "destination untouched)", path_.c_str());
+    }
+    if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
+        discard();
+        return makeError(SolveErrorCode::IoError, "AtomicFile::commit",
+                         "cannot rename '%s' to '%s'",
+                         tmp_path_.c_str(), path_.c_str());
+    }
+    committed_ = true;
+    return {};
+}
+
+void
+AtomicFile::discard()
+{
+    if (committed_ || discarded_)
+        return;
+    if (out_.is_open())
+        out_.close();
+    std::remove(tmp_path_.c_str());
+    discarded_ = true;
+}
+
+} // namespace snoop

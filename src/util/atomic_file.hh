@@ -1,0 +1,71 @@
+#pragma once
+
+/**
+ * @file
+ * Atomic file output: write to a temporary, rename into place.
+ *
+ * Result files (CSV tables, benchmark JSON) are consumed by external
+ * tools; a half-written file from an interrupted or failed run is
+ * worse than no file, because it silently truncates the data set. An
+ * AtomicFile stages all output in `<path>.tmp.<pid>.<seq>` and only
+ * renames it over the destination on a successful commit(), so the
+ * destination is always either the previous complete file or the new
+ * complete file - never a torn mix.
+ *
+ * The fault site `io.commit` (util/fault.hh) forces commit() to fail,
+ * which is how tests prove the destination survives a failed write.
+ */
+
+#include <fstream>
+#include <string>
+
+#include "util/expected.hh"
+
+namespace snoop {
+
+/**
+ * An output file that becomes visible at its destination path only on
+ * commit(). Destruction without commit() discards the temporary and
+ * leaves any existing destination untouched.
+ */
+class AtomicFile
+{
+  public:
+    /** Stage output for @p path; check ok() before writing. */
+    explicit AtomicFile(std::string path);
+
+    AtomicFile(const AtomicFile &) = delete;
+    AtomicFile &operator=(const AtomicFile &) = delete;
+
+    /** Discards the temporary if commit() was never called. */
+    ~AtomicFile();
+
+    /** True when the temporary opened and no write has failed. */
+    bool ok() const { return static_cast<bool>(out_); }
+
+    /** The stream to write through (valid only while ok()). */
+    std::ofstream &stream() { return out_; }
+
+    /** The destination path this file will commit to. */
+    const std::string &path() const { return path_; }
+
+    /**
+     * Flush, close, and rename the temporary over the destination.
+     * Idempotent: a second call after success is a no-op. On failure
+     * the temporary is removed and an IoError is returned; the
+     * destination keeps its previous contents.
+     */
+    Expected<void> commit();
+
+    /** Remove the temporary without touching the destination. */
+    void discard();
+
+  private:
+    std::string path_;
+    std::string tmp_path_;
+    std::ofstream out_;
+    bool committed_ = false;
+    bool discarded_ = false;
+};
+
+} // namespace snoop

@@ -5,10 +5,18 @@
 
 namespace snoop {
 
-CsvWriter::CsvWriter(const std::string &path) : out_(path), path_(path)
+CsvWriter::CsvWriter(const std::string &path) : out_(path)
 {
-    if (!out_)
+    if (!out_.ok())
         fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+}
+
+CsvWriter::~CsvWriter()
+{
+    if (closed_)
+        return;
+    if (auto ok = close(); !ok)
+        warn("%s", ok.error().describe().c_str());
 }
 
 void
@@ -24,9 +32,16 @@ CsvWriter::row(const std::vector<std::string> &fields)
     escaped.reserve(fields.size());
     for (const auto &f : fields)
         escaped.push_back(escape(f));
-    out_ << join(escaped, ",") << "\n";
-    if (!out_)
-        fatal("CsvWriter: write to '%s' failed", path_.c_str());
+    out_.stream() << join(escaped, ",") << "\n";
+    if (!out_.ok())
+        fatal("CsvWriter: write to '%s' failed", out_.path().c_str());
+}
+
+Expected<void>
+CsvWriter::close()
+{
+    closed_ = true;
+    return out_.commit();
 }
 
 void

@@ -6,21 +6,30 @@
  * into external plotting tools.
  */
 
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "util/atomic_file.hh"
+#include "util/expected.hh"
 
 namespace snoop {
 
 /**
  * Streams rows of values to a CSV file. Fields containing commas,
  * quotes, or newlines are quoted per RFC 4180.
+ *
+ * Output is staged through an AtomicFile: the destination only
+ * changes on a successful close() (or destruction), so an interrupted
+ * run can never leave a truncated CSV behind.
  */
 class CsvWriter
 {
   public:
     /** Open @p path for writing; fatal() on failure. */
     explicit CsvWriter(const std::string &path);
+
+    /** Commits on destruction (warn() if the commit fails). */
+    ~CsvWriter();
 
     /** Write the header row (call once, first). */
     void header(const std::vector<std::string> &names);
@@ -31,12 +40,18 @@ class CsvWriter
     /** Write one row of doubles with @p digits precision. */
     void rowDoubles(const std::vector<double> &values, int digits = 6);
 
+    /**
+     * Commit the file to its destination path. Idempotent; an IoError
+     * leaves any previous destination contents untouched.
+     */
+    Expected<void> close();
+
     /** Quote a field per RFC 4180 if it needs quoting. */
     static std::string escape(const std::string &field);
 
   private:
-    std::ofstream out_;
-    std::string path_;
+    AtomicFile out_;
+    bool closed_ = false;
 };
 
 } // namespace snoop

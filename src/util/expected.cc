@@ -1,0 +1,86 @@
+#include "util/expected.hh"
+
+#include <cstdarg>
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+const char *
+to_string(SolveErrorCode code)
+{
+    switch (code) {
+      case SolveErrorCode::InvalidArgument:
+        return "invalid-argument";
+      case SolveErrorCode::UnknownProtocol:
+        return "unknown-protocol";
+      case SolveErrorCode::NonConvergence:
+        return "non-convergence";
+      case SolveErrorCode::NonFiniteIterate:
+        return "non-finite-iterate";
+      case SolveErrorCode::NumericRange:
+        return "numeric-range";
+      case SolveErrorCode::BudgetExhausted:
+        return "budget-exhausted";
+      case SolveErrorCode::InjectedFault:
+        return "injected-fault";
+      case SolveErrorCode::IoError:
+        return "io-error";
+      case SolveErrorCode::Internal:
+        return "internal";
+    }
+    panic("to_string(SolveErrorCode): bad code %d",
+          static_cast<int>(code));
+}
+
+SolveError &
+SolveError::withContext(std::string frame) &
+{
+    context.push_back(std::move(frame));
+    return *this;
+}
+
+SolveError &&
+SolveError::withContext(std::string frame) &&
+{
+    context.push_back(std::move(frame));
+    return std::move(*this);
+}
+
+std::string
+SolveError::describe() const
+{
+    std::string out = "[";
+    out += to_string(code);
+    out += "] ";
+    if (!site.empty()) {
+        out += site;
+        out += ": ";
+    }
+    out += message;
+    for (const auto &frame : context) {
+        out += "; in ";
+        out += frame;
+    }
+    return out;
+}
+
+SolveError
+makeError(SolveErrorCode code, std::string site, const char *fmt, ...)
+{
+    SolveError err;
+    err.code = code;
+    err.site = std::move(site);
+    va_list args;
+    va_start(args, fmt);
+    err.message = vstrprintf(fmt, args);
+    va_end(args);
+    return err;
+}
+
+SolveException::SolveException(SolveError error)
+    : std::runtime_error(error.describe()), error_(std::move(error))
+{
+}
+
+} // namespace snoop

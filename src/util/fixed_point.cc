@@ -1,8 +1,10 @@
 #include "util/fixed_point.hh"
 
+#include <chrono>
 #include <cmath>
 
 #include "util/contracts.hh"
+#include "util/fault.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -15,48 +17,147 @@ FixedPointSolver::FixedPointSolver(FixedPointOptions opts) : opts_(opts)
         panic("FixedPointSolver: damping must be in (0, 1]");
     if (opts_.tolerance <= 0.0)
         panic("FixedPointSolver: tolerance must be positive");
+    if (opts_.timeBudget < 0.0)
+        panic("FixedPointSolver: timeBudget must be >= 0");
+    if (opts_.iterationBudget < 0)
+        panic("FixedPointSolver: iterationBudget must be >= 0");
+}
+
+Expected<FixedPointResult>
+FixedPointSolver::trySolve(const UpdateFn &f, std::vector<double> x0) const
+{
+    using clock = std::chrono::steady_clock;
+
+    // The recovery ladder: the configured damping first, then
+    // progressively heavier rungs, each restarting from the original
+    // x0 so a diverged iterate cannot contaminate the retry.
+    std::vector<double> ladder{opts_.damping};
+    if (opts_.recoveryLadder) {
+        for (double d : {0.5, 0.25, 0.1}) {
+            if (d < ladder.back())
+                ladder.push_back(d);
+        }
+    }
+
+    // Fault-site arming is captured once per solve so an injected
+    // failure is a pure function of the configuration, not of timing.
+    const bool inject_nan = faultArmed("fixed_point.nan");
+    const bool inject_nonconverge = faultArmed("fixed_point.nonconverge");
+    const bool inject_first = faultArmed("fixed_point.first_attempt");
+
+    const bool budgeted_time = opts_.timeBudget > 0.0;
+    const clock::time_point deadline =
+        clock::now() + std::chrono::duration_cast<clock::duration>(
+                           std::chrono::duration<double>(opts_.timeBudget));
+    long iters_used = 0;
+
+    FixedPointResult res;
+    for (size_t rung = 0; rung < ladder.size(); ++rung) {
+        int max_it = opts_.maxIterations;
+        if (opts_.iterationBudget > 0) {
+            long remaining = opts_.iterationBudget - iters_used;
+            if (remaining <= 0) {
+                res.budgetExhausted = true;
+                break;
+            }
+            if (remaining < max_it)
+                max_it = static_cast<int>(remaining);
+        }
+
+        SolveAttempt attempt;
+        attempt.damping = ladder[rung];
+        const bool force_fail =
+            inject_nonconverge || (inject_first && rung == 0);
+
+        std::vector<double> x = x0;
+        bool out_of_time = false;
+        for (int it = 1; it <= max_it; ++it) {
+            if (budgeted_time && clock::now() >= deadline) {
+                out_of_time = true;
+                break;
+            }
+            std::vector<double> next = f(x);
+            if (next.size() != x.size())
+                panic("FixedPointSolver: update changed dimension");
+            if (inject_nan && !next.empty())
+                next[0] = std::nan("");
+            ++iters_used;
+            attempt.iterations = it;
+
+            bool finite = true;
+            for (double v : next) {
+                if (!std::isfinite(v)) {
+                    finite = false;
+                    break;
+                }
+            }
+            if (!finite) {
+                // Abort the attempt, keeping the last finite iterate.
+                attempt.nonFinite = true;
+                break;
+            }
+
+            double resid = 0.0;
+            for (size_t i = 0; i < next.size(); ++i) {
+                double blended = attempt.damping * next[i] +
+                                 (1.0 - attempt.damping) * x[i];
+                resid = std::max(resid, std::fabs(blended - x[i]));
+                next[i] = blended;
+            }
+            x = std::move(next);
+            attempt.residual = resid;
+            if (!force_fail && resid < opts_.tolerance) {
+                attempt.converged = true;
+                break;
+            }
+        }
+
+        res.attempts.push_back(attempt);
+        res.x = std::move(x);
+        res.iterations = attempt.iterations;
+        res.residual = attempt.residual;
+        res.converged = attempt.converged;
+        res.nonFinite = attempt.nonFinite;
+        if (attempt.converged)
+            break;
+        if (out_of_time) {
+            res.budgetExhausted = true;
+            break;
+        }
+    }
+
+    if (res.converged) {
+        NumericGuard("FixedPointSolver").finiteVector("x", res.x);
+    } else if (res.nonFinite && !res.budgetExhausted) {
+        return makeError(
+            SolveErrorCode::NonFiniteIterate, "FixedPointSolver::trySolve",
+            "iterate became non-finite in all %zu recovery attempts "
+            "(last damping %g, iteration %d)",
+            res.attempts.size(), res.attempts.back().damping,
+            res.iterations);
+    }
+    return res;
 }
 
 FixedPointResult
 FixedPointSolver::solve(const UpdateFn &f, std::vector<double> x0) const
 {
-    FixedPointResult res;
-    res.x = std::move(x0);
-    for (int it = 1; it <= opts_.maxIterations; ++it) {
-        std::vector<double> next = f(res.x);
-        if (next.size() != res.x.size())
-            panic("FixedPointSolver: update changed dimension");
-        double resid = 0.0;
-        for (size_t i = 0; i < next.size(); ++i) {
-            SNOOP_NUMERIC_CHECK(
-                !std::isnan(next[i]),
-                "iterate component %zu became NaN at iteration %d", i, it);
-            double blended =
-                opts_.damping * next[i] + (1.0 - opts_.damping) * res.x[i];
-            resid = std::max(resid, std::fabs(blended - res.x[i]));
-            next[i] = blended;
-        }
-        res.x = std::move(next);
-        res.iterations = it;
-        res.residual = resid;
-        if (resid < opts_.tolerance) {
-            res.converged = true;
-            break;
-        }
-    }
-    if (res.converged) {
-        NumericGuard("FixedPointSolver").finiteVector("x", res.x);
-    } else {
+    FixedPointResult res = trySolve(f, std::move(x0)).orThrow();
+    if (!res.converged) {
         switch (opts_.onNonConvergence) {
           case NonConvergencePolicy::Warn:
             warn("FixedPointSolver: no convergence after %d iterations "
-                 "(residual %g, tolerance %g)",
-                 res.iterations, res.residual, opts_.tolerance);
+                 "across %zu attempts (residual %g, tolerance %g)",
+                 res.iterations, res.attempts.size(), res.residual,
+                 opts_.tolerance);
             break;
           case NonConvergencePolicy::Fatal:
-            fatal("FixedPointSolver: no convergence after %d iterations "
-                  "(residual %g, tolerance %g)",
-                  res.iterations, res.residual, opts_.tolerance);
+            throw SolveException(makeError(
+                SolveErrorCode::NonConvergence, "FixedPointSolver::solve",
+                "no convergence after %d iterations across %zu attempts "
+                "(residual %g, tolerance %g)",
+                res.iterations, res.attempts.size(), res.residual,
+                opts_.tolerance));
           case NonConvergencePolicy::Accept:
             break;
         }

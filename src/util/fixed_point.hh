@@ -5,10 +5,18 @@
  * Generic damped fixed-point iteration, the numerical engine behind
  * the paper's Section 3.2 ("the equations must be solved iteratively
  * ... starting with all waiting times set to zero").
+ *
+ * The engine is fault-isolated: trySolve() reports failures as
+ * structured SolveErrors instead of terminating, and a built-in
+ * recovery ladder (escalating damping, restart from the original x0)
+ * rescues the oscillating or diverging solves that plain successive
+ * substitution cannot handle near bus saturation.
  */
 
 #include <functional>
 #include <vector>
+
+#include "util/expected.hh"
 
 namespace snoop {
 
@@ -21,8 +29,22 @@ namespace snoop {
  */
 enum class NonConvergencePolicy {
     Warn,   ///< warn() and return the last iterate (default)
-    Fatal,  ///< fatal(): treat as an unusable configuration, exit(1)
+    Fatal,  ///< throw SolveException: treat as an unusable configuration
     Accept, ///< return silently; caller promises to check converged
+};
+
+/**
+ * One rung of a recovery ladder: how a single solve attempt at a
+ * given damping factor ended. Shared by FixedPointSolver and
+ * MvaSolver so diagnostics read uniformly.
+ */
+struct SolveAttempt
+{
+    double damping = 1.0;   ///< damping factor used for this attempt
+    int iterations = 0;     ///< iterations performed in this attempt
+    double residual = 0.0;  ///< final residual of this attempt
+    bool converged = false; ///< attempt reached the tolerance
+    bool nonFinite = false; ///< attempt aborted on a NaN/inf iterate
 };
 
 /** Options controlling FixedPointSolver. */
@@ -40,22 +62,48 @@ struct FixedPointOptions
     double damping = 1.0;
     /** Behavior when maxIterations elapse without convergence. */
     NonConvergencePolicy onNonConvergence = NonConvergencePolicy::Warn;
+    /**
+     * When the attempt at `damping` fails (non-convergence or a
+     * non-finite iterate), retry from the original x0 with
+     * progressively heavier damping (0.5, 0.25, 0.1 - skipping rungs
+     * not below the current factor). Disable to observe the raw
+     * single-attempt behavior.
+     */
+    bool recoveryLadder = true;
+    /**
+     * Wall-clock budget in seconds across all ladder attempts; 0
+     * means unbudgeted. Exhaustion is recorded in the result
+     * (budgetExhausted), not treated as an error.
+     */
+    double timeBudget = 0.0;
+    /**
+     * Total iteration budget across all ladder attempts; 0 means
+     * each attempt gets maxIterations on its own.
+     */
+    long iterationBudget = 0;
 };
 
 /** Result of a fixed-point solve. */
 struct FixedPointResult
 {
     std::vector<double> x;      ///< final iterate
-    int iterations = 0;         ///< iterations actually performed
+    int iterations = 0;         ///< iterations of the final attempt
     bool converged = false;     ///< true if tolerance was reached
     double residual = 0.0;      ///< final max absolute component change
+    /** One entry per recovery-ladder attempt, in execution order. */
+    std::vector<SolveAttempt> attempts;
+    /** The final attempt aborted on a NaN/inf iterate. */
+    bool nonFinite = false;
+    /** The time/iteration budget cut the ladder short. */
+    bool budgetExhausted = false;
 };
 
 /**
  * Solves x = f(x) by (optionally damped) successive substitution.
  *
  * The update function receives the current iterate and returns the next
- * one; the solver handles convergence detection and damping.
+ * one; the solver handles convergence detection, damping, and the
+ * recovery ladder.
  */
 class FixedPointSolver
 {
@@ -67,6 +115,18 @@ class FixedPointSolver
 
     /**
      * Run the iteration from @p x0.
+     *
+     * Never terminates the process: a non-finite iterate that
+     * survives the recovery ladder comes back as a NonFiniteIterate
+     * error; non-convergence is a *value* with converged == false
+     * (the policy is the caller-facing solve()'s business).
+     */
+    Expected<FixedPointResult> trySolve(const UpdateFn &f,
+                                        std::vector<double> x0) const;
+
+    /**
+     * Run the iteration from @p x0, applying onNonConvergence and
+     * throwing SolveException on a NonFiniteIterate error.
      * @param f  update function computing the next iterate
      * @param x0 starting point
      */

@@ -38,28 +38,46 @@ formatPercent(double fraction, int digits)
     return strprintf("%.*f%%", digits, fraction * 100.0);
 }
 
+size_t
+displayWidth(const std::string &s)
+{
+    // Count UTF-8 code points (continuation bytes 0b10xxxxxx don't
+    // start one). The few non-ASCII glyphs in this tree (the error
+    // cells' em dash) are all single-column, so code points are an
+    // adequate stand-in for terminal columns.
+    size_t width = 0;
+    for (unsigned char c : s) {
+        if ((c & 0xc0) != 0x80)
+            ++width;
+    }
+    return width;
+}
+
 std::string
 padLeft(const std::string &s, size_t width)
 {
-    if (s.size() >= width)
+    size_t w = displayWidth(s);
+    if (w >= width)
         return s;
-    return std::string(width - s.size(), ' ') + s;
+    return std::string(width - w, ' ') + s;
 }
 
 std::string
 padRight(const std::string &s, size_t width)
 {
-    if (s.size() >= width)
+    size_t w = displayWidth(s);
+    if (w >= width)
         return s;
-    return s + std::string(width - s.size(), ' ');
+    return s + std::string(width - w, ' ');
 }
 
 std::string
 padCenter(const std::string &s, size_t width)
 {
-    if (s.size() >= width)
+    size_t w = displayWidth(s);
+    if (w >= width)
         return s;
-    size_t total = width - s.size();
+    size_t total = width - w;
     size_t left = total / 2;
     return std::string(left, ' ') + s + std::string(total - left, ' ');
 }

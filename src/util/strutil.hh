@@ -23,6 +23,12 @@ std::string formatCompact(double value, int max_digits, int min_digits = 0);
 /** Format a value as a percentage string, e.g. 0.0312 -> "3.12%". */
 std::string formatPercent(double fraction, int digits = 2);
 
+/**
+ * Terminal display width of @p s: UTF-8 code points, not bytes (the
+ * em dash a failed sweep cell renders as is 3 bytes, 1 column).
+ */
+size_t displayWidth(const std::string &s);
+
 /** Left-pad @p s with spaces to width @p width. */
 std::string padLeft(const std::string &s, size_t width);
 

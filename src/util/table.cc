@@ -48,10 +48,10 @@ Table::render() const
 {
     std::vector<size_t> widths(headers_.size());
     for (size_t c = 0; c < headers_.size(); ++c)
-        widths[c] = headers_[c].size();
+        widths[c] = displayWidth(headers_[c]);
     for (const auto &row : rows_) {
         for (size_t c = 0; c < row.size(); ++c)
-            widths[c] = std::max(widths[c], row[c].size());
+            widths[c] = std::max(widths[c], displayWidth(row[c]));
     }
 
     auto pad = [&](const std::string &s, size_t c) {

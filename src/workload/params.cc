@@ -20,40 +20,55 @@ to_string(SharingLevel level)
     panic("to_string(SharingLevel): bad level %d", static_cast<int>(level));
 }
 
-namespace {
-
-void
-checkProb(const char *name, double v)
+Expected<void>
+WorkloadParams::check() const
 {
-    if (std::isnan(v) || v < 0.0 || v > 1.0)
-        fatal("WorkloadParams: %s = %g is not a probability", name, v);
+    if (std::isnan(tau) || tau < 0.0) {
+        return makeError(SolveErrorCode::InvalidArgument,
+                         "WorkloadParams",
+                         "tau = %g must be non-negative", tau);
+    }
+    struct Field { const char *name; double value; };
+    const Field streams[] = {
+        {"pPrivate", pPrivate}, {"pSro", pSro}, {"pSw", pSw}};
+    const Field probs[] = {
+        {"hPrivate", hPrivate},       {"hSro", hSro},
+        {"hSw", hSw},                 {"rPrivate", rPrivate},
+        {"rSw", rSw},                 {"amodPrivate", amodPrivate},
+        {"amodSw", amodSw},           {"csupplySro", csupplySro},
+        {"csupplySw", csupplySw},     {"wbCsupply", wbCsupply},
+        {"repP", repP},               {"repSw", repSw}};
+    auto checkProb = [](const Field &f) -> Expected<void> {
+        if (std::isnan(f.value) || f.value < 0.0 || f.value > 1.0) {
+            return makeError(SolveErrorCode::InvalidArgument,
+                             "WorkloadParams",
+                             "%s = %g is not a probability", f.name,
+                             f.value);
+        }
+        return {};
+    };
+    for (const auto &f : streams) {
+        if (auto ok = checkProb(f); !ok)
+            return ok;
+    }
+    double sum = pPrivate + pSro + pSw;
+    if (std::fabs(sum - 1.0) > 1e-9) {
+        return makeError(SolveErrorCode::InvalidArgument,
+                         "WorkloadParams",
+                         "stream probabilities sum to %g, not 1", sum);
+    }
+    for (const auto &f : probs) {
+        if (auto ok = checkProb(f); !ok)
+            return ok;
+    }
+    return {};
 }
-
-} // namespace
 
 void
 WorkloadParams::validate() const
 {
-    if (std::isnan(tau) || tau < 0.0)
-        fatal("WorkloadParams: tau = %g must be non-negative", tau);
-    checkProb("pPrivate", pPrivate);
-    checkProb("pSro", pSro);
-    checkProb("pSw", pSw);
-    double sum = pPrivate + pSro + pSw;
-    if (std::fabs(sum - 1.0) > 1e-9)
-        fatal("WorkloadParams: stream probabilities sum to %g, not 1", sum);
-    checkProb("hPrivate", hPrivate);
-    checkProb("hSro", hSro);
-    checkProb("hSw", hSw);
-    checkProb("rPrivate", rPrivate);
-    checkProb("rSw", rSw);
-    checkProb("amodPrivate", amodPrivate);
-    checkProb("amodSw", amodSw);
-    checkProb("csupplySro", csupplySro);
-    checkProb("csupplySw", csupplySw);
-    checkProb("wbCsupply", wbCsupply);
-    checkProb("repP", repP);
-    checkProb("repSw", repSw);
+    if (auto ok = check(); !ok)
+        fatal("%s", ok.error().describe().c_str());
 }
 
 WorkloadParams

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "protocol/config.hh"
+#include "util/expected.hh"
 
 namespace snoop {
 
@@ -71,8 +72,16 @@ struct WorkloadParams
     /** P(replaced sw block must be written back). */
     double repSw = 0.5;
 
-    /** fatal() if any probability is out of range or streams don't sum
-     *  to 1 (within 1e-9). */
+    /**
+     * Structured validity check: an InvalidArgument error naming the
+     * offending field if any probability is out of range or the
+     * streams don't sum to 1 (within 1e-9). Library paths (sweep
+     * cells, tryAnalyze) use this so one bad point stays one bad
+     * point.
+     */
+    Expected<void> check() const;
+
+    /** fatal() wrapper around check(), for tool/CLI boundaries. */
     void validate() const;
 
     /**

@@ -125,21 +125,46 @@ TEST(Analyzer, CustomTimingFlowsThrough)
               b.analyze("WriteOnce", wl, 8).speedup);
 }
 
-TEST(AnalyzerDeath, UnknownProtocolIsFatal)
+TEST(Analyzer, UnknownProtocolIsAnError)
 {
     Analyzer a;
     auto wl = presets::appendixA(SharingLevel::FivePercent);
-    EXPECT_EXIT(a.analyze("firefly", wl, 4), testing::ExitedWithCode(1),
-                "unknown protocol");
+    auto r = a.tryAnalyze("firefly", wl, 4);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::UnknownProtocol);
+    EXPECT_NE(r.error().message.find("unknown protocol"),
+              std::string::npos);
+    // The throwing facade surfaces the same error as an exception.
+    EXPECT_THROW(a.analyze("firefly", wl, 4), SolveException);
 }
 
-TEST(AnalyzerDeath, BadSaturationTarget)
+TEST(Analyzer, BadWorkloadIsAnError)
 {
     Analyzer a;
     auto wl = presets::appendixA(SharingLevel::FivePercent);
-    EXPECT_EXIT(
-        a.saturationPoint(ProtocolConfig::writeOnce(), wl, 1.5),
-        testing::ExitedWithCode(1), "target");
+    wl.hSw = 1.5;
+    auto r = a.tryAnalyze(ProtocolConfig::writeOnce(), wl, 4);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::InvalidArgument);
+    EXPECT_NE(r.error().message.find("hSw"), std::string::npos);
+    // The context frame names the enclosing operation.
+    ASSERT_FALSE(r.error().context.empty());
+    EXPECT_NE(r.error().context.front().find("tryAnalyze"),
+              std::string::npos);
+}
+
+TEST(Analyzer, BadSaturationTargetThrows)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    try {
+        a.saturationPoint(ProtocolConfig::writeOnce(), wl, 1.5);
+        FAIL() << "expected SolveException";
+    } catch (const SolveException &e) {
+        EXPECT_EQ(e.error().code, SolveErrorCode::InvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("target"),
+                  std::string::npos);
+    }
 }
 
 } // namespace

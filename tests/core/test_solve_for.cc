@@ -104,25 +104,28 @@ TEST(SolveFor, EndpointTargetsResolve)
     EXPECT_NEAR(*r.value, q.lo, 0.01);
 }
 
-TEST(SolveForDeath, MalformedQueries)
+TEST(SolveFor, MalformedQueriesThrow)
 {
     auto q = hswQuery(5.0);
     q.set = nullptr;
-    EXPECT_EXIT(solveForParameter(q), testing::ExitedWithCode(1),
-                "setter");
+    try {
+        solveForParameter(q);
+        FAIL() << "expected SolveException";
+    } catch (const SolveException &e) {
+        EXPECT_EQ(e.error().code, SolveErrorCode::InvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("setter"),
+                  std::string::npos);
+    }
     q = hswQuery(5.0);
     q.lo = 0.9;
     q.hi = 0.1;
-    EXPECT_EXIT(solveForParameter(q), testing::ExitedWithCode(1),
-                "lo < hi");
+    EXPECT_THROW(solveForParameter(q), SolveException);
     q = hswQuery(5.0);
     q.n = 0;
-    EXPECT_EXIT(solveForParameter(q), testing::ExitedWithCode(1),
-                "processor");
+    EXPECT_THROW(solveForParameter(q), SolveException);
     q = hswQuery(5.0);
     q.tolerance = 0.0;
-    EXPECT_EXIT(solveForParameter(q), testing::ExitedWithCode(1),
-                "tolerance");
+    EXPECT_THROW(solveForParameter(q), SolveException);
 }
 
 } // namespace

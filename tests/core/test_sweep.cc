@@ -156,21 +156,58 @@ TEST(Sweep, SerialAndParallelAreBitIdentical)
     setParallelJobs(0);
 }
 
-TEST(SweepDeath, BadSpecs)
+TEST(Sweep, BadSpecsThrowStructuredErrors)
 {
-    testing::FLAGS_gtest_death_test_style = "threadsafe";
     SweepSpec spec = basicSpec();
     spec.set = nullptr;
-    EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "setter");
+    try {
+        runSweep(spec);
+        FAIL() << "expected SolveException";
+    } catch (const SolveException &e) {
+        EXPECT_EQ(e.error().code, SolveErrorCode::InvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("'set'"),
+                  std::string::npos);
+    }
     spec = basicSpec();
     spec.values.clear();
-    EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "values");
+    auto bad = spec.validate();
+    ASSERT_FALSE(bad.ok());
+    EXPECT_NE(bad.error().message.find("'values'"), std::string::npos);
+    EXPECT_THROW(runSweep(spec), SolveException);
     spec = basicSpec();
     spec.protocols.clear();
-    EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "protocols");
-    spec = basicSpec();
-    spec.values = {1.5}; // invalid probability for h_sw
-    EXPECT_EXIT(runSweep(spec), testing::ExitedWithCode(1), "hSw");
+    EXPECT_THROW(runSweep(spec), SolveException);
+    EXPECT_TRUE(basicSpec().validate().ok());
+}
+
+TEST(Sweep, BadValueBecomesErrorCell)
+{
+    // A single out-of-range value poisons only its own cells; the
+    // sweep still completes and reports exactly which cells failed.
+    SweepSpec spec = basicSpec();
+    spec.values = {0.2, 1.5, 0.8}; // 1.5 is not a probability for h_sw
+    testing::internal::CaptureStderr();
+    auto res = runSweep(spec);
+    std::string err = testing::internal::GetCapturedStderr();
+    ASSERT_EQ(res.results.size(), 3u);
+    EXPECT_EQ(res.failureCount(), 2u); // both protocols at v=1.5
+    EXPECT_FALSE(res.cellFailed(0, 0));
+    EXPECT_TRUE(res.cellFailed(1, 0));
+    EXPECT_TRUE(res.cellFailed(1, 1));
+    EXPECT_FALSE(res.cellFailed(2, 1));
+    EXPECT_EQ(res.errors[1][0]->code, SolveErrorCode::InvalidArgument);
+    EXPECT_NE(res.errors[1][0]->message.find("hSw"), std::string::npos);
+    // The end-of-run warning names the failures.
+    EXPECT_NE(err.find("h_sw=1.5"), std::string::npos);
+    // Healthy rows still elect winners; the failed row is skipped
+    // per-cell (here every cell failed, so no winner).
+    auto winners = res.winners();
+    ASSERT_EQ(winners.size(), 3u);
+    EXPECT_EQ(winners[1], SweepResult::kNoWinner);
+    EXPECT_EQ(winners[0], 1u);
+    // Rendering survives failed cells.
+    EXPECT_NE(res.table().render().find("—"), std::string::npos);
+    EXPECT_NE(res.csv().find("nan"), std::string::npos);
 }
 
 } // namespace

@@ -1,0 +1,24 @@
+// Negative fixture for R8 (no-fatal-in-solver): a library solver
+// path that exits the process instead of returning a SolveError.
+// The file name opts this fixture into the solver-path rule set.
+
+#include "util/expected.hh"
+#include "util/logging.hh"
+
+namespace snoop {
+
+double
+solveCell(double x)
+{
+    if (x < 0.0)
+        fatal("negative input %g", x); // must fire: library path exit
+
+    // An allowlisted boundary fatal is fine and must NOT fire:
+    // snoop-lint: fatal-ok
+    if (x > 1e9)
+        fatal("input %g out of supported range", x);
+
+    return x * 2.0;
+}
+
+} // namespace snoop

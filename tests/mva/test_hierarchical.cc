@@ -155,21 +155,25 @@ TEST(Hierarchical, Mod3SuppressesGlobalBroadcastTraffic)
               c_wo.pRemote * (1.0 - c_wo.pLocal) + 1e-12);
 }
 
-TEST(HierarchicalDeath, BadConfig)
+TEST(Hierarchical, BadConfigThrows)
 {
     HierarchicalConfig c;
     c.clusters = 0;
-    EXPECT_EXIT(solveHierarchical(c), testing::ExitedWithCode(1),
-                "at least one");
+    try {
+        solveHierarchical(c);
+        FAIL() << "expected SolveException";
+    } catch (const SolveException &e) {
+        EXPECT_EQ(e.error().code, SolveErrorCode::InvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("at least one"),
+                  std::string::npos);
+    }
     HierarchicalConfig c2;
     c2.pRemote = 1.5;
-    EXPECT_EXIT(solveHierarchical(c2), testing::ExitedWithCode(1),
-                "probability");
+    EXPECT_THROW(solveHierarchical(c2), SolveException);
     auto d = DerivedInputs::compute(
         presets::appendixA(SharingLevel::FivePercent),
         ProtocolConfig::writeOnce());
-    EXPECT_EXIT(hierarchicalFromFlat(d, 2, 2, 2.0),
-                testing::ExitedWithCode(1), "cluster_share");
+    EXPECT_THROW(hierarchicalFromFlat(d, 2, 2, 2.0), SolveException);
 }
 
 } // namespace

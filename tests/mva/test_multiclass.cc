@@ -119,21 +119,25 @@ TEST(Multiclass, AgreesWithHeterogeneousSimulation)
     EXPECT_NEAR(mva.classes[1].responseTime, sim_slow, sim_slow * 0.08);
 }
 
-TEST(MulticlassDeath, BadInputs)
+TEST(Multiclass, BadInputsThrow)
 {
-    EXPECT_EXIT(solveMulticlass({}), testing::ExitedWithCode(1),
-                "at least one");
+    EXPECT_THROW(solveMulticlass({}), SolveException);
     auto inputs = appendixAInputs(SharingLevel::FivePercent, "");
-    EXPECT_EXIT(solveMulticlass({{"empty", 0, inputs}}),
-                testing::ExitedWithCode(1), "zero processors");
+    EXPECT_THROW(solveMulticlass({{"empty", 0, inputs}}),
+                 SolveException);
     BusTiming other;
     other.tWrite = 2.0;
     auto mismatched = DerivedInputs::compute(
         presets::appendixA(SharingLevel::FivePercent),
         ProtocolConfig::writeOnce(), other);
-    EXPECT_EXIT(
-        solveMulticlass({{"a", 2, inputs}, {"b", 2, mismatched}}),
-        testing::ExitedWithCode(1), "timing");
+    try {
+        solveMulticlass({{"a", 2, inputs}, {"b", 2, mismatched}});
+        FAIL() << "expected SolveException";
+    } catch (const SolveException &e) {
+        EXPECT_EQ(e.error().code, SolveErrorCode::InvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("timing"),
+                  std::string::npos);
+    }
 }
 
 TEST(SimConfigDeath, BadTauMultipliers)

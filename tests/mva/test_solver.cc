@@ -185,22 +185,31 @@ TEST(MvaSolver, DampedFallbackRescuesSaturatedSystems)
     EXPECT_GT(r.busUtil, 0.99);
 }
 
-TEST(MvaSolverDeath, ZeroProcessorsIsFatal)
+TEST(MvaSolver, ZeroProcessorsThrows)
 {
     MvaSolver solver;
-    EXPECT_EXIT(
-        solver.solve(appendixAInputs(SharingLevel::FivePercent, ""), 0),
-        testing::ExitedWithCode(1), "at least one");
+    try {
+        solver.solve(appendixAInputs(SharingLevel::FivePercent, ""), 0);
+        FAIL() << "expected SolveException";
+    } catch (const SolveException &e) {
+        EXPECT_EQ(e.error().code, SolveErrorCode::InvalidArgument);
+        EXPECT_NE(std::string(e.what()).find("at least one"),
+                  std::string::npos);
+    }
+    // And through the non-throwing entry point:
+    auto r = solver.trySolve(
+        appendixAInputs(SharingLevel::FivePercent, ""), 0);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::InvalidArgument);
 }
 
-TEST(MvaSolverDeath, BadOptionsAreFatal)
+TEST(MvaSolver, BadOptionsThrow)
 {
-    EXPECT_EXIT(MvaSolver(MvaOptions{.maxIterations = 0}),
-                testing::ExitedWithCode(1), "maxIterations");
-    EXPECT_EXIT(MvaSolver(MvaOptions{.tolerance = -1.0}),
-                testing::ExitedWithCode(1), "tolerance");
-    EXPECT_EXIT(MvaSolver(MvaOptions{.damping = 2.0}),
-                testing::ExitedWithCode(1), "damping");
+    EXPECT_THROW(MvaSolver(MvaOptions{.maxIterations = 0}),
+                 SolveException);
+    EXPECT_THROW(MvaSolver(MvaOptions{.tolerance = -1.0}),
+                 SolveException);
+    EXPECT_THROW(MvaSolver(MvaOptions{.damping = 2.0}), SolveException);
 }
 
 } // namespace

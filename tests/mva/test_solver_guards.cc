@@ -1,10 +1,10 @@
 /**
  * Tests for the MVA solver's numeric guards and non-convergence
- * policy: a solve that exhausts its iteration budget must warn, die,
- * or pass silently exactly as MvaOptions::onNonConvergence directs,
- * and every result the solver does hand back must satisfy the
- * NumericGuard contract (finite, positive response time, utilizations
- * and probabilities in range).
+ * policy: a solve that exhausts its iteration budget must warn, throw
+ * SolveException, or pass silently exactly as
+ * MvaOptions::onNonConvergence directs, and every result the solver
+ * does hand back must satisfy the validity contract (finite, positive
+ * response time, utilizations and probabilities in range).
  */
 
 #include <gtest/gtest.h>
@@ -58,12 +58,26 @@ TEST(SolverGuards, AcceptPolicyIsSilent)
     EXPECT_EQ(err.find("no convergence"), std::string::npos);
 }
 
-TEST(SolverGuardsDeath, FatalPolicyExitsWithCode1)
+TEST(SolverGuards, FatalPolicyThrowsSolveException)
 {
     MvaSolver solver(divergentOptions(NonConvergencePolicy::Fatal));
-    EXPECT_EXIT(solver.solve(
-                    appendixAInputs(SharingLevel::FivePercent, ""), 10),
-                testing::ExitedWithCode(1), "no convergence");
+    try {
+        solver.solve(appendixAInputs(SharingLevel::FivePercent, ""), 10);
+        FAIL() << "expected SolveException";
+    } catch (const SolveException &e) {
+        EXPECT_EQ(e.error().code, SolveErrorCode::NonConvergence);
+        EXPECT_NE(std::string(e.what()).find("no convergence"),
+                  std::string::npos);
+    }
+}
+
+TEST(SolverGuards, FatalPolicyIsAnErrorThroughTrySolve)
+{
+    MvaSolver solver(divergentOptions(NonConvergencePolicy::Fatal));
+    auto r = solver.trySolve(
+        appendixAInputs(SharingLevel::FivePercent, ""), 10);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::NonConvergence);
 }
 
 TEST(SolverGuards, ConvergedSolveIsUnaffectedByPolicy)
@@ -125,18 +139,18 @@ TEST(SolverGuards, FixedPointPolicyMatchesSolverPolicy)
     EXPECT_EQ(err.find("no convergence"), std::string::npos);
 }
 
-TEST(SolverGuardsDeath, FixedPointFatalPolicyExits)
+TEST(SolverGuards, FixedPointFatalPolicyThrows)
 {
     FixedPointOptions opts;
     opts.maxIterations = 3;
     opts.onNonConvergence = NonConvergencePolicy::Fatal;
     FixedPointSolver fp(opts);
-    EXPECT_EXIT(fp.solve(
-                    [](const std::vector<double> &x) {
-                        return std::vector<double>{x[0] + 1.0};
-                    },
-                    {0.0}),
-                testing::ExitedWithCode(1), "no convergence");
+    EXPECT_THROW(fp.solve(
+                     [](const std::vector<double> &x) {
+                         return std::vector<double>{x[0] + 1.0};
+                     },
+                     {0.0}),
+                 SolveException);
 }
 
 } // namespace

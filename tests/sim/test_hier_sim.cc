@@ -111,10 +111,11 @@ TEST(HierSimDeath, BadConfig)
     // This binary spawns pool workers; fork-style death tests from a
     // multithreaded process can wedge (notably under TSan), so re-exec.
     testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // Bad machine topology is a library error now: the hierarchical
+    // solver throws instead of exiting.
     HierSimConfig cfg;
     cfg.machine.clusters = 0;
-    EXPECT_EXIT(simulateHierarchical(cfg), testing::ExitedWithCode(1),
-                "at least one");
+    EXPECT_THROW(simulateHierarchical(cfg), SolveException);
     HierSimConfig cfg2;
     cfg2.measuredRequests = 0;
     EXPECT_EXIT(simulateHierarchical(cfg2), testing::ExitedWithCode(1),

@@ -23,6 +23,14 @@
  *                     parallelFor layer, which owns the determinism
  *                     and shutdown contract); qualified statics like
  *                     std::thread::hardware_concurrency are fine
+ *  R8 no-fatal-in-solver
+ *                     no fatal() in library solver paths (src/mva/,
+ *                     src/util/fixed_point.*, src/core/analyzer.*,
+ *                     src/core/sweep.*, src/core/solve_for.*): report
+ *                     failures as SolveError / SolveException
+ *                     (util/expected.hh) so one stiff grid point
+ *                     cannot exit the process; a deliberate boundary
+ *                     fatal carries a `snoop-lint: fatal-ok` marker
  *
  * Usage: snoop_lint [--list-rules] <file-or-dir>...
  * Exit status: 0 when clean, 1 when any rule fired, 2 on usage error.
@@ -328,6 +336,58 @@ checkRawThread(const std::string &file,
     }
 }
 
+// --- R8: no fatal() in library solver paths --------------------------
+
+constexpr const char *kFatalOkMarker = "snoop-lint: fatal-ok";
+
+/**
+ * The library solver paths whose fault-isolation contract
+ * (util/expected.hh) forbids process exit. The negative fixture opts
+ * in by name, since it cannot live under src/.
+ */
+bool
+isSolverPath(const fs::path &p)
+{
+    std::string name = p.filename().string();
+    if (name.rfind("bad_no_fatal_in_solver", 0) == 0)
+        return true;
+    if (p.parent_path().filename() == "mva")
+        return true;
+    std::string stem = p.stem().string();
+    bool in_util = p.parent_path().filename() == "util";
+    bool in_core = p.parent_path().filename() == "core";
+    return (in_util && stem == "fixed_point") ||
+        (in_core &&
+         (stem == "analyzer" || stem == "sweep" || stem == "solve_for"));
+}
+
+void
+checkNoFatal(const std::string &file,
+             const std::vector<std::string> &lines)
+{
+    for (size_t i = 0; i < lines.size(); ++i) {
+        if (isCommentOrBlank(lines[i]))
+            continue;
+        std::string code = stripStrings(lines[i]);
+        if (!containsWord(code, "fatal") || !contains(code, "fatal("))
+            continue;
+        bool marker = false;
+        for (size_t j = i >= 3 ? i - 3 : 0; j <= i; ++j) {
+            if (contains(lines[j], kFatalOkMarker)) {
+                marker = true;
+                break;
+            }
+        }
+        if (marker)
+            continue;
+        report(file, i + 1, "no-fatal-in-solver",
+               "fatal() exits the process from a library solver path; "
+               "return a SolveError / throw SolveException "
+               "(util/expected.hh), or mark a deliberate boundary with "
+               "'snoop-lint: fatal-ok'");
+    }
+}
+
 // --- driver ----------------------------------------------------------
 
 bool
@@ -367,6 +427,8 @@ lintFile(const fs::path &path)
         checkRawAssert(file, lines);
         if (!is_parallel_impl)
             checkRawThread(file, lines);
+        if (isSolverPath(path))
+            checkNoFatal(file, lines);
     }
 }
 
@@ -398,7 +460,8 @@ main(int argc, char **argv)
     std::vector<std::string> args(argv + 1, argv + argc);
     if (!args.empty() && args[0] == "--list-rules") {
         std::puts("pragma-once doxygen-file no-using-std format-attr "
-                  "converged-check no-raw-assert no-raw-thread");
+                  "converged-check no-raw-assert no-raw-thread "
+                  "no-fatal-in-solver");
         return 0;
     }
     if (args.empty()) {
