@@ -16,11 +16,13 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "core/sweep.hh"
+#include "observe/trace.hh"
 #include "sim/prob_sim.hh"
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
@@ -101,11 +103,26 @@ replicationsIdentical(const ReplicationSet &a, const ReplicationSet &b)
         sameBits(a.speedup.halfWidth, b.speedup.halfWidth);
 }
 
+/**
+ * The speedup figure as a JSON value: a ratio only when more than one
+ * core is physically available, else null - a "speedup" measured on a
+ * single core reads ≈1x and says nothing about the pool.
+ */
+std::string
+speedupJson(double serial_ms, double parallel_ms, bool multi_core)
+{
+    if (!multi_core || parallel_ms <= 0.0)
+        return "null";
+    return strprintf("%.2f", serial_ms / parallel_ms);
+}
+
 int
 run(const char *out_path)
 {
     const unsigned jobs = defaultJobs();
     const unsigned hw = std::thread::hardware_concurrency();
+    const bool multi_core = hw > 1;
+    const char *jobs_env = std::getenv("SNOOP_JOBS");
     // The MVA cells are microseconds each; repeat the sweep so the
     // grid timing measures throughput rather than pool wake-up.
     const int sweep_reps = 200;
@@ -145,37 +162,46 @@ run(const char *out_path)
     bool sweep_ok = sweepsIdentical(sweep_serial, sweep_parallel);
     bool reps_ok = replicationsIdentical(reps_serial, reps_parallel);
 
+    std::string note;
+    if (!multi_core)
+        note = ",\n  \"note\": \"single core detected; wall-clock "
+               "speedup skipped (determinism still checked)\"";
+    else if (jobs > hw)
+        note = ",\n  \"note\": \"jobs exceed hardware concurrency; "
+               "wall-clock speedup is bounded by physical cores\"";
+
     std::string json = strprintf(
         "{\n"
         "  \"bench\": \"parallel\",\n"
         "  \"jobs\": %u,\n"
+        "  \"snoop_jobs_env\": %s,\n"
+        "  \"detected_cores\": %u,\n"
         "  \"hardware_concurrency\": %u,\n"
         "  \"sweep\": {\n"
         "    \"values\": %zu, \"protocols\": %zu, \"n\": %u,\n"
         "    \"repetitions\": %d,\n"
         "    \"serial_ms\": %.2f, \"parallel_ms\": %.2f,\n"
-        "    \"speedup\": %.2f, \"bit_identical\": %s\n"
+        "    \"speedup\": %s, \"bit_identical\": %s\n"
         "  },\n"
         "  \"replications\": {\n"
         "    \"count\": %u, \"processors\": %u,\n"
         "    \"measured_requests\": %llu,\n"
         "    \"serial_ms\": %.2f, \"parallel_ms\": %.2f,\n"
-        "    \"speedup\": %.2f, \"bit_identical\": %s\n"
+        "    \"speedup\": %s, \"bit_identical\": %s\n"
         "  }%s\n"
         "}\n",
-        jobs, hw, spec.values.size(), spec.protocols.size(), spec.n,
+        jobs,
+        jobs_env ? strprintf("\"%s\"", jobs_env).c_str() : "null", hw,
+        hw, spec.values.size(), spec.protocols.size(), spec.n,
         sweep_reps, sweep_serial_ms, sweep_parallel_ms,
-        sweep_parallel_ms > 0.0 ? sweep_serial_ms / sweep_parallel_ms
-                                : 0.0,
+        speedupJson(sweep_serial_ms, sweep_parallel_ms, multi_core)
+            .c_str(),
         sweep_ok ? "true" : "false", replications, sim.numProcessors,
         static_cast<unsigned long long>(sim.measuredRequests),
         reps_serial_ms, reps_parallel_ms,
-        reps_parallel_ms > 0.0 ? reps_serial_ms / reps_parallel_ms : 0.0,
-        reps_ok ? "true" : "false",
-        jobs > hw ? ",\n  \"note\": \"jobs exceed hardware "
-                    "concurrency; wall-clock speedup is bounded by "
-                    "physical cores\""
-                  : "");
+        speedupJson(reps_serial_ms, reps_parallel_ms, multi_core)
+            .c_str(),
+        reps_ok ? "true" : "false", note.c_str());
 
     std::fputs(json.c_str(), stdout);
     AtomicFile out(out_path);
@@ -192,6 +218,7 @@ run(const char *out_path)
              "contract violated");
         return 1;
     }
+    observeFinalize();
     return 0;
 }
 

@@ -14,6 +14,7 @@
 #include <cstdio>
 #include <string>
 
+#include "observe/trace.hh"
 #include "util/logging.hh"
 
 #include "core/analyzer.hh"
@@ -54,6 +55,7 @@ banner(const std::string &title)
             return 1;                                                   \
         benchmark::RunSpecifiedBenchmarks();                            \
         benchmark::Shutdown();                                          \
+        snoop::observeFinalize();                                       \
         return 0;                                                       \
     }
 

@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "core/analyzer.hh"
+#include "observe/trace.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -72,5 +73,6 @@ main(int argc, char **argv)
                 "separates the top half from the bottom half, mod 4 "
                 "(broadcast update) adds the next tier, and mods 2/3 "
                 "shuffle within tiers - the Section 4.1 conclusions.\n");
+    observeFinalize();
     return 0;
 }

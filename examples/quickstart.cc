@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/analyzer.hh"
+#include "observe/trace.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -82,5 +83,6 @@ main(int argc, char **argv)
                 "%.1f%% remote read (t_read = %.2f cycles)\n",
                 r.inputs.pLocal * 100.0, r.inputs.pBc * 100.0,
                 r.inputs.pRr * 100.0, r.inputs.tRead);
+    observeFinalize();
     return 0;
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/sweep.hh"
+#include "observe/trace.hh"
 #include "util/atomic_file.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -117,5 +118,6 @@ main(int argc, char **argv)
             fatal("%s", ok.error().describe().c_str());
         std::printf("wrote %s\n", csv_path.c_str());
     }
+    observeFinalize();
     return 0;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 
 #include "core/analyzer.hh"
+#include "observe/trace.hh"
 #include "core/validation.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
@@ -75,5 +76,6 @@ main(int argc, char **argv)
         inside += p.withinCi();
     std::printf("MVA inside the simulator's 95%% CI at %d of %zu "
                 "points\n", inside, points.size());
+    observeFinalize();
     return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -44,6 +46,13 @@ Expected<MvaResult>
 Analyzer::tryAnalyze(const ProtocolConfig &protocol,
                      const WorkloadParams &workload, unsigned n) const
 {
+    metricAdd("analyze.calls");
+    ScopedMetricTimer analyze_timer("analyze.call_us");
+    TraceSpan analyze_span(TraceLevel::Phase, "analyze", n);
+    if (analyze_span.active()) {
+        analyze_span.setArgs(
+            strprintf("\"protocol\":\"%s\"", protocol.name().c_str()));
+    }
     // Check the workload up front: DerivedInputs::compute re-validates
     // with a fatal() that a library path must never reach.
     if (auto ok = workload.check(); !ok) {

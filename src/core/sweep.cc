@@ -3,6 +3,8 @@
 #include <map>
 #include <utility>
 
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "util/contracts.hh"
 #include "util/csv.hh"
 #include "util/fault.hh"
@@ -230,9 +232,18 @@ runSweep(const SweepSpec &spec, const Analyzer &analyzer)
     res.errors.assign(
         spec.values.size(),
         std::vector<std::optional<SolveError>>(num_protocols));
+    ScopedMetricTimer sweep_timer("sweep.run_us");
+    TraceSpan sweep_span(TraceLevel::Phase, "sweep.run",
+                         spec.values.size() * num_protocols);
     parallelFor(spec.values.size() * num_protocols, [&](size_t idx) {
         size_t v = idx / num_protocols;
         size_t p = idx % num_protocols;
+        // The cell index is the same schedule-independent key the
+        // fault layer uses, so the trace groups by work item and the
+        // event set is bit-identical at any SNOOP_JOBS.
+        TraceTaskScope task(idx + 1);
+        TraceSpan cell_span(TraceLevel::Phase, "sweep.cell", idx);
+        metricAdd("sweep.cells");
         // Everything is caught *inside* the cell: an exception
         // escaping into parallelFor would cancel the remaining cells,
         // which is exactly the blast radius fault isolation exists to
@@ -254,6 +265,13 @@ runSweep(const SweepSpec &spec, const Analyzer &analyzer)
                 SolveErrorCode::Internal, "runSweep",
                 "unexpected exception in cell (%zu, %zu): %s", v, p,
                 e.what());
+        }
+        if (res.errors[v][p])
+            metricAdd("sweep.errors");
+        if (cell_span.active()) {
+            cell_span.setArgs(
+                strprintf("\"v\":%zu,\"p\":%zu,\"ok\":%s", v, p,
+                          res.errors[v][p] ? "false" : "true"));
         }
     });
     if (size_t failed = res.failureCount(); failed > 0) {

@@ -4,6 +4,8 @@
 #include <cmath>
 
 #include "mva/solver.hh"
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
 #include "util/parallel.hh"
@@ -21,10 +23,18 @@ validate(const ValidationConfig &config)
     // into pre-sized slots (each point's seed depends only on N, so
     // the output is identical to the serial loop at any thread count).
     std::vector<ComparisonPoint> points(config.ns.size());
+    ScopedMetricTimer validate_timer("validate.run_us");
+    TraceSpan validate_span(TraceLevel::Phase, "validate.run",
+                            config.ns.size());
     parallelFor(config.ns.size(), [&](size_t i) {
         unsigned n = config.ns[i];
         ComparisonPoint &p = points[i];
         p.numProcessors = n;
+        TraceTaskScope task(i + 1);
+        TraceSpan point_span(TraceLevel::Phase, "validate.point", i);
+        if (point_span.active())
+            point_span.setArgs(strprintf("\"n\":%u", n));
+        metricAdd("validate.points");
         // Isolate failures per point: an exception escaping into
         // parallelFor would cancel the remaining comparison points.
         try {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "util/contracts.hh"
 #include "util/expected.hh"
 #include "util/logging.hh"
@@ -144,11 +146,32 @@ solveHierarchical(const HierarchicalConfig &config,
                   const MvaOptions &options)
 {
     config.validate();
+    metricAdd("mva.hierarchical.solves");
+    ScopedMetricTimer solve_timer("mva.hierarchical.solve_us");
+    TraceSpan solve_span(TraceLevel::Phase, "mva.hierarchical.solve",
+                         config.totalProcessors());
+    auto observeAttempt = [](size_t rung, double damping,
+                             const HierarchicalResult &r) {
+        metricAdd("mva.hierarchical.attempts");
+        metricAdd("mva.hierarchical.iterations", r.iterations);
+        if (traceEnabled(TraceLevel::Phase)) {
+            traceInstant(TraceLevel::Phase, "mva.hierarchical.attempt",
+                         static_cast<uint64_t>(rung),
+                         strprintf("\"damping\":%g,\"iterations\":%d,"
+                                   "\"converged\":%s",
+                                   damping, r.iterations,
+                                   r.converged ? "true" : "false"));
+        }
+    };
+
     HierarchicalResult res = solveOnce(config, options, options.damping);
+    observeAttempt(0, options.damping, res);
+    size_t rung = 0;
     for (double damping : {0.5, 0.25, 0.1, 0.05}) {
         if (res.converged || damping >= options.damping)
             break;
         res = solveOnce(config, options, damping);
+        observeAttempt(++rung, damping, res);
     }
     if (!res.converged) {
         switch (options.onNonConvergence) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "util/contracts.hh"
 #include "util/expected.hh"
 #include "util/logging.hh"
@@ -217,11 +219,32 @@ solveMulticlass(const std::vector<ProcessorClass> &classes,
         }
     }
 
+    metricAdd("mva.multiclass.solves");
+    ScopedMetricTimer solve_timer("mva.multiclass.solve_us");
+    TraceSpan solve_span(TraceLevel::Phase, "mva.multiclass.solve",
+                         classes.size());
+    auto observeAttempt = [](size_t rung, double damping,
+                             const MulticlassResult &r) {
+        metricAdd("mva.multiclass.attempts");
+        metricAdd("mva.multiclass.iterations", r.iterations);
+        if (traceEnabled(TraceLevel::Phase)) {
+            traceInstant(TraceLevel::Phase, "mva.multiclass.attempt",
+                         static_cast<uint64_t>(rung),
+                         strprintf("\"damping\":%g,\"iterations\":%d,"
+                                   "\"converged\":%s",
+                                   damping, r.iterations,
+                                   r.converged ? "true" : "false"));
+        }
+    };
+
     MulticlassResult res = solveOnce(classes, options, options.damping);
+    observeAttempt(0, options.damping, res);
+    size_t rung = 0;
     for (double damping : {0.5, 0.25, 0.1, 0.05}) {
         if (res.converged || damping >= options.damping)
             break;
         res = solveOnce(classes, options, damping);
+        observeAttempt(++rung, damping, res);
     }
     if (!res.converged) {
         switch (options.onNonConvergence) {

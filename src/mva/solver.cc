@@ -4,6 +4,8 @@
 #include <cmath>
 #include <optional>
 
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "util/contracts.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -155,15 +157,37 @@ MvaSolver::trySolve(const DerivedInputs &d, unsigned n) const
     // blow up, so on a failed attempt we re-run the whole solve with a
     // heavier fixed damping factor (geometric contraction restores
     // convergence). Every attempt is recorded for diagnostics.
+    metricAdd("mva.solves");
+    ScopedMetricTimer solve_timer("mva.solve_us");
+    TraceSpan solve_span(TraceLevel::Phase, "mva.solve", n);
+    if (solve_span.active()) {
+        solve_span.setArgs(
+            strprintf("\"protocol\":\"%s\"", d.protocol.name().c_str()));
+    }
+    auto observeAttempt = [](size_t rung, const SolveAttempt &a) {
+        metricAdd("mva.attempts");
+        metricAdd("mva.iterations", a.iterations);
+        if (traceEnabled(TraceLevel::Phase)) {
+            traceInstant(TraceLevel::Phase, "mva.attempt",
+                         static_cast<uint64_t>(rung),
+                         strprintf("\"damping\":%g,\"iterations\":%d,"
+                                   "\"residual\":%.17g,\"converged\":%s",
+                                   a.damping, a.iterations, a.residual,
+                                   a.converged ? "true" : "false"));
+        }
+    };
+
     std::vector<SolveAttempt> attempts;
     MvaResult res =
         solveOnce(d, n, 0.0, inject_nonconverge || inject_first);
     attempts.push_back(attemptOf(res, opts_.damping));
+    observeAttempt(0, attempts.back());
     for (double damping : {0.5, 0.25, 0.1, 0.05}) {
         if (res.converged || damping >= opts_.damping)
             break;
         res = solveOnce(d, n, damping, inject_nonconverge);
         attempts.push_back(attemptOf(res, damping));
+        observeAttempt(attempts.size() - 1, attempts.back());
     }
     res.attempts = std::move(attempts);
 
@@ -329,6 +353,12 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
         r_total = r_new;
         res.iterations = it;
         res.residual = delta;
+        if (traceEnabled(TraceLevel::Iteration)) {
+            traceInstant(TraceLevel::Iteration, "mva.iteration",
+                         static_cast<uint64_t>(it),
+                         strprintf("\"delta\":%.17g,\"damping\":%g",
+                                   delta, damping));
+        }
 
         res.rLocal = r_local;
         res.rBroadcast = r_bc;

@@ -4,6 +4,8 @@
 #include <memory>
 #include <vector>
 
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "random/rng.hh"
 #include "sim/bus.hh"
 #include "sim/event_queue.hh"
@@ -237,7 +239,15 @@ simulateHierarchicalReplications(const HierSimConfig &base,
     HierReplicationSet set;
     set.runs.resize(replications); // pre-sized slots, one per worker
     set.errors.resize(replications);
+    ScopedMetricTimer batch_timer("hier_sim.replications_us");
+    TraceSpan batch_span(TraceLevel::Phase, "hier_sim.replication_batch",
+                         replications);
     parallelFor(replications, [&](size_t i) {
+        // The replication index keys the task scope, same as the
+        // fault site: the trace is bit-identical at any SNOOP_JOBS.
+        TraceTaskScope task(i + 1);
+        TraceSpan rep_span(TraceLevel::Phase, "hier_sim.replication", i);
+        metricAdd("hier_sim.replications");
         // Isolate failures per replication: an exception escaping
         // into parallelFor would cancel the remaining replications.
         try {

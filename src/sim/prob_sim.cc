@@ -10,6 +10,8 @@
 #include "sim/bus.hh"
 #include "sim/event_queue.hh"
 #include "sim/memory.hh"
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "stats/student_t.hh"
 #include "util/contracts.hh"
 #include "util/fault.hh"
@@ -498,7 +500,15 @@ simulateReplications(const SimConfig &base, unsigned replications)
     ReplicationSet set;
     set.runs.resize(replications); // pre-sized slots, one per worker
     set.errors.resize(replications);
+    ScopedMetricTimer batch_timer("sim.replications_us");
+    TraceSpan batch_span(TraceLevel::Phase, "sim.replication_batch",
+                         replications);
     parallelFor(replications, [&](size_t i) {
+        // The replication index keys the task scope, same as the
+        // fault site: the trace is bit-identical at any SNOOP_JOBS.
+        TraceTaskScope task(i + 1);
+        TraceSpan rep_span(TraceLevel::Phase, "sim.replication", i);
+        metricAdd("sim.replications");
         // Isolate failures per replication: an exception escaping
         // into parallelFor would cancel the remaining replications.
         try {

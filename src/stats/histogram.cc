@@ -58,18 +58,40 @@ Histogram::quantile(double q) const
         panic("Histogram::quantile: q=%g out of [0,1]", q);
     if (count_ == 0)
         return lo_;
+
     double target = q * static_cast<double>(count_);
+
+    // q == 0 asks for the minimum of the recorded mass: lo_ only when
+    // underflow mass actually clamps there, otherwise the low edge of
+    // the first occupied bin - and hi_ when every sample overflowed.
+    if (target <= 0.0) {
+        if (underflow_ > 0)
+            return lo_;
+        for (size_t i = 0; i < counts_.size(); ++i) {
+            if (counts_[i] > 0)
+                return binLow(i);
+        }
+        return hi_;
+    }
+
     double acc = static_cast<double>(underflow_);
     if (target <= acc)
-        return lo_;
+        return lo_; // within the underflow mass: clamp to the low edge
+
     for (size_t i = 0; i < counts_.size(); ++i) {
+        if (counts_[i] == 0)
+            continue; // empty bin: acc is unchanged, nothing to hit
         double next = acc + static_cast<double>(counts_[i]);
-        if (target <= next && counts_[i] > 0) {
+        if (target <= next) {
             double frac = (target - acc) / static_cast<double>(counts_[i]);
             return binLow(i) + frac * width_;
         }
         acc = next;
     }
+
+    // The remaining mass is overflow (possibly all of it): clamp to
+    // the upper range edge explicitly rather than by falling off the
+    // accounting.
     return hi_;
 }
 

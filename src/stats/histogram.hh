@@ -49,7 +49,10 @@ class Histogram
 
     /**
      * Estimate the @p q quantile (0 <= q <= 1) by linear interpolation
-     * within bins. Under/overflow samples clamp to the range edges.
+     * within bins. Under/overflow samples clamp to the range edges
+     * (all mass in overflow yields hi even at q = 0); q = 0 on
+     * in-range mass returns the low edge of the first occupied bin,
+     * and q = 1 the high edge of the last occupied one.
      */
     double quantile(double q) const;
 

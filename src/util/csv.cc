@@ -7,16 +7,21 @@ namespace snoop {
 
 CsvWriter::CsvWriter(const std::string &path) : out_(path)
 {
-    if (!out_.ok())
-        fatal("CsvWriter: cannot open '%s' for writing", path.c_str());
+    // No fatal() here: CSV emission runs on library paths (sweep
+    // results, bench emitters) covered by the no-fatal-in-solver
+    // contract. The error is sticky and surfaces through close().
+    if (!out_.ok()) {
+        error_ = makeError(SolveErrorCode::IoError, "CsvWriter",
+                           "cannot open '%s' for writing", path.c_str());
+    }
 }
 
 CsvWriter::~CsvWriter()
 {
     if (closed_)
         return;
-    if (auto ok = close(); !ok)
-        warn("%s", ok.error().describe().c_str());
+    if (auto committed = close(); !committed)
+        warn("%s", committed.error().describe().c_str());
 }
 
 void
@@ -28,19 +33,27 @@ CsvWriter::header(const std::vector<std::string> &names)
 void
 CsvWriter::row(const std::vector<std::string> &fields)
 {
+    if (error_)
+        return; // sticky: drop output after the first failure
     std::vector<std::string> escaped;
     escaped.reserve(fields.size());
     for (const auto &f : fields)
         escaped.push_back(escape(f));
     out_.stream() << join(escaped, ",") << "\n";
-    if (!out_.ok())
-        fatal("CsvWriter: write to '%s' failed", out_.path().c_str());
+    if (!out_.ok()) {
+        error_ = makeError(SolveErrorCode::IoError, "CsvWriter",
+                           "write to '%s' failed", out_.path().c_str());
+    }
 }
 
 Expected<void>
 CsvWriter::close()
 {
     closed_ = true;
+    if (error_) {
+        out_.discard();
+        return *error_;
+    }
     return out_.commit();
 }
 

@@ -3,6 +3,8 @@
 #include <chrono>
 #include <cmath>
 
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "util/contracts.hh"
 #include "util/fault.hh"
 #include "util/logging.hh"
@@ -27,6 +29,9 @@ Expected<FixedPointResult>
 FixedPointSolver::trySolve(const UpdateFn &f, std::vector<double> x0) const
 {
     using clock = std::chrono::steady_clock;
+
+    metricAdd("fixed_point.solves");
+    ScopedMetricTimer solve_timer("fixed_point.solve_us");
 
     // The recovery ladder: the configured damping first, then
     // progressively heavier rungs, each restarting from the original
@@ -106,12 +111,31 @@ FixedPointSolver::trySolve(const UpdateFn &f, std::vector<double> x0) const
             }
             x = std::move(next);
             attempt.residual = resid;
+            if (traceEnabled(TraceLevel::Iteration)) {
+                traceInstant(TraceLevel::Iteration,
+                             "fixed_point.iteration",
+                             static_cast<uint64_t>(it),
+                             strprintf("\"residual\":%.17g,\"damping\":%g",
+                                       resid, attempt.damping));
+            }
             if (!force_fail && resid < opts_.tolerance) {
                 attempt.converged = true;
                 break;
             }
         }
 
+        metricAdd("fixed_point.iterations", attempt.iterations);
+        metricAdd("fixed_point.attempts");
+        if (traceEnabled(TraceLevel::Phase)) {
+            traceInstant(
+                TraceLevel::Phase, "fixed_point.attempt",
+                static_cast<uint64_t>(rung),
+                strprintf("\"damping\":%g,\"iterations\":%d,"
+                          "\"residual\":%.17g,\"converged\":%s",
+                          attempt.damping, attempt.iterations,
+                          attempt.residual,
+                          attempt.converged ? "true" : "false"));
+        }
         res.attempts.push_back(attempt);
         res.x = std::move(x);
         res.iterations = attempt.iterations;

@@ -8,6 +8,8 @@
 #include <thread>
 #include <vector>
 
+#include "observe/metrics.hh"
+#include "observe/trace.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -219,6 +221,13 @@ parallelJobs()
 void
 parallelFor(size_t n, const std::function<void(size_t)> &fn)
 {
+    // The region span is recorded from the *calling* thread on every
+    // path (serial, nested, pooled), so the event exists - with the
+    // same identity - at any SNOOP_JOBS. Per-worker batch spans are
+    // deliberately not recorded: which worker runs which index is
+    // scheduling, not behavior.
+    TraceSpan region_span(TraceLevel::Phase, "parallel.for", n);
+    metricAdd("parallel.for.calls");
     if (n <= 1 || t_inPoolWorker) {
         // Skip pool construction entirely for trivial or nested calls.
         for (size_t i = 0; i < n; ++i)

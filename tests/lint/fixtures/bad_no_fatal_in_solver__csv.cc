@@ -1,0 +1,19 @@
+// Negative fixture for R8 (no-fatal-in-solver) covering the CSV
+// writer path: result emission runs on library paths (sweep CSVs,
+// bench emitters), so a planted fatal() on stream failure must fire
+// the rule. The file name prefix opts this fixture into the
+// solver-path rule set, the way src/util/csv.* now is.
+
+#include "util/expected.hh"
+#include "util/logging.hh"
+
+namespace snoop {
+
+void
+writeRow(bool stream_ok, const char *path)
+{
+    if (!stream_ok)
+        fatal("CsvWriter: write to '%s' failed", path); // must fire
+}
+
+} // namespace snoop

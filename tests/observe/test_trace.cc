@@ -1,0 +1,202 @@
+/**
+ * Tests for the solver trace layer: the determinism contract (the
+ * recorded event set is bit-identical at any SNOOP_JOBS), level
+ * filtering, zero recording when disabled, and the Chrome trace_event
+ * JSON export.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sweep.hh"
+#include "observe/trace.hh"
+#include "util/parallel.hh"
+
+namespace snoop {
+namespace {
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+SweepSpec
+basicSpec()
+{
+    SweepSpec spec;
+    spec.base = presets::appendixA(SharingLevel::FivePercent);
+    spec.paramName = "h_sw";
+    spec.set = findParamSetter("h_sw");
+    spec.values = {0.2, 0.5, 0.8};
+    spec.protocols = {ProtocolConfig::writeOnce(),
+                      *findProtocol("Illinois")};
+    spec.n = 10;
+    return spec;
+}
+
+/** The sorted identity tuples of a traced runSweep at @p jobs. */
+std::vector<std::string>
+tracedSweepIdentities(TraceLevel level, unsigned jobs)
+{
+    observeReset();
+    setTrace(level);
+    setParallelJobs(jobs);
+    runSweep(basicSpec());
+    setParallelJobs(0);
+    std::vector<std::string> ids;
+    for (const auto &e : snapshotTraceEvents())
+        ids.push_back(e.identity());
+    observeReset();
+    return ids;
+}
+
+bool
+containsName(const std::vector<std::string> &ids, const std::string &name)
+{
+    return std::any_of(ids.begin(), ids.end(), [&](const std::string &s) {
+        return s.find(name) != std::string::npos;
+    });
+}
+
+class TraceTest : public testing::Test
+{
+  protected:
+    void SetUp() override { observeReset(); }
+    void TearDown() override
+    {
+        setParallelJobs(0);
+        observeReset();
+    }
+};
+
+TEST_F(TraceTest, DisabledRecordsNothing)
+{
+    ASSERT_FALSE(traceEnabled(TraceLevel::Phase));
+    runSweep(basicSpec());
+    traceInstant(TraceLevel::Iteration, "ignored", 0);
+    {
+        TraceSpan span(TraceLevel::Phase, "ignored", 0);
+        EXPECT_FALSE(span.active());
+    }
+    EXPECT_TRUE(snapshotTraceEvents().empty());
+    EXPECT_EQ(droppedTraceEvents(), 0u);
+}
+
+TEST_F(TraceTest, SweepEmitsTheExpectedEventFamilies)
+{
+    auto ids = tracedSweepIdentities(TraceLevel::Iteration, 1);
+    ASSERT_FALSE(ids.empty());
+    EXPECT_TRUE(containsName(ids, "sweep.run"));
+    EXPECT_TRUE(containsName(ids, "sweep.cell"));
+    EXPECT_TRUE(containsName(ids, "analyze"));
+    EXPECT_TRUE(containsName(ids, "mva.solve"));
+    EXPECT_TRUE(containsName(ids, "mva.attempt"));
+    EXPECT_TRUE(containsName(ids, "mva.iteration"));
+    EXPECT_TRUE(containsName(ids, "parallel.for"));
+}
+
+TEST_F(TraceTest, PhaseLevelDropsPerIterationInstants)
+{
+    auto ids = tracedSweepIdentities(TraceLevel::Phase, 1);
+    ASSERT_FALSE(ids.empty());
+    EXPECT_TRUE(containsName(ids, "sweep.cell"));
+    EXPECT_TRUE(containsName(ids, "mva.attempt"));
+    EXPECT_FALSE(containsName(ids, "mva.iteration"));
+}
+
+// The heart of the determinism contract: the same workload records the
+// same event set - identities, not just counts - no matter how many
+// workers the pool runs. Mirrors the fault layer's schedule-independent
+// indexing (docs/CORRECTNESS.md §9).
+TEST_F(TraceTest, EventSetIsIdenticalAcrossJobCounts)
+{
+    auto serial = tracedSweepIdentities(TraceLevel::Iteration, 1);
+    auto two = tracedSweepIdentities(TraceLevel::Iteration, 2);
+    auto eight = tracedSweepIdentities(TraceLevel::Iteration, 8);
+    ASSERT_FALSE(serial.empty());
+    EXPECT_EQ(serial, two);
+    EXPECT_EQ(serial, eight);
+}
+
+TEST_F(TraceTest, SnapshotIsSortedByIdentity)
+{
+    setTrace(TraceLevel::Iteration);
+    setParallelJobs(2);
+    runSweep(basicSpec());
+    setParallelJobs(0);
+    auto events = snapshotTraceEvents();
+    ASSERT_FALSE(events.empty());
+    auto tuple = [](const TraceEvent &e) {
+        return std::tie(e.task, e.seq, e.name, e.key, e.args);
+    };
+    EXPECT_TRUE(std::is_sorted(
+        events.begin(), events.end(),
+        [&](const TraceEvent &a, const TraceEvent &b) {
+            return tuple(a) < tuple(b);
+        }));
+}
+
+TEST_F(TraceTest, TaskScopeGroupsEventsByWorkItem)
+{
+    setTrace(TraceLevel::Iteration);
+    {
+        TraceTaskScope task(7);
+        traceInstant(TraceLevel::Phase, "inner", 1);
+    }
+    traceInstant(TraceLevel::Phase, "outer", 2);
+    auto events = snapshotTraceEvents();
+    ASSERT_EQ(events.size(), 2u);
+    // Identity order: task 0 (root) sorts before task 7.
+    EXPECT_EQ(events[0].name, "outer");
+    EXPECT_EQ(events[0].task, 0u);
+    EXPECT_EQ(events[1].name, "inner");
+    EXPECT_EQ(events[1].task, 7u);
+    EXPECT_EQ(events[1].seq, 0u); // seq restarts inside the scope
+}
+
+TEST_F(TraceTest, WriteTraceJsonEmitsChromeTraceEvents)
+{
+    setTrace(TraceLevel::Iteration);
+    setParallelJobs(1);
+    runSweep(basicSpec());
+    std::string path = testing::TempDir() + "snoop_trace_test.json";
+    ASSERT_TRUE(static_cast<bool>(writeTraceJson(path)));
+    std::string text = slurp(path);
+    std::remove(path.c_str());
+    EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+    EXPECT_NE(text.find("\"name\":\"sweep.cell\""), std::string::npos);
+    EXPECT_NE(text.find("\"name\":\"mva.iteration\""),
+              std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(text.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(text.find("\"cat\":\"snoop\""), std::string::npos);
+    // Every brace closes: cheap structural sanity without a parser.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '{'),
+              std::count(text.begin(), text.end(), '}'));
+    EXPECT_EQ(std::count(text.begin(), text.end(), '['),
+              std::count(text.begin(), text.end(), ']'));
+}
+
+TEST_F(TraceTest, ClearTraceDropsBufferedEvents)
+{
+    setTrace(TraceLevel::Phase);
+    traceInstant(TraceLevel::Phase, "kept", 0);
+    EXPECT_EQ(snapshotTraceEvents().size(), 1u);
+    clearTrace();
+    EXPECT_FALSE(traceEnabled(TraceLevel::Phase));
+    EXPECT_TRUE(snapshotTraceEvents().empty());
+}
+
+} // namespace
+} // namespace snoop

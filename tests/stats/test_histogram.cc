@@ -66,6 +66,72 @@ TEST(Histogram, QuantileOnEmptyReturnsLow)
     EXPECT_DOUBLE_EQ(h.quantile(0.5), 3.0);
 }
 
+// Regression: q=0 used to return lo even when no sample was anywhere
+// near lo; the minimum of the recorded mass is the low edge of the
+// first occupied bin.
+TEST(Histogram, QuantileZeroFindsFirstOccupiedBin)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(7.2);
+    h.add(7.4);
+    h.add(8.9);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 7.0);
+    // With underflow mass present, q=0 clamps to lo as documented.
+    h.add(-1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+// Regression: a distribution entirely in overflow used to fall off
+// the accounting loop - and, at q=0, return lo, the opposite edge of
+// where every sample actually landed.
+TEST(Histogram, QuantileAllMassInOverflowClampsToHigh)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(5.0);
+    h.add(6.0);
+    h.add(7.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+}
+
+// A target landing exactly on the cumulative boundary of an occupied
+// bin interpolates to that bin's high edge, empty bins in between
+// notwithstanding.
+TEST(Histogram, QuantileOnEmptyBinBoundary)
+{
+    Histogram h(0.0, 4.0, 4);
+    h.add(0.5);
+    h.add(0.6); // bin 0 holds 2 samples; bins 1-2 empty
+    h.add(3.5);
+    h.add(3.6); // bin 3 holds 2 samples
+    EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0); // boundary after bin 0
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0); // high edge of bin 3
+}
+
+// q=1 ends at the high edge of the last occupied bin, not at hi.
+TEST(Histogram, QuantileOneStopsAtLastOccupiedBin)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(1.5);
+    h.add(2.5);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 3.0);
+}
+
+// Mixed in-range and overflow mass: quantiles beyond the in-range
+// fraction clamp to hi.
+TEST(Histogram, QuantileMixedOverflowMass)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    h.add(0.25);
+    h.add(3.0);
+    h.add(4.0);
+    EXPECT_DOUBLE_EQ(h.quantile(1.0), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.9), 1.0);
+    EXPECT_DOUBLE_EQ(h.quantile(0.25), 0.25);
+}
+
 TEST(Histogram, RenderMentionsCounts)
 {
     Histogram h(0.0, 2.0, 2);

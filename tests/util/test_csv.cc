@@ -60,10 +60,36 @@ TEST(CsvEscape, OnlyQuotesWhenNeeded)
     EXPECT_EQ(CsvWriter::escape("q\"q"), "\"q\"\"q\"");
 }
 
-TEST(CsvDeath, UnwritablePathIsFatal)
+// The no-fatal-in-solver contract: an unwritable path must not exit
+// the process. The error is sticky, rows are dropped, and close()
+// surfaces the IoError.
+TEST(CsvError, UnwritablePathSurfacesThroughClose)
 {
-    EXPECT_EXIT(CsvWriter w("/nonexistent-dir-xyz/file.csv"),
-                testing::ExitedWithCode(1), "cannot open");
+    CsvWriter w("/nonexistent-dir-xyz/file.csv");
+    EXPECT_FALSE(w.ok());
+    w.header({"a", "b"});      // dropped, must not crash or exit
+    w.row({"1", "2"});
+    auto closed = w.close();
+    ASSERT_FALSE(closed);
+    EXPECT_EQ(closed.error().code, SolveErrorCode::IoError);
+    EXPECT_NE(closed.error().describe().find("cannot open"),
+              std::string::npos);
+}
+
+TEST(CsvError, CloseIsIdempotentAfterFailure)
+{
+    CsvWriter w("/nonexistent-dir-xyz/file.csv");
+    EXPECT_FALSE(w.close());
+    EXPECT_FALSE(w.close()); // the sticky error keeps reporting
+}
+
+TEST_F(CsvTest, OkReportsHealthyWriter)
+{
+    CsvWriter w(path_);
+    EXPECT_TRUE(w.ok());
+    w.row({"1"});
+    EXPECT_TRUE(w.ok());
+    EXPECT_TRUE(static_cast<bool>(w.close()));
 }
 
 } // namespace

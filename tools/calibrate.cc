@@ -19,6 +19,7 @@
 
 #include "core/paper_data.hh"
 #include "mva/solver.hh"
+#include "observe/trace.hh"
 #include "util/cli.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -114,5 +115,6 @@ main(int argc, char **argv)
                 defaults.tWriteBack,
                 formatPercent(current.rms, 2).c_str(),
                 formatPercent(current.worst, 2).c_str());
+    observeFinalize();
     return 0;
 }

@@ -21,8 +21,11 @@ echo "== negative fixtures (each must fail) =="
 for fixture in "$ROOT"/tests/lint/fixtures/bad_*; do
     [ -e "$fixture" ] || continue
     # Expected rule name is encoded in the fixture file name:
-    # bad_<rule-with-underscores>.<ext>
-    rule=$(basename "$fixture" | sed 's/^bad_//; s/\.[^.]*$//; s/_/-/g')
+    # bad_<rule-with-underscores>[__variant].<ext> (the double
+    # underscore separates an optional variant discriminator, so one
+    # rule can have several fixtures)
+    rule=$(basename "$fixture" |
+               sed 's/^bad_//; s/\.[^.]*$//; s/__.*//; s/_/-/g')
     out=$("$LINT" "$fixture" 2>&1)
     code=$?
     if [ "$code" -ne 1 ]; then

@@ -25,7 +25,8 @@
  *                     std::thread::hardware_concurrency are fine
  *  R8 no-fatal-in-solver
  *                     no fatal() in library solver paths (src/mva/,
- *                     src/util/fixed_point.*, src/core/analyzer.*,
+ *                     src/util/fixed_point.*, src/util/csv.*,
+ *                     src/core/analyzer.*,
  *                     src/core/sweep.*, src/core/solve_for.*): report
  *                     failures as SolveError / SolveException
  *                     (util/expected.hh) so one stiff grid point
@@ -356,7 +357,9 @@ isSolverPath(const fs::path &p)
     std::string stem = p.stem().string();
     bool in_util = p.parent_path().filename() == "util";
     bool in_core = p.parent_path().filename() == "core";
-    return (in_util && stem == "fixed_point") ||
+    // csv.* is covered because CSV emission runs inside sweep/bench
+    // result paths: a failed write must surface via close(), not exit.
+    return (in_util && (stem == "fixed_point" || stem == "csv")) ||
         (in_core &&
          (stem == "analyzer" || stem == "sweep" || stem == "solve_for"));
 }
