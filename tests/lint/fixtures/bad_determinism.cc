@@ -1,0 +1,15 @@
+// Negative fixture for the determinism pass: wall-clock and ambient
+// randomness outside src/random/ silently break the bit-identical-
+// at-any-SNOOP_JOBS contract. The file name opts into the pass
+// (fixtures cannot live under src/).
+//
+// Expected: [determinism] on the seed line below.
+
+#include <cstdlib>
+
+unsigned
+sampleSeed()
+{
+    unsigned seed = std::rand();
+    return seed;
+}

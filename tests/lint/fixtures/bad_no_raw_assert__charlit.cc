@@ -1,0 +1,16 @@
+// Negative fixture: regression for the PR 1 stripStrings bug. The
+// char literal '"' toggled that scanner's in_string flag, masking
+// everything after it on the line — so the raw assert() below was a
+// false NEGATIVE. The token lexer understands char literals, so the
+// rule must fire here.
+//
+// Expected: [no-raw-assert] on the line below.
+
+#include <cassert>
+
+bool
+isQuote(char c)
+{
+    if (c == '"') assert(c != '\0');
+    return c == '"';
+}

@@ -1,0 +1,14 @@
+// Negative fixture for the IWYU-lite pass: the include below
+// resolves (same directory), the header exports names
+// (UnusedHelper, UNUSED_HELPER_LIMIT, unusedHelperCapacity), and
+// this file references none of them.
+//
+// Expected: [unused-include] on the include line.
+
+#include "unused_helper.hh"
+
+int
+answer()
+{
+    return 42;
+}

@@ -1,0 +1,7 @@
+#pragma once
+
+/** @file Synthetic layering fixture: the top-layer module. */
+
+struct CoreApi {
+    int version;
+};

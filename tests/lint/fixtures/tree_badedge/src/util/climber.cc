@@ -1,0 +1,10 @@
+// Synthetic layering fixture: util (layer 1) reaching up into core
+// (layer 2) — the forbidden util -> core edge.
+
+#include "core/api.hh"
+
+int
+apiVersion(const CoreApi &api)
+{
+    return api.version;
+}

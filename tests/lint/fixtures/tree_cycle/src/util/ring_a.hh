@@ -1,0 +1,9 @@
+#pragma once
+
+/** @file Synthetic layering fixture: one half of an include cycle. */
+
+#include "util/ring_b.hh"
+
+struct RingA {
+    RingB *peer;
+};

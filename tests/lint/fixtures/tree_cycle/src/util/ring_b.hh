@@ -1,0 +1,9 @@
+#pragma once
+
+/** @file Synthetic layering fixture: other half of an include cycle. */
+
+#include "util/ring_a.hh"
+
+struct RingB {
+    RingA *peer;
+};

@@ -1,0 +1,17 @@
+#pragma once
+
+/**
+ * @file
+ * Support header for the unused-include fixture: it exports names
+ * (a type, a macro, a function) that bad_unused_include.cc never
+ * references, so the IWYU-lite pass must flag the include. Not a
+ * bad_* fixture itself — run_lint.sh skips it.
+ */
+
+#define UNUSED_HELPER_LIMIT 8
+
+struct UnusedHelper {
+    int capacity;
+};
+
+int unusedHelperCapacity(const UnusedHelper &h);

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Unit tests for the snoop_analyze lexer (tools/lint/lexer.hh):
+ * comments, string/char literals, raw strings, digit separators,
+ * include extraction, and the stripped code view the convention
+ * rules run over.
+ */
+
+#include <gtest/gtest.h>
+
+#include "lint/lexer.hh"
+
+using namespace snoop::lint;
+
+namespace {
+
+std::vector<std::string>
+identifiers(const LexedFile &lx)
+{
+    std::vector<std::string> ids;
+    for (const Token &t : lx.tokens)
+        if (t.kind == TokenKind::Identifier)
+            ids.push_back(t.text);
+    return ids;
+}
+
+TEST(Lexer, LineCommentsAreBlankInCodeView)
+{
+    LexedFile lx = lex("int a; // assert(x)\n");
+    ASSERT_EQ(lx.code.size(), 1u);
+    EXPECT_EQ(lx.code[0], "int a; ");
+    EXPECT_EQ(lx.lines[0], "int a; // assert(x)");
+}
+
+TEST(Lexer, BlockCommentSpansLines)
+{
+    LexedFile lx = lex("int a; /* assert(\n"
+                       "still comment\n"
+                       "*/ int b;\n");
+    ASSERT_EQ(lx.code.size(), 3u);
+    EXPECT_EQ(lx.code[0], "int a;  ");
+    EXPECT_EQ(lx.code[1], "");
+    EXPECT_EQ(lx.code[2], " int b;");
+    // b lands on line 3 in the token stream.
+    const Token &b = lx.tokens.back();
+    EXPECT_EQ(b.text, ";");
+    bool saw_b = false;
+    for (const Token &t : lx.tokens)
+        if (t.kind == TokenKind::Identifier && t.text == "b") {
+            saw_b = true;
+            EXPECT_EQ(t.line, 3u);
+        }
+    EXPECT_TRUE(saw_b);
+}
+
+TEST(Lexer, BlockCommentKeepsWordBoundary)
+{
+    // `a/*x*/b` must not fuse into identifier `ab` in the code view.
+    LexedFile lx = lex("int a/*x*/b;\n");
+    EXPECT_EQ(lx.code[0], "int a b;");
+}
+
+TEST(Lexer, StringContentsAreDropped)
+{
+    LexedFile lx = lex("log(\"assert(failed)\");\n");
+    EXPECT_EQ(lx.code[0], "log(\"\");");
+    ASSERT_GE(lx.tokens.size(), 2u);
+    bool found = false;
+    for (const Token &t : lx.tokens)
+        if (t.kind == TokenKind::String) {
+            EXPECT_EQ(t.text, "assert(failed)");
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lexer, EscapedQuoteStaysInsideString)
+{
+    LexedFile lx = lex("f(\"a\\\"b\"); assert(x);\n");
+    EXPECT_EQ(lx.code[0], "f(\"\"); assert(x);");
+}
+
+TEST(Lexer, CharLiteralQuoteDoesNotOpenString)
+{
+    // Regression for the PR 1 stripStrings bug: '"' masked the rest
+    // of the line.
+    LexedFile lx = lex("if (c == '\"') assert(c);\n");
+    EXPECT_EQ(lx.code[0], "if (c == '') assert(c);");
+}
+
+TEST(Lexer, EscapedCharLiterals)
+{
+    LexedFile lx = lex("char a = '\\''; char b = '\\\\'; f();\n");
+    EXPECT_EQ(lx.code[0], "char a = ''; char b = ''; f();");
+}
+
+TEST(Lexer, DigitSeparatorIsNotACharLiteral)
+{
+    LexedFile lx = lex("int n = 1'000'000; assert(n);\n");
+    EXPECT_EQ(lx.code[0], "int n = 1'000'000; assert(n);");
+    bool found = false;
+    for (const Token &t : lx.tokens)
+        if (t.kind == TokenKind::Number) {
+            EXPECT_EQ(t.text, "1'000'000");
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lexer, RawStringSingleLine)
+{
+    LexedFile lx = lex("auto s = R\"(assert(x))\"; g();\n");
+    EXPECT_EQ(lx.code[0], "auto s = \"\"; g();");
+    bool found = false;
+    for (const Token &t : lx.tokens)
+        if (t.kind == TokenKind::RawString) {
+            EXPECT_EQ(t.text, "assert(x)");
+            found = true;
+        }
+    EXPECT_TRUE(found);
+}
+
+TEST(Lexer, RawStringMultiLineWithDelimiter)
+{
+    LexedFile lx = lex("auto s = R\"doc(\n"
+                       "assert(x); )\" not the end\n"
+                       ")doc\"; h();\n");
+    ASSERT_EQ(lx.code.size(), 3u);
+    EXPECT_EQ(lx.code[0], "auto s = \"\"");
+    EXPECT_EQ(lx.code[1], "");
+    EXPECT_EQ(lx.code[2], "; h();");
+    bool saw_h = false;
+    for (const Token &t : lx.tokens)
+        if (t.kind == TokenKind::Identifier && t.text == "h") {
+            saw_h = true;
+            EXPECT_EQ(t.line, 3u);
+        }
+    EXPECT_TRUE(saw_h);
+}
+
+TEST(Lexer, EncodingPrefixedStrings)
+{
+    LexedFile lx = lex("auto a = u8\"x\"; auto b = L\"y\"; k();\n");
+    EXPECT_EQ(lx.code[0], "auto a = \"\"; auto b = \"\"; k();");
+}
+
+TEST(Lexer, IncludeExtraction)
+{
+    LexedFile lx = lex("#include \"util/logging.hh\"\n"
+                       "#include <vector>\n"
+                       "  #  include \"mva/solver.hh\"\n");
+    ASSERT_EQ(lx.includes.size(), 3u);
+    EXPECT_EQ(lx.includes[0].path, "util/logging.hh");
+    EXPECT_FALSE(lx.includes[0].system);
+    EXPECT_EQ(lx.includes[0].line, 1u);
+    EXPECT_EQ(lx.includes[1].path, "vector");
+    EXPECT_TRUE(lx.includes[1].system);
+    EXPECT_EQ(lx.includes[2].path, "mva/solver.hh");
+    EXPECT_EQ(lx.includes[2].line, 3u);
+}
+
+TEST(Lexer, IncludeInsideCommentOrRawStringIsIgnored)
+{
+    LexedFile lx = lex("// #include \"util/a.hh\"\n"
+                       "/* #include \"util/b.hh\" */\n"
+                       "auto s = R\"(\n"
+                       "#include \"util/c.hh\"\n"
+                       ")\";\n"
+                       "#include \"util/real.hh\"\n");
+    ASSERT_EQ(lx.includes.size(), 1u);
+    EXPECT_EQ(lx.includes[0].path, "util/real.hh");
+    EXPECT_EQ(lx.includes[0].line, 6u);
+}
+
+TEST(Lexer, PragmaOnceSurvivesInRawAndCodeLines)
+{
+    LexedFile lx = lex("#pragma once\n");
+    ASSERT_EQ(lx.lines.size(), 1u);
+    EXPECT_EQ(lx.lines[0], "#pragma once");
+    EXPECT_EQ(lx.code[0], "#pragma once");
+}
+
+TEST(Lexer, IdentifierLineNumbers)
+{
+    LexedFile lx = lex("alpha\nbeta\n\ngamma\n");
+    auto ids = identifiers(lx);
+    ASSERT_EQ(ids.size(), 3u);
+    EXPECT_EQ(lx.tokens[0].line, 1u);
+    EXPECT_EQ(lx.tokens[1].line, 2u);
+    EXPECT_EQ(lx.tokens[2].line, 4u);
+}
+
+TEST(Lexer, UnterminatedConstructsDoNotLoop)
+{
+    // Robustness: never hang or crash on malformed input.
+    (void)lex("\"unterminated\n");
+    (void)lex("'x\n");
+    (void)lex("/* never closed\nstill open\n");
+    (void)lex("auto s = R\"(never closed\n");
+    SUCCEED();
+}
+
+} // namespace

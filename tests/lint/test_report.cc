@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Reporting tests: SARIF 2.1.0 serialization against the checked-in
+ * golden file (byte-exact — the log must be deterministic or GitHub
+ * code-scanning uploads churn), JSON escaping, the baseline
+ * suppression file (parse, match, stale detection), and the
+ * --list-rules snapshot (tests/lint/list_rules.snapshot must track
+ * the rule registry).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint/report.hh"
+
+using namespace snoop::lint;
+
+namespace {
+
+const char *kFixtures = SNOOP_LINT_FIXTURES;
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in.good()) << "cannot read " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+std::vector<Finding>
+sampleFindings()
+{
+    return {
+        {"src/util/alpha.cc", 12, "no-raw-assert",
+         "raw assert() vanishes under NDEBUG; use SNOOP_ASSERT / "
+         "SNOOP_REQUIRE instead"},
+        {"src/core/beta.hh", 0, "doxygen-file",
+         "header lacks a Doxygen '@file' comment block"},
+    };
+}
+
+TEST(Sarif, MatchesGoldenFile)
+{
+    std::string expected =
+        slurp(std::string(kFixtures) + "/expected.sarif");
+    EXPECT_EQ(toSarif(sampleFindings()), expected);
+}
+
+TEST(Sarif, StructuralInvariants)
+{
+    std::string s = toSarif(sampleFindings());
+    EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(s.find("\"name\": \"snoop_lint\""), std::string::npos);
+    // A whole-file finding (line 0) is clamped to startLine 1, the
+    // SARIF minimum.
+    EXPECT_NE(s.find("\"startLine\": 1"), std::string::npos);
+    // Every registered rule is exported.
+    for (const RuleInfo &rule : ruleTable())
+        EXPECT_NE(s.find(std::string("\"id\": \"") + rule.id + "\""),
+                  std::string::npos)
+            << rule.id;
+}
+
+TEST(Sarif, EscapesJsonMetacharacters)
+{
+    std::vector<Finding> findings = {
+        {"src/x.cc", 1, "no-raw-assert",
+         "message with \"quotes\", a \\ backslash,\nand a newline"},
+    };
+    std::string s = toSarif(findings);
+    EXPECT_NE(s.find("\\\"quotes\\\""), std::string::npos);
+    EXPECT_NE(s.find("\\\\ backslash"), std::string::npos);
+    EXPECT_NE(s.find("\\nand a newline"), std::string::npos);
+}
+
+TEST(Sarif, EmptyFindingsIsStillAValidLog)
+{
+    std::string s = toSarif({});
+    EXPECT_NE(s.find("\"results\": [\n      ]"), std::string::npos);
+}
+
+TEST(Baseline, ParseMatchAndStale)
+{
+    Baseline b = Baseline::parse(
+        "# comment line\n"
+        "\n"
+        "src/util/alpha.cc:no-raw-assert   # legacy assert, issue #7\n"
+        "src/core/gone.cc:determinism      # fixed long ago\n");
+    EXPECT_TRUE(b.errors().empty());
+    EXPECT_EQ(b.size(), 2u);
+
+    size_t suppressed = 0;
+    auto kept = applyBaseline(sampleFindings(), b, &suppressed);
+    EXPECT_EQ(suppressed, 1u);
+    ASSERT_EQ(kept.size(), 1u);
+    EXPECT_EQ(kept[0].rule, "doxygen-file");
+
+    auto stale = b.staleEntries();
+    ASSERT_EQ(stale.size(), 1u);
+    EXPECT_EQ(stale[0], "src/core/gone.cc:determinism");
+}
+
+TEST(Baseline, MalformedLinesAreErrorsNotSilence)
+{
+    Baseline b = Baseline::parse("no-colon-here\n");
+    ASSERT_EQ(b.errors().size(), 1u);
+    EXPECT_NE(b.errors()[0].find("expected"), std::string::npos);
+    EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(Baseline, MissingFileIsEmpty)
+{
+    Baseline b = Baseline::load("/nonexistent/baseline.txt");
+    EXPECT_EQ(b.size(), 0u);
+    EXPECT_TRUE(b.errors().empty());
+}
+
+TEST(ListRules, SnapshotTracksRegistry)
+{
+    // Must render exactly what `snoop_lint --list-rules` prints
+    // (same "%-18s %s" format as the driver).
+    std::ostringstream expected;
+    for (const RuleInfo &rule : ruleTable()) {
+        char buf[256];
+        std::snprintf(buf, sizeof(buf), "%-18s %s\n", rule.id,
+                      rule.summary);
+        expected << buf;
+    }
+    std::string snapshot = slurp(std::string(kFixtures) +
+                                 "/../list_rules.snapshot");
+    EXPECT_EQ(snapshot, expected.str())
+        << "tests/lint/list_rules.snapshot is out of date; regenerate "
+           "with: snoop_lint --list-rules > tests/lint/"
+           "list_rules.snapshot";
+}
+
+} // namespace

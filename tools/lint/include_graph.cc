@@ -1,0 +1,355 @@
+#include "lint/include_graph.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+
+namespace snoop::lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool
+contains(const std::string &haystack, const char *needle)
+{
+    return haystack.find(needle) != std::string::npos;
+}
+
+/** C++ keywords that precede '(' or '{' without naming anything. */
+bool
+isNonNameKeyword(const std::string &id)
+{
+    static const std::set<std::string> kKeywords = {
+        "if",       "for",      "while",    "switch",   "return",
+        "sizeof",   "alignof",  "alignas",  "decltype", "noexcept",
+        "catch",    "static_assert",        "else",     "do",
+        "new",      "delete",   "throw",    "case",     "default",
+        "operator", "co_await", "co_yield", "co_return","requires",
+        "typeid",   "explicit", "constexpr","const",    "static",
+        "inline",   "namespace","template", "typename", "public",
+        "private",  "protected","virtual",  "override", "final",
+        "auto",     "void",     "bool",     "char",     "int",
+        "unsigned", "signed",   "long",     "short",    "float",
+        "double",   "this",     "true",     "false",    "nullptr",
+        "using",    "enum",     "class",    "struct",   "union",
+    };
+    return kKeywords.count(id) > 0;
+}
+
+} // namespace
+
+bool
+Layers::parse(const std::string &text, Layers *out, std::string *err)
+{
+    Layers layers;
+    std::istringstream in(text);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream words(line);
+        std::vector<std::string> group;
+        std::string mod;
+        while (words >> mod) {
+            if (layers.rank.count(mod)) {
+                if (err)
+                    *err = "layers line " + std::to_string(lineno) +
+                        ": module '" + mod + "' listed twice";
+                return false;
+            }
+            layers.rank[mod] = layers.groups.size();
+            group.push_back(mod);
+        }
+        if (!group.empty())
+            layers.groups.push_back(std::move(group));
+    }
+    if (layers.groups.empty()) {
+        if (err)
+            *err = "layers file declares no layers";
+        return false;
+    }
+    *out = std::move(layers);
+    return true;
+}
+
+bool
+Layers::load(const std::string &path, Layers *out, std::string *err)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        if (err)
+            *err = "cannot read layers file: " + path;
+        return false;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str(), out, err);
+}
+
+std::string
+moduleOf(const std::string &rel)
+{
+    if (rel.rfind("src/", 0) != 0)
+        return std::string();
+    size_t start = 4;
+    size_t slash = rel.find('/', start);
+    if (slash == std::string::npos)
+        return std::string(); // a file directly under src/
+    return rel.substr(start, slash - start);
+}
+
+std::vector<Finding>
+checkLayering(const FileSet &files, const Layers &layers)
+{
+    std::vector<Finding> findings;
+    std::set<std::string> unknown_reported;
+    auto reportUnknown = [&](const std::string &mod) {
+        if (!unknown_reported.insert(mod).second)
+            return;
+        findings.push_back(
+            {"src/" + mod, 0, "layering",
+             "module '" + mod +
+                 "' is not declared in tools/lint/layers.txt; add it "
+                 "to the layer it belongs to"});
+    };
+    for (const auto &[rel, lexed] : files) {
+        std::string from = moduleOf(rel);
+        if (from.empty())
+            continue;
+        auto from_it = layers.rank.find(from);
+        if (from_it == layers.rank.end()) {
+            reportUnknown(from);
+            continue;
+        }
+        for (const Include &inc : lexed.includes) {
+            if (inc.system)
+                continue;
+            size_t slash = inc.path.find('/');
+            if (slash == std::string::npos)
+                continue; // same-directory include, not a module edge
+            std::string to = inc.path.substr(0, slash);
+            // Only directives that actually resolve inside src/ are
+            // module edges; "lint/lexer.hh" style paths from other
+            // trees are not.
+            if (!files.count("src/" + inc.path))
+                continue;
+            auto to_it = layers.rank.find(to);
+            if (to_it == layers.rank.end()) {
+                reportUnknown(to);
+                continue;
+            }
+            if (to_it->second > from_it->second) {
+                findings.push_back(
+                    {rel, inc.line, "layering",
+                     "include of '" + inc.path + "' from module '" +
+                         from + "' (layer " +
+                         std::to_string(from_it->second + 1) +
+                         ") reaches up to module '" + to + "' (layer " +
+                         std::to_string(to_it->second + 1) +
+                         "); the DAG in tools/lint/layers.txt only "
+                         "allows includes at or below a module's own "
+                         "layer"});
+            }
+        }
+    }
+    return findings;
+}
+
+std::vector<Finding>
+checkIncludeCycles(const FileSet &files)
+{
+    // DFS with tri-color marking over the resolved file-level graph.
+    std::vector<Finding> findings;
+    std::map<std::string, int> color; // 0 white, 1 grey, 2 black
+    std::vector<std::string> stack;
+
+    struct Edge {
+        std::string to;
+        size_t line;
+    };
+    auto edgesOf = [&files](const std::string &rel) {
+        std::vector<Edge> edges;
+        auto it = files.find(rel);
+        if (it == files.end())
+            return edges;
+        for (const Include &inc : it->second.includes) {
+            if (inc.system)
+                continue;
+            std::string target = "src/" + inc.path;
+            if (files.count(target))
+                edges.push_back({target, inc.line});
+        }
+        return edges;
+    };
+
+    std::function<void(const std::string &)> visit =
+        [&](const std::string &rel) {
+        color[rel] = 1;
+        stack.push_back(rel);
+        for (const Edge &e : edgesOf(rel)) {
+            if (color[e.to] == 1) {
+                // Back edge: reconstruct the cycle from the stack.
+                std::string msg = "include cycle: ";
+                auto start =
+                    std::find(stack.begin(), stack.end(), e.to);
+                for (auto it = start; it != stack.end(); ++it)
+                    msg += *it + " -> ";
+                msg += e.to;
+                findings.push_back({rel, e.line, "layering", msg});
+            } else if (color[e.to] == 0) {
+                visit(e.to);
+            }
+        }
+        stack.pop_back();
+        color[rel] = 2;
+    };
+
+    for (const auto &[rel, lexed] : files) {
+        (void)lexed;
+        if (color[rel] == 0)
+            visit(rel);
+    }
+    return findings;
+}
+
+std::set<std::string>
+exportedNames(const LexedFile &header)
+{
+    std::set<std::string> names;
+    const auto &toks = header.tokens;
+    int enum_depth = -1; // brace depth at which an enum body opened
+    int depth = 0;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        const Token &t = toks[i];
+        if (t.kind == TokenKind::Punct) {
+            if (t.text == "{")
+                ++depth;
+            else if (t.text == "}") {
+                --depth;
+                if (enum_depth >= 0 && depth < enum_depth)
+                    enum_depth = -1;
+            }
+            continue;
+        }
+        if (t.kind != TokenKind::Identifier)
+            continue;
+        auto next = [&](size_t ahead) -> const Token * {
+            return i + ahead < toks.size() ? &toks[i + ahead] : nullptr;
+        };
+        auto nextIs = [&](size_t ahead, const char *p) {
+            const Token *n = next(ahead);
+            return n && n->kind == TokenKind::Punct && n->text == p;
+        };
+        // #define NAME
+        if (t.text == "define" && i >= 1 &&
+            toks[i - 1].kind == TokenKind::Punct &&
+            toks[i - 1].text == "#") {
+            const Token *n = next(1);
+            if (n && n->kind == TokenKind::Identifier)
+                names.insert(n->text);
+            continue;
+        }
+        // class/struct/union/concept/enum [class|struct] NAME
+        if (t.text == "class" || t.text == "struct" ||
+            t.text == "union" || t.text == "concept") {
+            const Token *n = next(1);
+            if (n && n->kind == TokenKind::Identifier &&
+                !isNonNameKeyword(n->text))
+                names.insert(n->text);
+            continue;
+        }
+        if (t.text == "enum") {
+            size_t j = 1;
+            const Token *n = next(j);
+            if (n && n->kind == TokenKind::Identifier &&
+                (n->text == "class" || n->text == "struct"))
+                n = next(++j);
+            if (n && n->kind == TokenKind::Identifier)
+                names.insert(n->text);
+            enum_depth = depth + 1;
+            continue;
+        }
+        // using NAME = ...
+        if (t.text == "using") {
+            const Token *n = next(1);
+            if (n && n->kind == TokenKind::Identifier && nextIs(2, "="))
+                names.insert(n->text);
+            continue;
+        }
+        // Enumerator: an identifier directly after '{' or ',' inside
+        // an enum body.
+        if (enum_depth >= 0 && depth >= enum_depth && i >= 1 &&
+            toks[i - 1].kind == TokenKind::Punct &&
+            (toks[i - 1].text == "{" || toks[i - 1].text == ",")) {
+            names.insert(t.text);
+            continue;
+        }
+        // Call/declaration position (NAME() / NAME{...}) or
+        // assignment position (NAME = ...): over-capturing calls in
+        // inline code only makes the pass more conservative.
+        if (!isNonNameKeyword(t.text) &&
+            (nextIs(1, "(") || nextIs(1, "=") || nextIs(1, "{")))
+            names.insert(t.text);
+    }
+    return names;
+}
+
+void
+checkUnusedIncludes(const std::string &display,
+                    const std::string &original, const LexedFile &lexed,
+                    HeaderResolver &resolver,
+                    std::vector<Finding> &findings)
+{
+    fs::path orig(original);
+    std::string self_stem = orig.stem().string();
+    std::string dir = orig.parent_path().string();
+
+    // The includer's referenced identifiers, gathered once.
+    std::set<std::string> used;
+    for (const Token &t : lexed.tokens)
+        if (t.kind == TokenKind::Identifier)
+            used.insert(t.text);
+
+    for (const Include &inc : lexed.includes) {
+        if (inc.system)
+            continue;
+        // A .cc's own header is its interface, never "unused".
+        if (fs::path(inc.path).stem().string() == self_stem)
+            continue;
+        // Deliberate side-effect includes opt out on the directive
+        // line itself.
+        if (inc.line >= 1 && inc.line <= lexed.lines.size() &&
+            (contains(lexed.lines[inc.line - 1], "snoop-lint: include-ok") ||
+             contains(lexed.lines[inc.line - 1], "IWYU pragma: keep")))
+            continue;
+        const LexedFile *header = resolver.resolve(dir, inc.path);
+        if (!header)
+            continue;
+        std::set<std::string> exported = exportedNames(*header);
+        if (exported.empty())
+            continue; // nothing to judge against: stay silent
+        bool referenced = false;
+        for (const std::string &name : exported) {
+            if (used.count(name)) {
+                referenced = true;
+                break;
+            }
+        }
+        if (!referenced) {
+            findings.push_back(
+                {display, inc.line, "unused-include",
+                 "include of '" + inc.path +
+                     "' contributes no name referenced by this file "
+                     "(heuristic); remove it or mark a side-effect "
+                     "include with 'snoop-lint: include-ok'"});
+        }
+    }
+}
+
+} // namespace snoop::lint

@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Include-graph passes of snoop_analyze: the structural checks that
+ * PR 1's line scanner could not express because they need cross-file
+ * state.
+ *
+ *  - layering: `#include` edges between src/ modules must respect
+ *    the declared module DAG in tools/lint/layers.txt (one layer per
+ *    line, lowest first; modules on the same line may depend on each
+ *    other, which sanctions the documented util <-> observe static-
+ *    library cycle). A module absent from layers.txt is itself a
+ *    finding: the DAG is the contract, not a suggestion.
+ *  - include cycles: the file-level include graph under src/ must be
+ *    acyclic (pragma once hides cycles until they deadlock a
+ *    refactor; this fails them up front).
+ *  - unused-include (IWYU-lite): a quoted project include whose
+ *    header contributes no name referenced by the includer is
+ *    reported. Heuristic by design: the header's "exported names"
+ *    are its macros, type names, aliases, enumerators, and
+ *    identifiers in call/assignment position; a deliberate
+ *    side-effect include carries `snoop-lint: include-ok`.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+#include "lint/report.hh"
+
+namespace snoop::lint {
+
+/** All lexed files of a tree, keyed by repo-relative '/'-separated
+ * path (e.g. "src/util/logging.hh"). */
+using FileSet = std::map<std::string, LexedFile>;
+
+/** The declared module DAG, lowest layer first. */
+struct Layers {
+    std::vector<std::vector<std::string>> groups;
+    std::map<std::string, size_t> rank; //!< module -> group index
+
+    /** Parse layers text; returns false and sets *err on malformed
+     * input (empty file, duplicate module). */
+    static bool parse(const std::string &text, Layers *out,
+                      std::string *err);
+    static bool load(const std::string &path, Layers *out,
+                     std::string *err);
+};
+
+/** Module of a repo-relative path: "src/mva/solver.cc" -> "mva";
+ * empty for anything outside src/. */
+std::string moduleOf(const std::string &rel);
+
+/** Cross-module layering violations + modules missing from the
+ * declared DAG. */
+std::vector<Finding> checkLayering(const FileSet &files,
+                                   const Layers &layers);
+
+/** File-level include cycles under src/. */
+std::vector<Finding> checkIncludeCycles(const FileSet &files);
+
+/** Resolves an include directive to the lexed target header, or
+ * nullptr when it cannot (system header, generated file, ...). */
+class HeaderResolver
+{
+  public:
+    virtual ~HeaderResolver() = default;
+    /** @param includerDir directory of the including file
+     *  @param incPath     the path as written in the directive */
+    virtual const LexedFile *resolve(const std::string &includerDir,
+                                     const std::string &incPath) = 0;
+};
+
+/** Names a header contributes to its includers (heuristic). */
+std::set<std::string> exportedNames(const LexedFile &header);
+
+/** IWYU-lite pass over one file's quoted includes. */
+void checkUnusedIncludes(const std::string &display,
+                         const std::string &original,
+                         const LexedFile &lexed, HeaderResolver &resolver,
+                         std::vector<Finding> &findings);
+
+} // namespace snoop::lint

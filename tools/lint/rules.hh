@@ -1,0 +1,52 @@
+#pragma once
+
+/**
+ * @file
+ * Per-file convention rules of snoop_analyze: the eight rules R1-R8
+ * inherited from PR 1's line scanner, re-expressed over the lexer's
+ * stripped code view (tools/lint/lexer.hh) so comments, string
+ * literals, char literals, and raw strings can no longer cause
+ * false positives or mask the rest of a line — plus the determinism
+ * pass (R10) that protects the bit-identity contract: no wall-clock
+ * or ambient-randomness calls outside src/random/ and the sanctioned
+ * src/observe/ allowlist.
+ *
+ * Which rules apply to a file is decided from its path exactly as
+ * before (headers get the header rules, tests/ is exempt from the
+ * code rules, fixtures opt back in, solver paths get R8), so the
+ * token engine reproduces the line scanner's findings on clean and
+ * violating trees alike.
+ */
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.hh"
+#include "lint/report.hh"
+
+namespace snoop::lint {
+
+/**
+ * Run every applicable per-file rule over one lexed file.
+ *
+ * @param display   path string used in emitted findings
+ * @param original  path used for rule-applicability decisions
+ *                  (tests/, fixtures/, solver paths, src/random/);
+ *                  usually the path as given on the command line
+ * @param lexed     the lexed file
+ * @param findings  appended in rule order
+ */
+void runFileRules(const std::string &display, const std::string &original,
+                  const LexedFile &lexed, std::vector<Finding> &findings);
+
+/** Word-boundary search: needle not preceded/followed by identifier
+ * chars. Non-identifier chars inside the needle (e.g. "std::rand")
+ * do not affect the boundary check. */
+bool containsWord(const std::string &line, const char *needle);
+
+/** True for paths under tests/ that are exempt from the code rules.
+ * The negative fixtures under tests/lint/fixtures/ are NOT exempt,
+ * or the code-side rules could never fire on them. */
+bool isTestExempt(const std::string &path);
+
+} // namespace snoop::lint

@@ -1,25 +1,40 @@
 #!/bin/sh
-# Drives snoop_lint as a ctest: lints the real tree (must be clean)
-# and then verifies on the negative fixtures that every rule still
-# fires - a linter that silently stopped detecting anything would
-# otherwise keep passing forever.
+# Drives snoop_lint as a ctest: lints the real tree (must be clean,
+# including the layering / determinism / unused-include passes and
+# the baseline), verifies on the negative fixtures that every rule
+# still fires, verifies the good_* fixtures stay clean, and checks
+# the --list-rules snapshot — a linter that silently stopped
+# detecting anything would otherwise keep passing forever.
 #
-# usage: run_lint.sh <snoop_lint-binary> <repo-root>
+# usage: run_lint.sh <snoop_lint-binary> <repo-root> [extra-args...]
+#
+# Extra args are passed through to the tree-lint invocation, so CI
+# can run e.g.:
+#   run_lint.sh ./build/tools/snoop_lint . --changed-only=origin/main
+#   run_lint.sh ./build/tools/snoop_lint . --format=sarif
 set -u
 
-LINT=${1:?usage: run_lint.sh <snoop_lint-binary> <repo-root>}
-ROOT=${2:?usage: run_lint.sh <snoop_lint-binary> <repo-root>}
+LINT=${1:?usage: run_lint.sh <snoop_lint-binary> <repo-root> [extra-args...]}
+ROOT=${2:?usage: run_lint.sh <snoop_lint-binary> <repo-root> [extra-args...]}
+shift 2
 status=0
 
 echo "== linting the tree =="
-if ! "$LINT" "$ROOT/src" "$ROOT/tools" "$ROOT/bench" "$ROOT/examples"; then
+if [ "$#" -gt 0 ] && [ "${1#--changed-only}" != "$1" ]; then
+    # Diff-driven mode: snoop_lint computes the file list itself.
+    if ! "$LINT" --root="$ROOT" "$@"; then
+        echo "run_lint: changed files have convention violations" >&2
+        status=1
+    fi
+elif ! "$LINT" --root="$ROOT" "$@" \
+        "$ROOT/src" "$ROOT/tools" "$ROOT/bench" "$ROOT/examples"; then
     echo "run_lint: tree has convention violations" >&2
     status=1
 fi
 
 echo "== negative fixtures (each must fail) =="
 for fixture in "$ROOT"/tests/lint/fixtures/bad_*; do
-    [ -e "$fixture" ] || continue
+    [ -f "$fixture" ] || continue
     # Expected rule name is encoded in the fixture file name:
     # bad_<rule-with-underscores>[__variant].<ext> (the double
     # underscore separates an optional variant discriminator, so one
@@ -40,15 +55,26 @@ for fixture in "$ROOT"/tests/lint/fixtures/bad_*; do
     fi
 done
 
-# A clean fixture must stay clean (guards against over-eager rules).
-good="$ROOT/tests/lint/fixtures/good_header.hh"
-if [ -e "$good" ]; then
+echo "== clean fixtures (each must pass) =="
+for good in "$ROOT"/tests/lint/fixtures/good_*; do
+    [ -f "$good" ] || continue
     if ! "$LINT" "$good" >/dev/null 2>&1; then
         echo "run_lint: $good: clean fixture reported findings" >&2
         status=1
     else
         echo "ok: $good is clean"
     fi
+done
+
+echo "== --list-rules snapshot =="
+if "$LINT" --list-rules |
+        diff - "$ROOT/tests/lint/list_rules.snapshot" >/dev/null 2>&1; then
+    echo "ok: --list-rules matches tests/lint/list_rules.snapshot"
+else
+    echo "run_lint: --list-rules drifted from the snapshot;" \
+         "regenerate with: snoop_lint --list-rules >" \
+         "tests/lint/list_rules.snapshot" >&2
+    status=1
 fi
 
 exit $status

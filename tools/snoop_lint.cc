@@ -1,458 +1,88 @@
 /**
  * @file
  * snoop_lint: mechanical enforcement of this repository's coding
- * conventions. clang-tidy covers generic C++ hazards; this tool
- * covers the rules that are specific to this tree and that reviews
- * keep re-litigating by hand:
+ * conventions and structural invariants. clang-tidy covers generic
+ * C++ hazards; this tool covers the rules that are specific to this
+ * tree and that reviews keep re-litigating by hand. It is a thin
+ * driver over the snoop_analyze library (tools/lint/), which lexes
+ * every file (comments, strings, char literals, and raw strings are
+ * understood, not regex-approximated) and runs:
  *
- *  R1 pragma-once     every header starts with #pragma once
- *  R2 doxygen-file    every header carries a Doxygen @file block
- *  R3 no-using-std    no `using namespace std` at header scope
- *  R4 format-attr     varargs printf-style functions declare
- *                     __attribute__((format(printf, ...)))
- *  R5 converged-check every MVA / fixed-point solve call site either
- *                     inspects .converged nearby, opts into an
- *                     explicit NonConvergencePolicy earlier in the
- *                     file, or carries a
- *                     `snoop-lint: nonconvergence-ok` marker
- *  R6 no-raw-assert   no raw assert() outside tests/ (use
- *                     SNOOP_ASSERT / SNOOP_REQUIRE, which stay armed
- *                     in release builds)
- *  R7 no-raw-thread   no raw std::thread construction outside
- *                     src/util/parallel.cc (use the ThreadPool /
- *                     parallelFor layer, which owns the determinism
- *                     and shutdown contract); qualified statics like
- *                     std::thread::hardware_concurrency are fine
- *  R8 no-fatal-in-solver
- *                     no fatal() in library solver paths (src/mva/,
- *                     src/util/fixed_point.*, src/util/csv.*,
- *                     src/core/analyzer.*,
- *                     src/core/sweep.*, src/core/solve_for.*): report
- *                     failures as SolveError / SolveException
- *                     (util/expected.hh) so one stiff grid point
- *                     cannot exit the process; a deliberate boundary
- *                     fatal carries a `snoop-lint: fatal-ok` marker
+ *  R1  pragma-once     every header starts with #pragma once
+ *  R2  doxygen-file    every header carries a Doxygen @file block
+ *  R3  no-using-std    no `using namespace std` at header scope
+ *  R4  format-attr     varargs printf-style functions declare
+ *                      __attribute__((format(printf, ...)))
+ *  R5  converged-check every MVA / fixed-point solve call site either
+ *                      inspects .converged nearby, opts into an
+ *                      explicit NonConvergencePolicy earlier in the
+ *                      file, or carries a
+ *                      `snoop-lint: nonconvergence-ok` marker
+ *  R6  no-raw-assert   no raw assert() outside tests/ (use
+ *                      SNOOP_ASSERT / SNOOP_REQUIRE, which stay armed
+ *                      in release builds)
+ *  R7  no-raw-thread   no raw std::thread construction outside
+ *                      src/util/parallel.cc (use the ThreadPool /
+ *                      parallelFor layer, which owns the determinism
+ *                      and shutdown contract)
+ *  R8  no-fatal-in-solver
+ *                      no fatal() in library solver paths: report
+ *                      failures as SolveError / SolveException
+ *                      (util/expected.hh); a deliberate boundary
+ *                      fatal carries a `snoop-lint: fatal-ok` marker
+ *  R9  layering        cross-module #include edges respect the
+ *                      module DAG declared in tools/lint/layers.txt
+ *                      and form no include cycles
+ *  R10 determinism     no wall-clock / ambient-randomness calls
+ *                      (std::rand, std::random_device, time(),
+ *                      system_clock, ...) outside src/random/ and
+ *                      the sanctioned src/observe/ allowlist; a
+ *                      deliberate use carries a
+ *                      `snoop-lint: determinism-ok` marker
+ *  R11 unused-include  a quoted project include whose header
+ *                      contributes no referenced name (IWYU-lite);
+ *                      side-effect includes carry
+ *                      `snoop-lint: include-ok`
  *
- * Usage: snoop_lint [--list-rules] <file-or-dir>...
- * Exit status: 0 when clean, 1 when any rule fired, 2 on usage error.
+ * Usage:
+ *   snoop_lint [--list-rules] [--root=DIR] [--format=text|sarif]
+ *              [--changed-only[=REF]] [--baseline=FILE]
+ *              [--no-baseline] [<file-or-dir>...]
  *
- * The scanner is line-oriented on purpose: the rules are chosen so
- * that a textual check has no false positives on idiomatic code, and
- * a deliberately dumb linter is auditable in a way a libclang pass is
- * not. Comment lines are skipped where the rule concerns code.
+ * --format=sarif writes a SARIF 2.1.0 log to stdout (for GitHub code
+ * scanning upload); text findings always go to stderr.
+ * --changed-only lints `git diff --name-only REF` (default HEAD)
+ * instead of explicit paths. Findings listed in
+ * tools/lint/baseline.txt are suppressed so a new rule can land
+ * without a flag day; stale baseline entries are reported on
+ * full-tree runs.
+ *
+ * Exit status: 0 when clean, 1 when any rule fired, 2 on usage or
+ * environment error.
  */
 
-#include <algorithm>
-#include <cctype>
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
-#include <fstream>
 #include <string>
 #include <vector>
+
+#include "lint/engine.hh"
+#include "lint/report.hh"
 
 namespace {
 
 namespace fs = std::filesystem;
 
-struct Finding
+int
+usage()
 {
-    std::string file;
-    size_t line; // 1-based; 0 for whole-file findings
-    std::string rule;
-    std::string message;
-};
-
-std::vector<Finding> g_findings;
-
-void
-report(const std::string &file, size_t line, const char *rule,
-       std::string message)
-{
-    g_findings.push_back({file, line, rule, std::move(message)});
-}
-
-std::vector<std::string>
-readLines(const fs::path &path)
-{
-    std::ifstream in(path);
-    std::vector<std::string> lines;
-    std::string line;
-    while (std::getline(in, line))
-        lines.push_back(line);
-    return lines;
-}
-
-/** Strip leading whitespace. */
-std::string
-lstrip(const std::string &s)
-{
-    size_t i = s.find_first_not_of(" \t");
-    return i == std::string::npos ? std::string() : s.substr(i);
-}
-
-/** True for lines that are entirely comment or blank (heuristic). */
-bool
-isCommentOrBlank(const std::string &line)
-{
-    std::string t = lstrip(line);
-    return t.empty() || t[0] == '*' || t.rfind("//", 0) == 0 ||
-        t.rfind("/*", 0) == 0;
-}
-
-bool
-contains(const std::string &haystack, const char *needle)
-{
-    return haystack.find(needle) != std::string::npos;
-}
-
-/**
- * Drop the contents of double-quoted string literals so an error
- * message mentioning solveMulticlass() or assert() cannot trip the
- * code rules. Escaped quotes are honored; multi-line raw strings are
- * not used in this tree.
- */
-std::string
-stripStrings(const std::string &line)
-{
-    std::string out;
-    out.reserve(line.size());
-    bool in_string = false;
-    for (size_t i = 0; i < line.size(); ++i) {
-        char c = line[i];
-        if (in_string && c == '\\') {
-            ++i; // skip the escaped character
-            continue;
-        }
-        if (c == '"') {
-            in_string = !in_string;
-            continue;
-        }
-        if (!in_string)
-            out.push_back(c);
-    }
-    return out;
-}
-
-/** Word-boundary search: needle not preceded/followed by ident chars. */
-bool
-containsWord(const std::string &line, const char *needle)
-{
-    size_t len = std::strlen(needle);
-    for (size_t pos = line.find(needle); pos != std::string::npos;
-         pos = line.find(needle, pos + 1)) {
-        bool left_ok = pos == 0 ||
-            (!std::isalnum(static_cast<unsigned char>(line[pos - 1])) &&
-             line[pos - 1] != '_');
-        size_t end = pos + len;
-        bool right_ok = end >= line.size() ||
-            (!std::isalnum(static_cast<unsigned char>(line[end])) &&
-             line[end] != '_');
-        if (left_ok && right_ok)
-            return true;
-    }
-    return false;
-}
-
-// --- R1 + R2 + R3: header hygiene -----------------------------------
-
-void
-checkHeader(const std::string &file, const std::vector<std::string> &lines)
-{
-    if (lines.empty() || lstrip(lines[0]) != "#pragma once") {
-        report(file, 1, "pragma-once",
-               "header must start with '#pragma once' on line 1");
-    }
-    bool has_file_doc = false;
-    for (const auto &line : lines) {
-        if (contains(line, "@file")) {
-            has_file_doc = true;
-            break;
-        }
-    }
-    if (!has_file_doc) {
-        report(file, 0, "doxygen-file",
-               "header lacks a Doxygen '@file' comment block");
-    }
-    for (size_t i = 0; i < lines.size(); ++i) {
-        if (isCommentOrBlank(lines[i]))
-            continue;
-        if (contains(lines[i], "using namespace std")) {
-            report(file, i + 1, "no-using-std",
-                   "'using namespace std' leaks into every includer");
-        }
-    }
-}
-
-// --- R4: printf-style declarations carry a format attribute ----------
-
-void
-checkFormatAttribute(const std::string &file,
-                     const std::vector<std::string> &lines)
-{
-    for (size_t i = 0; i < lines.size(); ++i) {
-        if (isCommentOrBlank(lines[i]))
-            continue;
-        // A varargs declaration whose last named parameter is a format
-        // string: "const char *fmt, ...".
-        if (!(contains(lines[i], "*fmt, ...") ||
-              contains(lines[i], "* fmt, ...")))
-            continue;
-        // Scan the whole declaration (to the terminating ';' or '{').
-        bool has_attr = false;
-        for (size_t j = i; j < lines.size() && j < i + 6; ++j) {
-            if (contains(lines[j], "__attribute__((format")) {
-                has_attr = true;
-                break;
-            }
-            if (contains(lines[j], ";") || contains(lines[j], "{"))
-                break;
-        }
-        // Definitions in .cc files repeat the signature without the
-        // attribute; only declarations (headers) must carry it.
-        if (!has_attr) {
-            report(file, i + 1, "format-attr",
-                   "printf-style declaration missing "
-                   "__attribute__((format(printf, ...)))");
-        }
-    }
-}
-
-// --- R5: solver call sites honor the convergence contract ------------
-
-constexpr const char *kMarker = "snoop-lint: nonconvergence-ok";
-
-bool
-isSolveCall(const std::string &line)
-{
-    // Declarations start with the result type; gem5-style definitions
-    // start with the function name itself (return type on the line
-    // above). Neither is a call site.
-    static constexpr const char *kNotCalls[] = {
-        "MvaResult ",          "FixedPointResult ",
-        "MulticlassResult ",   "HierarchicalResult ",
-        "solveMulticlass(",    "solveHierarchical(",
-    };
-    std::string t = lstrip(line);
-    if (!contains(t, "=")) {
-        for (const char *prefix : kNotCalls)
-            if (t.rfind(prefix, 0) == 0)
-                return false;
-    }
-    if (contains(line, ".solve(") && !contains(line, "::solve("))
-        return true;
-    return containsWord(line, "solveMulticlass") ||
-        containsWord(line, "solveHierarchical");
-}
-
-void
-checkConvergedUse(const std::string &file,
-                  const std::vector<std::string> &lines)
-{
-    bool policy_seen = false;
-    for (size_t i = 0; i < lines.size(); ++i) {
-        if (isCommentOrBlank(lines[i]))
-            continue; // a policy mentioned in prose does not opt in
-        std::string code = stripStrings(lines[i]);
-        if (contains(code, "onNonConvergence"))
-            policy_seen = true;
-        if (!isSolveCall(code))
-            continue;
-        if (policy_seen)
-            continue; // explicit policy opted into earlier in the file
-        bool marker = false;
-        for (size_t j = i >= 3 ? i - 3 : 0; j <= i; ++j) {
-            if (contains(lines[j], kMarker)) {
-                marker = true;
-                break;
-            }
-        }
-        if (marker)
-            continue;
-        bool checked = false;
-        for (size_t j = i; j < lines.size() && j < i + 8; ++j) {
-            // A policy named in the call's own argument list (wrapped
-            // onto the following lines) opts in just as well as a
-            // .converged inspection of the result.
-            std::string window = stripStrings(lines[j]);
-            if (containsWord(window, "converged") ||
-                contains(window, "onNonConvergence")) {
-                checked = true;
-                break;
-            }
-        }
-        if (!checked) {
-            report(file, i + 1, "converged-check",
-                   "solve() result consumed without checking "
-                   "'converged', an explicit onNonConvergence policy, "
-                   "or a 'snoop-lint: nonconvergence-ok' marker");
-        }
-    }
-}
-
-// --- R6: no raw assert() outside tests -------------------------------
-
-void
-checkRawAssert(const std::string &file,
-               const std::vector<std::string> &lines)
-{
-    for (size_t i = 0; i < lines.size(); ++i) {
-        if (isCommentOrBlank(lines[i]))
-            continue;
-        std::string code = stripStrings(lines[i]);
-        if (containsWord(code, "assert") && contains(code, "assert(") &&
-            !contains(code, "static_assert") &&
-            !contains(code, "SNOOP_ASSERT")) {
-            report(file, i + 1, "no-raw-assert",
-                   "raw assert() vanishes under NDEBUG; use "
-                   "SNOOP_ASSERT / SNOOP_REQUIRE instead");
-        }
-    }
-}
-
-// --- R7: no raw std::thread outside the parallel layer ---------------
-
-void
-checkRawThread(const std::string &file,
-               const std::vector<std::string> &lines)
-{
-    for (size_t i = 0; i < lines.size(); ++i) {
-        if (isCommentOrBlank(lines[i]))
-            continue;
-        std::string code = stripStrings(lines[i]);
-        static constexpr const char *kNeedle = "std::thread";
-        for (size_t pos = code.find(kNeedle); pos != std::string::npos;
-             pos = code.find(kNeedle, pos + 1)) {
-            size_t end = pos + std::strlen(kNeedle);
-            // Qualified uses (std::thread::hardware_concurrency) read
-            // a static; only owning a thread object is banned.
-            if (code.compare(end, 2, "::") == 0)
-                continue;
-            report(file, i + 1, "no-raw-thread",
-                   "raw std::thread bypasses the ThreadPool/parallelFor "
-                   "layer (util/parallel.hh) and its determinism and "
-                   "shutdown contract");
-            break;
-        }
-    }
-}
-
-// --- R8: no fatal() in library solver paths --------------------------
-
-constexpr const char *kFatalOkMarker = "snoop-lint: fatal-ok";
-
-/**
- * The library solver paths whose fault-isolation contract
- * (util/expected.hh) forbids process exit. The negative fixture opts
- * in by name, since it cannot live under src/.
- */
-bool
-isSolverPath(const fs::path &p)
-{
-    std::string name = p.filename().string();
-    if (name.rfind("bad_no_fatal_in_solver", 0) == 0)
-        return true;
-    if (p.parent_path().filename() == "mva")
-        return true;
-    std::string stem = p.stem().string();
-    bool in_util = p.parent_path().filename() == "util";
-    bool in_core = p.parent_path().filename() == "core";
-    // csv.* is covered because CSV emission runs inside sweep/bench
-    // result paths: a failed write must surface via close(), not exit.
-    return (in_util && (stem == "fixed_point" || stem == "csv")) ||
-        (in_core &&
-         (stem == "analyzer" || stem == "sweep" || stem == "solve_for"));
-}
-
-void
-checkNoFatal(const std::string &file,
-             const std::vector<std::string> &lines)
-{
-    for (size_t i = 0; i < lines.size(); ++i) {
-        if (isCommentOrBlank(lines[i]))
-            continue;
-        std::string code = stripStrings(lines[i]);
-        if (!containsWord(code, "fatal") || !contains(code, "fatal("))
-            continue;
-        bool marker = false;
-        for (size_t j = i >= 3 ? i - 3 : 0; j <= i; ++j) {
-            if (contains(lines[j], kFatalOkMarker)) {
-                marker = true;
-                break;
-            }
-        }
-        if (marker)
-            continue;
-        report(file, i + 1, "no-fatal-in-solver",
-               "fatal() exits the process from a library solver path; "
-               "return a SolveError / throw SolveException "
-               "(util/expected.hh), or mark a deliberate boundary with "
-               "'snoop-lint: fatal-ok'");
-    }
-}
-
-// --- driver ----------------------------------------------------------
-
-bool
-underTests(const fs::path &p)
-{
-    // The negative fixtures live under tests/lint/fixtures/ but must
-    // be linted with the non-test rule set, or the fixtures for the
-    // code-side rules could never fire.
-    for (const auto &part : p)
-        if (part == "fixtures")
-            return false;
-    for (const auto &part : p)
-        if (part == "tests")
-            return true;
-    return false;
-}
-
-void
-lintFile(const fs::path &path)
-{
-    std::string file = path.string();
-    std::vector<std::string> lines = readLines(path);
-    bool is_header = path.extension() == ".hh";
-    bool in_tests = underTests(path);
-
-    // The one translation unit allowed to own threads: the pool
-    // implementation itself.
-    bool is_parallel_impl = path.filename() == "parallel.cc" &&
-        path.parent_path().filename() == "util";
-
-    if (is_header) {
-        checkHeader(file, lines);
-        checkFormatAttribute(file, lines);
-    }
-    if (!in_tests) {
-        checkConvergedUse(file, lines);
-        checkRawAssert(file, lines);
-        if (!is_parallel_impl)
-            checkRawThread(file, lines);
-        if (isSolverPath(path))
-            checkNoFatal(file, lines);
-    }
-}
-
-void
-lintTree(const fs::path &root)
-{
-    std::vector<fs::path> files;
-    if (fs::is_regular_file(root)) {
-        files.push_back(root);
-    } else {
-        for (const auto &entry : fs::recursive_directory_iterator(root)) {
-            if (!entry.is_regular_file())
-                continue;
-            auto ext = entry.path().extension();
-            if (ext == ".hh" || ext == ".cc")
-                files.push_back(entry.path());
-        }
-    }
-    std::sort(files.begin(), files.end());
-    for (const auto &f : files)
-        lintFile(f);
+    std::fprintf(
+        stderr,
+        "usage: snoop_lint [--list-rules] [--root=DIR]\n"
+        "                  [--format=text|sarif] [--changed-only[=REF]]\n"
+        "                  [--baseline=FILE] [--no-baseline]\n"
+        "                  [<file-or-dir>...]\n");
+    return 2;
 }
 
 } // namespace
@@ -460,34 +90,83 @@ lintTree(const fs::path &root)
 int
 main(int argc, char **argv)
 {
+    using namespace snoop::lint;
+
+    LintOptions opt;
+    bool sarif = false;
+    std::vector<std::string> paths;
+
     std::vector<std::string> args(argv + 1, argv + argc);
-    if (!args.empty() && args[0] == "--list-rules") {
-        std::puts("pragma-once doxygen-file no-using-std format-attr "
-                  "converged-check no-raw-assert no-raw-thread "
-                  "no-fatal-in-solver");
-        return 0;
-    }
-    if (args.empty()) {
-        std::fprintf(stderr,
-                     "usage: snoop_lint [--list-rules] <file-or-dir>...\n");
-        return 2;
-    }
-    for (const auto &arg : args) {
-        fs::path p(arg);
-        if (!fs::exists(p)) {
-            std::fprintf(stderr, "snoop_lint: no such path: %s\n",
+    for (const std::string &arg : args) {
+        if (arg == "--list-rules") {
+            for (const RuleInfo &rule : ruleTable())
+                std::printf("%-18s %s\n", rule.id, rule.summary);
+            return 0;
+        } else if (arg.rfind("--root=", 0) == 0) {
+            opt.root = arg.substr(7);
+        } else if (arg == "--format=text") {
+            sarif = false;
+        } else if (arg == "--format=sarif") {
+            sarif = true;
+        } else if (arg == "--changed-only") {
+            opt.changedOnly = true;
+        } else if (arg.rfind("--changed-only=", 0) == 0) {
+            opt.changedOnly = true;
+            opt.changedRef = arg.substr(15);
+        } else if (arg.rfind("--baseline=", 0) == 0) {
+            opt.baselinePath = arg.substr(11);
+        } else if (arg == "--no-baseline") {
+            opt.useBaseline = false;
+        } else if (arg.rfind("--", 0) == 0) {
+            std::fprintf(stderr, "snoop_lint: unknown flag: %s\n",
                          arg.c_str());
-            return 2;
+            return usage();
+        } else {
+            paths.push_back(arg);
         }
-        lintTree(p);
     }
-    for (const auto &f : g_findings) {
-        std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
-                     f.rule.c_str(), f.message.c_str());
+    if (paths.empty() && !opt.changedOnly)
+        return usage();
+    if (!paths.empty() && opt.changedOnly) {
+        std::fprintf(stderr, "snoop_lint: --changed-only takes no "
+                             "explicit paths\n");
+        return usage();
     }
-    if (!g_findings.empty()) {
-        std::fprintf(stderr, "snoop_lint: %zu finding(s)\n",
-                     g_findings.size());
+    opt.paths = paths;
+
+    // The tree passes need the whole include graph; they engage for
+    // directory targets and diff-driven runs, while a single-file
+    // invocation (the fixture suite) stays per-file.
+    opt.treePasses = opt.changedOnly;
+    for (const std::string &p : paths) {
+        if (fs::is_directory(p))
+            opt.treePasses = true;
+    }
+
+    LintResult result = runLint(opt);
+
+    for (const std::string &err : result.errors)
+        std::fprintf(stderr, "snoop_lint: error: %s\n", err.c_str());
+
+    if (sarif) {
+        std::fputs(toSarif(result.findings).c_str(), stdout);
+    }
+    for (const Finding &f : result.findings) {
+        std::fprintf(stderr, "%s:%zu: [%s] %s\n", f.file.c_str(),
+                     f.line, f.rule.c_str(), f.message.c_str());
+    }
+    for (const std::string &stale : result.staleBaseline) {
+        std::fprintf(stderr,
+                     "snoop_lint: warning: stale baseline entry "
+                     "(violation fixed; delete it): %s\n",
+                     stale.c_str());
+    }
+    if (!result.errors.empty())
+        return 2;
+    if (!result.findings.empty()) {
+        std::fprintf(stderr, "snoop_lint: %zu finding(s), %zu "
+                             "baselined\n",
+                     result.findings.size(), result.suppressed);
         return 1;
     }
     return 0;
