@@ -50,12 +50,12 @@ class Analyzer
      * NonFiniteIterate/NumericRange from the solver). The primitive
      * sweep cells and other batch drivers build fault isolation on.
      */
-    Expected<MvaResult> tryAnalyze(const std::string &protocol,
+    [[nodiscard]] Expected<MvaResult> tryAnalyze(const std::string &protocol,
                                    const WorkloadParams &workload,
                                    unsigned n) const;
 
     /** Non-throwing analysis of an explicit configuration. */
-    Expected<MvaResult> tryAnalyze(const ProtocolConfig &protocol,
+    [[nodiscard]] Expected<MvaResult> tryAnalyze(const ProtocolConfig &protocol,
                                    const WorkloadParams &workload,
                                    unsigned n) const;
 

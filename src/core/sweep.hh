@@ -49,7 +49,7 @@ struct SweepSpec
      * offending field ("set", "values", "protocols", "n") on a
      * malformed spec.
      */
-    Expected<void> validate() const;
+    [[nodiscard]] Expected<void> validate() const;
 };
 
 /**

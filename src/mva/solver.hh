@@ -61,7 +61,7 @@ class MvaSolver
      * violates its defining range). Under Warn/Accept an unconverged
      * solve is a *value* with converged == false.
      */
-    Expected<MvaResult> trySolve(const DerivedInputs &inputs,
+    [[nodiscard]] Expected<MvaResult> trySolve(const DerivedInputs &inputs,
                                  unsigned n) const;
 
     /** Solve for @p n processors; throws SolveException on error. */

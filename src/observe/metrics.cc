@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "observe/trace.hh"
+#include "util/annotations.hh"
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
 
@@ -143,7 +144,8 @@ MetricsRegistry::reset()
 MetricsRegistry &
 metrics()
 {
-    static MetricsRegistry registry;
+    // The registry serializes itself behind its member mutex.
+    static MetricsRegistry registry SNOOP_GUARDED_BY(internal);
     return registry;
 }
 

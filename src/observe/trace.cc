@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "observe/metrics.hh"
+#include "util/annotations.hh"
 #include "util/atomic_file.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -29,12 +30,12 @@ constexpr size_t kMaxEvents = size_t(1) << 22; // ~4M events
 std::atomic<int> g_level{static_cast<int>(TraceLevel::Off)};
 std::atomic<uint64_t> g_dropped{0};
 std::mutex g_mutex;
-std::vector<TraceEvent> g_events;
-std::string g_trace_path;
-std::string g_metrics_path;
+std::vector<TraceEvent> g_events SNOOP_GUARDED_BY(g_mutex);
+std::string g_trace_path SNOOP_GUARDED_BY(g_mutex);
+std::string g_metrics_path SNOOP_GUARDED_BY(g_mutex);
 std::once_flag g_env_once;
 std::once_flag g_atexit_once;
-bool g_finalized = false;
+bool g_finalized SNOOP_GUARDED_BY(g_mutex) = false;
 
 // The deterministic event identity: which task scope this thread is
 // recording under, and how many events that scope has recorded. Both
@@ -55,7 +56,8 @@ nowMicros()
 uint64_t
 threadDisplayId()
 {
-    static std::map<std::thread::id, uint64_t> ids;
+    static std::map<std::thread::id, uint64_t> ids
+        SNOOP_GUARDED_BY(g_mutex);
     auto [it, inserted] =
         ids.emplace(std::this_thread::get_id(), ids.size() + 1);
     (void)inserted;
@@ -149,12 +151,18 @@ loadEnvImpl()
                                           : TraceLevel::Iteration;
                 spec = trim(spec.substr(0, colon));
             } else if (suffix == "off" || suffix.empty()) {
+                // Fail-fast contract for explicit operator
+                // misconfiguration of SNOOP_TRACE (PR 4): dying at
+                // first use beats silently tracing nothing.
+                // snoop-lint: fatal-ok
                 fatal("SNOOP_TRACE: bad level ':%s' in '%s' "
                       "(expected :phase or :iteration)",
                       suffix.c_str(), trace);
             }
         }
         if (spec.empty()) {
+            // Same fail-fast contract as the bad-level case above.
+            // snoop-lint: fatal-ok
             fatal("SNOOP_TRACE: empty path in '%s'", trace);
         }
         installTrace(level, spec);

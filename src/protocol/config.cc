@@ -23,6 +23,10 @@ ProtocolConfig::fromModString(const std::string &mods)
             c.mod4 = true;
             break;
           default:
+            // Unreachable from library entry points: findProtocol()
+            // pre-validates mod strings to [1-4] before calling here,
+            // so this only fires for direct CLI-style misuse.
+            // snoop-lint: fatal-ok
             fatal("ProtocolConfig: bad modification character '%c' "
                   "(expected digits 1-4)", ch);
         }

@@ -112,7 +112,7 @@ class SolveException : public std::runtime_error
  * @endcode
  */
 template <typename T>
-class Expected
+class [[nodiscard]] Expected
 {
   public:
     /** Implicit from a value (the success path reads naturally). */
@@ -183,7 +183,7 @@ class Expected
  * "no error, or exactly one SolveError".
  */
 template <>
-class Expected<void>
+class [[nodiscard]] Expected<void>
 {
   public:
     /** Success. */

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <mutex>
 
+#include "util/annotations.hh"
 #include "util/logging.hh"
 #include "util/strutil.hh"
 
@@ -17,7 +18,7 @@ namespace {
 // parallel regions (same contract as setParallelJobs).
 std::atomic<bool> g_armed{false};
 std::mutex g_mutex;
-std::vector<FaultSpec> g_specs;
+std::vector<FaultSpec> g_specs SNOOP_GUARDED_BY(g_mutex);
 std::once_flag g_env_once;
 
 Expected<std::vector<FaultSpec>> parseSpecs(const std::string &spec);
@@ -41,6 +42,10 @@ loadEnvImpl()
     const char *env = std::getenv("SNOOP_FAULT");
     auto ok = installSpecs(env ? env : "");
     if (!ok) {
+        // Fail-fast contract for explicit operator misconfiguration
+        // of SNOOP_FAULT: a mistyped spec must not silently disarm
+        // the fault plan a test relies on.
+        // snoop-lint: fatal-ok
         fatal("SNOOP_FAULT: %s", ok.error().describe().c_str());
     }
 }

@@ -121,7 +121,7 @@ class FixedPointSolver
      * error; non-convergence is a *value* with converged == false
      * (the policy is the caller-facing solve()'s business).
      */
-    Expected<FixedPointResult> trySolve(const UpdateFn &f,
+    [[nodiscard]] Expected<FixedPointResult> trySolve(const UpdateFn &f,
                                         std::vector<double> x0) const;
 
     /**

@@ -10,6 +10,7 @@
 
 #include "observe/metrics.hh"
 #include "observe/trace.hh"
+#include "util/annotations.hh"
 #include "util/logging.hh"
 
 namespace snoop {
@@ -168,8 +169,8 @@ ThreadPool::parallelFor(size_t n, const std::function<void(size_t)> &fn)
 namespace {
 
 std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;
-unsigned g_jobs_override = 0;
+std::unique_ptr<ThreadPool> g_pool SNOOP_GUARDED_BY(g_pool_mutex);
+unsigned g_jobs_override SNOOP_GUARDED_BY(g_pool_mutex) = 0;
 
 ThreadPool &
 globalPool()

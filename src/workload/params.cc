@@ -67,6 +67,10 @@ WorkloadParams::check() const
 void
 WorkloadParams::validate() const
 {
+    // validate() is the fatal twin of check() for CLI boundaries;
+    // library entry points (Analyzer::tryAnalyze) call check() first,
+    // so this sink is unreachable on pre-validated inputs.
+    // snoop-lint: fatal-ok
     if (auto ok = check(); !ok)
         fatal("%s", ok.error().describe().c_str());
 }

@@ -79,7 +79,7 @@ struct WorkloadParams
      * cells, tryAnalyze) use this so one bad point stays one bad
      * point.
      */
-    Expected<void> check() const;
+    [[nodiscard]] Expected<void> check() const;
 
     /** fatal() wrapper around check(), for tool/CLI boundaries. */
     void validate() const;

@@ -1,0 +1,29 @@
+// Negative fixture for the fatal-reachability pass: tryCompute is a
+// try* entry point (the basename opts this file into the entry
+// scope) and reaches fatal() through a file-local helper. The
+// finding must carry the full witness chain
+// tryCompute -> helper -> fatal().
+
+#include "util/logging.hh"
+
+namespace snoop {
+
+namespace {
+
+double
+helper(double x)
+{
+    if (x < 0.0)
+        fatal("negative input %g", x); // the sink the chain ends at
+    return x;
+}
+
+} // namespace
+
+double
+tryCompute(double x)
+{
+    return helper(x) * 2.0; // must fire: entry reaches the sink
+}
+
+} // namespace snoop

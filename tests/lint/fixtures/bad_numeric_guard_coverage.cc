@@ -1,0 +1,14 @@
+// Negative fixture for the numeric-guard-coverage pass: solveModel
+// is a solver boundary (a solve* definition in an opted-in fixture)
+// that returns raw arithmetic without routing through NumericGuard /
+// SNOOP_NUMERIC_CHECK or a same-file validator.
+
+namespace snoop {
+
+double
+solveModel(double a, double b)
+{
+    return a / b; // must fire: unguarded boundary result
+}
+
+} // namespace snoop

@@ -1,0 +1,23 @@
+// Clean fixture for the lexer's backslash-newline handling: every
+// suspicious token below is dead text reached only through a phase-2
+// line continuation. A lexer that stops splicing at the first
+// newline leaks the continuation lines back into the code view and
+// the rules fire on the leaked text.
+
+#define TRACE_POINT(x) /* no-op */ \
+    do {                           \
+    } while (0)
+
+// A // comment continued by a backslash stays a comment: \
+   assert(leaked); \
+   std::thread leaked_thread;
+
+const char *kMultiLine = "line one \
+line two with assert(inside_string)";
+
+int
+useMacro(int x)
+{
+    TRACE_POINT(x);
+    return x;
+}

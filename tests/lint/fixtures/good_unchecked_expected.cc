@@ -1,0 +1,39 @@
+// Clean fixture for the unchecked-expected pass: every Expected
+// result below is checked or consumed before use, so the pass must
+// stay silent.
+
+#include "util/expected.hh"
+
+namespace snoop {
+
+Expected<double>
+tryParse(const std::string &text)
+{
+    if (text.empty())
+        return makeError(SolveErrorCode::InvalidArgument, "tryParse",
+                         "empty input");
+    return 1.0;
+}
+
+double
+readChecked(const std::string &text)
+{
+    auto r = tryParse(text);
+    if (!r)
+        return 0.0;
+    return r.value();
+}
+
+double
+readOr(const std::string &text)
+{
+    return tryParse(text).valueOr(0.0);
+}
+
+Expected<double>
+forward(const std::string &text)
+{
+    return tryParse(text);
+}
+
+} // namespace snoop

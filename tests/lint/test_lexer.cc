@@ -190,6 +190,42 @@ TEST(Lexer, IdentifierLineNumbers)
     EXPECT_EQ(lx.tokens[2].line, 4u);
 }
 
+TEST(Lexer, LineCommentHonorsBackslashContinuation)
+{
+    // Phase-2 line splicing: a // comment whose line ends in a
+    // backslash swallows the next physical line too. Before the fix
+    // a multi-line macro ending in a comment leaked its continuation
+    // lines back into the code view.
+    LexedFile lx = lex("// comment continues \\\n"
+                       "assert(leaked);\n"
+                       "int after;\n");
+    ASSERT_EQ(lx.code.size(), 3u);
+    EXPECT_EQ(lx.code[1], "");
+    EXPECT_EQ(lx.code[2], "int after;");
+    auto ids = identifiers(lx);
+    ASSERT_EQ(ids.size(), 2u);
+    EXPECT_EQ(ids[0], "int");
+    EXPECT_EQ(ids[1], "after");
+    // The line counter stays honest across the splice.
+    EXPECT_EQ(lx.tokens.back().line, 3u);
+}
+
+TEST(Lexer, StringHonorsBackslashContinuation)
+{
+    LexedFile lx = lex("const char *s = \"one \\\n"
+                       "two\";\n"
+                       "int after;\n");
+    bool found = false;
+    for (const Token &t : lx.tokens)
+        if (t.kind == TokenKind::String) {
+            found = true;
+            // The splice contributes nothing to the value.
+            EXPECT_EQ(t.text, "one two");
+        }
+    EXPECT_TRUE(found);
+    EXPECT_EQ(lx.tokens.back().line, 3u);
+}
+
 TEST(Lexer, UnterminatedConstructsDoNotLoop)
 {
     // Robustness: never hang or crash on malformed input.

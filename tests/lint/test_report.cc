@@ -68,6 +68,42 @@ TEST(Sarif, StructuralInvariants)
             << rule.id;
 }
 
+TEST(Sarif, SchemaShapeCarriesRequiredKeys)
+{
+    // The keys GitHub code scanning actually consumes. A rename in
+    // the serializer must fail here, not at upload time.
+    std::string s = toSarif(sampleFindings());
+    for (const char *key :
+         {"\"$schema\"", "\"version\"", "\"runs\"", "\"tool\"",
+          "\"driver\"", "\"rules\"", "\"results\"", "\"ruleId\"",
+          "\"level\"", "\"message\"", "\"locations\"",
+          "\"physicalLocation\"", "\"artifactLocation\"", "\"uri\"",
+          "\"region\"", "\"startLine\"", "\"shortDescription\"",
+          "\"defaultConfiguration\""})
+        EXPECT_NE(s.find(key), std::string::npos) << key;
+}
+
+TEST(Sarif, RuleIdsAreStable)
+{
+    // Rule ids are an external contract: baselines, CI annotations,
+    // and code-scanning alert history all key on them. Appending new
+    // rules is fine; renaming or reordering the existing ones is not.
+    const char *kIds[] = {
+        "pragma-once",          "doxygen-file",
+        "no-using-std",         "format-attr",
+        "converged-check",      "no-raw-assert",
+        "no-raw-thread",        "no-fatal-in-solver",
+        "layering",             "determinism",
+        "unused-include",       "fatal-reachability",
+        "unchecked-expected",   "guarded-shared-state",
+        "numeric-guard-coverage",
+    };
+    const auto &rules = ruleTable();
+    ASSERT_EQ(rules.size(), sizeof(kIds) / sizeof(kIds[0]));
+    for (size_t i = 0; i < rules.size(); ++i)
+        EXPECT_STREQ(rules[i].id, kIds[i]);
+}
+
 TEST(Sarif, EscapesJsonMetacharacters)
 {
     std::vector<Finding> findings = {

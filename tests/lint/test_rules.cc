@@ -40,6 +40,11 @@ struct Expected {
 const std::vector<Expected> kExpected = {
     {"bad_converged_check.cc", "converged-check", 14},
     {"bad_determinism.cc", "determinism", 13},
+    {"bad_fatal_reachability.cc", "fatal-reachability", 24},
+    {"bad_guarded_shared_state.cc", "guarded-shared-state", 12},
+    {"bad_numeric_guard_coverage.cc", "numeric-guard-coverage", 9},
+    {"bad_unchecked_expected.cc", "unchecked-expected", 22},
+    {"bad_unchecked_expected.cc", "unchecked-expected", 28},
     {"bad_doxygen_file.hh", "doxygen-file", 0},
     {"bad_format_attr.hh", "format-attr", 12},
     {"bad_no_fatal_in_solver.cc", "no-fatal-in-solver", 14},

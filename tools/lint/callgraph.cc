@@ -1,0 +1,167 @@
+#include "lint/callgraph.hh"
+
+#include <algorithm>
+#include <set>
+
+namespace snoop::lint {
+
+namespace {
+
+/** Identifiers that look like calls but are control flow / operators. */
+bool
+isCallKeyword(const std::string &id)
+{
+    static const std::set<std::string> kNotCalls = {
+        "if",     "for",      "while",   "switch", "return",
+        "sizeof", "alignof",  "decltype","catch",  "noexcept",
+        "static_assert",      "assert",  "defined","alignas",
+        "throw",  "new",      "delete",  "typeid", "requires",
+    };
+    return kNotCalls.count(id) > 0;
+}
+
+} // namespace
+
+/** Class prefix of a qualified name ("Dtmc::validate" -> "Dtmc",
+ * "validate" -> ""). */
+static std::string
+classOf(const std::string &qualified)
+{
+    size_t pos = qualified.rfind("::");
+    return pos == std::string::npos ? std::string()
+                                    : qualified.substr(0, pos);
+}
+
+CallGraph
+CallGraph::build(const SymbolIndex &index, const FileSet &files)
+{
+    CallGraph g;
+    const auto &funcs = index.functions();
+    g.calls_.resize(funcs.size());
+    g.edges_.resize(funcs.size());
+
+    // name -> definition node ids, for edge resolution.
+    std::map<std::string, std::vector<size_t>> defsByName;
+    for (size_t i = 0; i < funcs.size(); ++i)
+        defsByName[funcs[i].def.name].push_back(i);
+
+    // Identifiers appearing per file: a cross-class method edge is
+    // only plausible when the target's class is at least named in the
+    // calling file (cheap stand-in for receiver types the parser does
+    // not have).
+    std::map<std::string, std::set<std::string>> identsByFile;
+    for (const auto &[path, lexed] : files) {
+        auto &idents = identsByFile[path];
+        for (const Token &t : lexed.tokens)
+            if (t.kind == TokenKind::Identifier)
+                idents.insert(t.text);
+    }
+
+    for (size_t i = 0; i < funcs.size(); ++i) {
+        auto fit = files.find(funcs[i].file);
+        if (fit == files.end())
+            continue;
+        const std::vector<Token> &toks = fit->second.tokens;
+        const FunctionDef &def = funcs[i].def;
+        const std::set<std::string> &fileIdents =
+            identsByFile[funcs[i].file];
+        const std::string callerClass = classOf(def.qualified);
+        std::set<size_t> targets;
+
+        // Resolution policy, shared by direct calls and callbacks:
+        // over-approximate by name, minus edges that linkage or class
+        // structure rules out.
+        auto admit = [&](size_t target, bool memberCall) {
+            const IndexedFunction &cand = funcs[target];
+            if (cand.def.fileLocal && cand.file != funcs[i].file)
+                return false; // internal linkage: other file
+            std::string targetClass = classOf(cand.def.qualified);
+            if (memberCall && targetClass.empty())
+                return false; // obj.f() cannot be a free function
+            if (!targetClass.empty() && targetClass != callerClass &&
+                !fileIdents.count(targetClass))
+                return false; // class never named in this file
+            return true;
+        };
+        for (size_t j = def.bodyBegin;
+             j + 1 < def.bodyEnd && j + 1 < toks.size(); ++j) {
+            if (toks[j].kind != TokenKind::Identifier)
+                continue;
+            if (isCallKeyword(toks[j].text))
+                continue;
+            bool directCall = toks[j + 1].kind == TokenKind::Punct &&
+                toks[j + 1].text == "(";
+            if (!directCall) {
+                // Address-taken callback: an argument-position
+                // identifier naming a known definition
+                // (std::call_once(flag, loadEnvImpl), thread(worker))
+                // may be invoked later; over-approximate with an edge
+                // but record no call site.
+                bool argPosition = j > def.bodyBegin &&
+                    toks[j - 1].kind == TokenKind::Punct &&
+                    (toks[j - 1].text == "(" || toks[j - 1].text == ",");
+                if (argPosition) {
+                    auto dit = defsByName.find(toks[j].text);
+                    if (dit != defsByName.end())
+                        for (size_t target : dit->second)
+                            if (admit(target, false))
+                                targets.insert(target);
+                }
+                continue;
+            }
+            // `.name(` / `->name(` is a member call on some object;
+            // it cannot resolve to a free-function edge by name alone,
+            // but record the site (passes match member calls like
+            // solver_.trySolve by callee name).
+            bool memberCall = j > def.bodyBegin &&
+                toks[j - 1].kind == TokenKind::Punct &&
+                (toks[j - 1].text == "." ||
+                 (toks[j - 1].text == ">" && j >= 2 &&
+                  toks[j - 2].kind == TokenKind::Punct &&
+                  toks[j - 2].text == "-"));
+            g.calls_[i].push_back({toks[j].text, toks[j].line});
+            auto dit = defsByName.find(toks[j].text);
+            if (dit != defsByName.end())
+                for (size_t target : dit->second)
+                    if (admit(target, memberCall))
+                        targets.insert(target);
+        }
+        g.edges_[i].assign(targets.begin(), targets.end());
+    }
+    return g;
+}
+
+const std::vector<CallSite> &
+CallGraph::callsOf(size_t node) const
+{
+    return calls_[node];
+}
+
+const std::vector<size_t> &
+CallGraph::edgesOf(size_t node) const
+{
+    return edges_[node];
+}
+
+std::vector<size_t>
+CallGraph::reachableFrom(const std::vector<size_t> &roots) const
+{
+    std::vector<char> seen(edges_.size(), 0);
+    std::vector<size_t> queue;
+    for (size_t r : roots) {
+        if (r < seen.size() && !seen[r]) {
+            seen[r] = 1;
+            queue.push_back(r);
+        }
+    }
+    for (size_t head = 0; head < queue.size(); ++head)
+        for (size_t next : edges_[queue[head]])
+            if (!seen[next]) {
+                seen[next] = 1;
+                queue.push_back(next);
+            }
+    std::sort(queue.begin(), queue.end());
+    return queue;
+}
+
+} // namespace snoop::lint

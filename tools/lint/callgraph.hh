@@ -1,0 +1,99 @@
+#pragma once
+
+/**
+ * @file
+ * Function call graph of snoop_analyze, built over the symbol index
+ * (lint/symbols.hh). Nodes are function *definitions*; an edge A -> B
+ * exists when A's body contains an identifier token `B` immediately
+ * followed by `(` and `B` names at least one indexed definition. Calls
+ * are resolved by unqualified name, so an ambiguous name fans out to
+ * every same-named definition — a deliberate over-approximation:
+ * reachability passes (fatal-reachability) must never miss a path, and
+ * a false edge at worst adds a finding a human can refute, while a
+ * missing edge silently proves the wrong theorem.
+ *
+ * Reachability queries return the *witness chain* (entry -> ... ->
+ * sink) so pass messages can show the whole path, which is the
+ * difference between "trust me" and a checkable diagnostic.
+ */
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint/symbols.hh"
+
+namespace snoop::lint {
+
+/** One call site inside a function body. */
+struct CallSite {
+    std::string callee; //!< unqualified name as written
+    size_t line = 0;    //!< 1-based line of the call
+};
+
+/** Call graph over every definition in a SymbolIndex. */
+class CallGraph
+{
+  public:
+    /** Node ids are indices into SymbolIndex::functions(). @p files
+     * must be the FileSet the index was built from (body token ranges
+     * index into its token streams). */
+    static CallGraph build(const SymbolIndex &index,
+                           const FileSet &files);
+
+    /** Call sites of node @p node, in body token order. Includes
+     * calls to functions the index does not define. */
+    const std::vector<CallSite> &callsOf(size_t node) const;
+
+    /** Outgoing edges of @p node (indices of called definitions). */
+    const std::vector<size_t> &edgesOf(size_t node) const;
+
+    /**
+     * BFS from @p from; returns the node chain [from, ..., target]
+     * for the first node satisfying @p isTarget, or an empty vector
+     * when none is reachable. @p from itself is tested first.
+     */
+    template <typename Pred>
+    std::vector<size_t>
+    findPath(size_t from, Pred isTarget) const
+    {
+        std::vector<size_t> parent(edges_.size(), kNone);
+        std::vector<size_t> queue;
+        if (isTarget(from))
+            return {from};
+        parent[from] = from;
+        queue.push_back(from);
+        for (size_t head = 0; head < queue.size(); ++head) {
+            size_t node = queue[head];
+            for (size_t next : edges_[node]) {
+                if (parent[next] != kNone)
+                    continue;
+                parent[next] = node;
+                if (isTarget(next)) {
+                    std::vector<size_t> chain;
+                    for (size_t at = next; at != from;
+                         at = parent[at])
+                        chain.push_back(at);
+                    chain.push_back(from);
+                    return {chain.rbegin(), chain.rend()};
+                }
+                queue.push_back(next);
+            }
+        }
+        return {};
+    }
+
+    /** All nodes reachable from any node in @p roots (roots
+     * included), as a sorted unique list. */
+    std::vector<size_t>
+    reachableFrom(const std::vector<size_t> &roots) const;
+
+  private:
+    static constexpr size_t kNone = static_cast<size_t>(-1);
+
+    std::vector<std::vector<CallSite>> calls_;
+    std::vector<std::vector<size_t>> edges_;
+};
+
+} // namespace snoop::lint

@@ -9,6 +9,7 @@
 #include "lint/include_graph.hh"
 #include "lint/lexer.hh"
 #include "lint/rules.hh"
+#include "lint/semantic.hh"
 
 namespace snoop::lint {
 
@@ -269,7 +270,52 @@ runLint(const LintOptions &opt)
         }
     }
 
-    // 4. Deterministic order, then baseline suppression.
+    // 4. Semantic passes (parser -> symbol index -> call graph).
+    // Their file set is src/ when tree passes run (cross-TU edges need
+    // the whole library) plus any explicitly targeted src/ files or
+    // fixtures (bad_/good_ basenames opt in); tools/bench/examples are
+    // CLI boundary code where fatal() and friends are the contract.
+    {
+        FileSet sem;
+        for (const fs::path &p : targets) {
+            std::string base = p.filename().string();
+            std::string display = relativize(root, p);
+            bool fixture = base.rfind("bad_", 0) == 0 ||
+                base.rfind("good_", 0) == 0;
+            if (display.rfind("src/", 0) != 0 && !fixture)
+                continue;
+            const LexedFile *lexed = cache.get(p);
+            if (lexed)
+                sem.emplace(display, *lexed);
+        }
+        if (opt.treePasses) {
+            fs::path src = root / "src";
+            std::error_code ec;
+            if (fs::is_directory(src, ec)) {
+                for (const auto &entry :
+                     fs::recursive_directory_iterator(src, ec)) {
+                    if (!entry.is_regular_file() ||
+                        !isSourceExt(entry.path()))
+                        continue;
+                    const LexedFile *lexed = cache.get(entry.path());
+                    if (lexed)
+                        sem.emplace(relativize(root, entry.path()),
+                                    *lexed);
+                }
+            }
+        }
+        if (!sem.empty()) {
+            for (Finding &f : runSemanticPasses(sem)) {
+                // Same ownership rule as the tree passes: a finding
+                // belongs to the run only when its file was asked
+                // about.
+                if (is_target.count(f.file))
+                    findings.push_back(std::move(f));
+            }
+        }
+    }
+
+    // 5. Deterministic order, then baseline suppression.
     std::sort(findings.begin(), findings.end(),
               [](const Finding &a, const Finding &b) {
                   if (a.file != b.file)

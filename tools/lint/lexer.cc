@@ -103,8 +103,23 @@ class Lexer
             return;
         }
         if (c == '/' && peek(1) == '/') {
-            while (i_ < src_.size() && src_[i_] != '\n')
+            // Backslash-newline splices the next physical line into
+            // the comment (phase-2 line continuation), so a multi-line
+            // macro ending in a // comment stays fully stripped.
+            while (i_ < src_.size()) {
+                if (src_[i_] == '\n') {
+                    size_t back = i_;
+                    while (back > 0 && src_[back - 1] == '\r')
+                        --back;
+                    if (back > 0 && src_[back - 1] == '\\') {
+                        ++line_;
+                        ++i_;
+                        continue;
+                    }
+                    break;
+                }
                 ++i_;
+            }
             return;
         }
         if (c == '/' && peek(1) == '*') {
@@ -174,6 +189,15 @@ class Lexer
         while (i_ < src_.size()) {
             char d = src_[i_];
             if (d == '\\' && i_ + 1 < src_.size()) {
+                // Backslash-newline continues the literal on the next
+                // physical line; it contributes nothing to the value
+                // but must keep the line counter honest.
+                if (src_[i_ + 1] == '\n' ||
+                    (src_[i_ + 1] == '\r' && peek(2) == '\n')) {
+                    ++line_;
+                    i_ += src_[i_ + 1] == '\n' ? 2 : 3;
+                    continue;
+                }
                 text.push_back(d);
                 text.push_back(src_[i_ + 1]);
                 i_ += 2;
@@ -207,6 +231,13 @@ class Lexer
         while (i_ < src_.size()) {
             char d = src_[i_];
             if (d == '\\' && i_ + 1 < src_.size()) {
+                // Same phase-2 line-continuation handling as strings.
+                if (src_[i_ + 1] == '\n' ||
+                    (src_[i_ + 1] == '\r' && peek(2) == '\n')) {
+                    ++line_;
+                    i_ += src_[i_ + 1] == '\n' ? 2 : 3;
+                    continue;
+                }
                 text.push_back(d);
                 text.push_back(src_[i_ + 1]);
                 i_ += 2;

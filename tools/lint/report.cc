@@ -40,6 +40,22 @@ ruleTable()
         {"unused-include",
          "project #include whose header contributes no referenced "
          "name (IWYU-lite heuristic)"},
+        {"fatal-reachability",
+         "no fatal()/abort()/exit() transitively reachable from a "
+         "try* solver entry point (call-graph proof; the finding "
+         "carries the witness chain)"},
+        {"unchecked-expected",
+         "a call returning Expected<T> must be checked, consumed, or "
+         "(void)-cast, never silently discarded or read via .value() "
+         "unchecked"},
+        {"guarded-shared-state",
+         "mutable static state reachable from parallelFor workers "
+         "carries SNOOP_GUARDED_BY(mutex), and accessors name that "
+         "mutex"},
+        {"numeric-guard-coverage",
+         "solver boundary functions route results through "
+         "NumericGuard / SNOOP_NUMERIC_CHECK (directly or via a "
+         "same-file validator)"},
     };
     return kRules;
 }
@@ -100,7 +116,7 @@ toSarif(const std::vector<Finding> &findings)
       << "        \"driver\": {\n"
       << "          \"name\": \"snoop_lint\",\n"
       << "          \"informationUri\": "
-         "\"docs/CORRECTNESS.md\",\n"
+         "\"docs/ANALYSIS.md\",\n"
       << "          \"rules\": [\n";
     const auto &rules = ruleTable();
     for (size_t i = 0; i < rules.size(); ++i) {

@@ -1,0 +1,90 @@
+#pragma once
+
+/**
+ * @file
+ * Cross-TU symbol index of snoop_analyze. Aggregates every file's
+ * ParsedFile (lint/parser.hh) into name-keyed views the semantic
+ * passes share:
+ *
+ *  - functions: every definition, tagged with its file, for the call
+ *    graph (lint/callgraph.hh) and per-pass scoping;
+ *  - returnsExpected(name): true only when *every* declaration and
+ *    definition of that name spells an Expected<...> return type —
+ *    overload ambiguity degrades to "don't know", and the
+ *    unchecked-expected pass stays silent rather than guessing;
+ *  - globals: every namespace-scope variable / function-local static,
+ *    tagged with its file, for the guarded-shared-state pass.
+ *
+ * The index is built once per run from the same FileSet the tree
+ * passes use, so the semantic layer inherits the engine's caching and
+ * deterministic file ordering.
+ */
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/include_graph.hh"
+#include "lint/parser.hh"
+
+namespace snoop::lint {
+
+/** One function definition located in the tree. */
+struct IndexedFunction {
+    std::string file; //!< repo-relative path
+    FunctionDef def;
+};
+
+/** One global variable located in the tree. */
+struct IndexedGlobal {
+    std::string file;
+    GlobalVar var;
+};
+
+/** Cross-TU view of every parsed file. */
+class SymbolIndex
+{
+  public:
+    /** Parse and index every file in @p files (deterministic order:
+     * FileSet is a sorted map). */
+    static SymbolIndex build(const FileSet &files);
+
+    /** All definitions, in (file, token-order) order. */
+    const std::vector<IndexedFunction> &functions() const
+    {
+        return functions_;
+    }
+
+    /** All globals, in (file, token-order) order. */
+    const std::vector<IndexedGlobal> &globals() const
+    {
+        return globals_;
+    }
+
+    /** Definitions with unqualified name @p name. */
+    std::vector<const IndexedFunction *>
+    definitionsOf(const std::string &name) const;
+
+    /** True when every known declaration/definition of @p name
+     * returns Expected<...>. False when none does or when the
+     * overload set disagrees (conservative). */
+    bool returnsExpected(const std::string &name) const;
+
+    /** True when @p name names at least one indexed function
+     * (definition or declaration). */
+    bool isKnownFunction(const std::string &name) const;
+
+    /** Parsed form of one file (empty ParsedFile when absent). */
+    const ParsedFile &parsed(const std::string &file) const;
+
+  private:
+    std::vector<IndexedFunction> functions_;
+    std::vector<IndexedGlobal> globals_;
+    std::map<std::string, std::vector<size_t>> byName_; //!< -> functions_
+    /** name -> {saw Expected return, saw non-Expected return} */
+    std::map<std::string, std::pair<bool, bool>> returns_;
+    std::map<std::string, ParsedFile> parsedByFile_;
+};
+
+} // namespace snoop::lint

@@ -66,6 +66,58 @@ for good in "$ROOT"/tests/lint/fixtures/good_*; do
     fi
 done
 
+echo "== SARIF determinism across SNOOP_JOBS =="
+# GitHub code scanning diffs uploads byte-wise; the log must not
+# depend on worker scheduling. Lint src/ twice at different job
+# counts and demand identical bytes.
+sarif_a=$(mktemp) && sarif_b=$(mktemp)
+SNOOP_JOBS=1 "$LINT" --root="$ROOT" --format=sarif --no-baseline \
+    "$ROOT/src" > "$sarif_a" 2>/dev/null
+SNOOP_JOBS=8 "$LINT" --root="$ROOT" --format=sarif --no-baseline \
+    "$ROOT/src" > "$sarif_b" 2>/dev/null
+if cmp -s "$sarif_a" "$sarif_b"; then
+    echo "ok: SARIF output is byte-identical at SNOOP_JOBS=1 and 8"
+else
+    echo "run_lint: SARIF output differs across SNOOP_JOBS" >&2
+    diff "$sarif_a" "$sarif_b" | head -20 >&2
+    status=1
+fi
+
+echo "== SARIF schema shape =="
+if command -v python3 >/dev/null 2>&1; then
+    if python3 - "$sarif_a" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    log = json.load(f)
+assert log["version"] == "2.1.0", "version must be 2.1.0"
+assert "sarif-schema-2.1.0" in log["$schema"], "wrong $schema"
+runs = log["runs"]
+assert len(runs) == 1, "exactly one run"
+driver = runs[0]["tool"]["driver"]
+assert driver["name"] == "snoop_lint"
+ids = [r["id"] for r in driver["rules"]]
+assert len(ids) == len(set(ids)), "duplicate rule ids"
+for rule in driver["rules"]:
+    assert rule["shortDescription"]["text"], rule["id"]
+    assert rule["defaultConfiguration"]["level"] == "error"
+for result in runs[0]["results"]:
+    assert result["ruleId"] in ids, result
+    loc = result["locations"][0]["physicalLocation"]
+    assert loc["artifactLocation"]["uri"]
+    assert loc["region"]["startLine"] >= 1
+print("ok: SARIF log parses and carries the required keys")
+PYEOF
+    then
+        :
+    else
+        echo "run_lint: SARIF schema-shape check failed" >&2
+        status=1
+    fi
+else
+    echo "skip: python3 unavailable"
+fi
+rm -f "$sarif_a" "$sarif_b"
+
 echo "== --list-rules snapshot =="
 if "$LINT" --list-rules |
         diff - "$ROOT/tests/lint/list_rules.snapshot" >/dev/null 2>&1; then

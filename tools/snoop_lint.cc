@@ -44,10 +44,34 @@
  *                      side-effect includes carry
  *                      `snoop-lint: include-ok`
  *
+ * On top of the per-file and include-graph rules, four semantic
+ * passes run over a parsed cross-TU view (declaration parser, symbol
+ * index, call graph — see docs/ANALYSIS.md):
+ *
+ *  S1  fatal-reachability
+ *                      no fatal()/abort()/exit() transitively
+ *                      reachable from a try* solver entry point; the
+ *                      finding carries the full witness chain
+ *                      (entry -> ... -> fatal())
+ *  S2  unchecked-expected
+ *                      a call returning Expected<T> must be checked,
+ *                      consumed, or (void)-cast — never silently
+ *                      discarded or read via .value() unchecked
+ *  S3  guarded-shared-state
+ *                      mutable static state reachable from
+ *                      parallelFor workers carries
+ *                      SNOOP_GUARDED_BY(mutex)
+ *                      (src/util/annotations.hh), and its accessors
+ *                      name that mutex
+ *  S4  numeric-guard-coverage
+ *                      solver boundary functions route results
+ *                      through NumericGuard / SNOOP_NUMERIC_CHECK,
+ *                      directly or via a same-file validator
+ *
  * Usage:
  *   snoop_lint [--list-rules] [--root=DIR] [--format=text|sarif]
  *              [--changed-only[=REF]] [--baseline=FILE]
- *              [--no-baseline] [<file-or-dir>...]
+ *              [--no-baseline] [--fail-on-stale] [<file-or-dir>...]
  *
  * --format=sarif writes a SARIF 2.1.0 log to stdout (for GitHub code
  * scanning upload); text findings always go to stderr.
@@ -55,9 +79,11 @@
  * instead of explicit paths. Findings listed in
  * tools/lint/baseline.txt are suppressed so a new rule can land
  * without a flag day; stale baseline entries are reported on
- * full-tree runs.
+ * full-tree runs (as warnings, or as failures under
+ * --fail-on-stale, which CI uses to keep the baseline shrinking).
  *
- * Exit status: 0 when clean, 1 when any rule fired, 2 on usage or
+ * Exit status: 0 when clean, 1 when any rule fired (or a stale
+ * baseline entry exists under --fail-on-stale), 2 on usage or
  * environment error.
  */
 
@@ -81,7 +107,7 @@ usage()
         "usage: snoop_lint [--list-rules] [--root=DIR]\n"
         "                  [--format=text|sarif] [--changed-only[=REF]]\n"
         "                  [--baseline=FILE] [--no-baseline]\n"
-        "                  [<file-or-dir>...]\n");
+        "                  [--fail-on-stale] [<file-or-dir>...]\n");
     return 2;
 }
 
@@ -94,6 +120,7 @@ main(int argc, char **argv)
 
     LintOptions opt;
     bool sarif = false;
+    bool failOnStale = false;
     std::vector<std::string> paths;
 
     std::vector<std::string> args(argv + 1, argv + argc);
@@ -117,6 +144,8 @@ main(int argc, char **argv)
             opt.baselinePath = arg.substr(11);
         } else if (arg == "--no-baseline") {
             opt.useBaseline = false;
+        } else if (arg == "--fail-on-stale") {
+            failOnStale = true;
         } else if (arg.rfind("--", 0) == 0) {
             std::fprintf(stderr, "snoop_lint: unknown flag: %s\n",
                          arg.c_str());
@@ -157,9 +186,9 @@ main(int argc, char **argv)
     }
     for (const std::string &stale : result.staleBaseline) {
         std::fprintf(stderr,
-                     "snoop_lint: warning: stale baseline entry "
+                     "snoop_lint: %s: stale baseline entry "
                      "(violation fixed; delete it): %s\n",
-                     stale.c_str());
+                     failOnStale ? "error" : "warning", stale.c_str());
     }
     if (!result.errors.empty())
         return 2;
@@ -169,5 +198,7 @@ main(int argc, char **argv)
                      result.findings.size(), result.suppressed);
         return 1;
     }
+    if (failOnStale && !result.staleBaseline.empty())
+        return 1;
     return 0;
 }
