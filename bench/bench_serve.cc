@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Serve-layer benchmark: the acceptance gauge for the snoop_serve
+ * cache and warm-start continuation (src/serve/, docs/SERVING.md).
+ *
+ * It drives one query population - 64 near-duplicate analyze queries
+ * on a hSw grid, the parameter-study traffic the service exists for -
+ * through three regimes:
+ *
+ *  - cold:   every query solved from the Section 3.2 start, cache
+ *            bypassed (the no-service baseline);
+ *  - cached: the population served again over a primed cache (every
+ *            query an exact hit);
+ *  - warm:   a fresh cache primed with one anchor solve, every
+ *            other query seeded from its nearest cached neighbor.
+ *
+ * and writes the latency and fixed-point-iteration comparison as
+ * JSON (default: BENCH_serve.json in the current directory, or the
+ * path given as argv[1]). Exits nonzero when a cache hit is not at
+ * least 10x cheaper than a cold solve or when warm-started solves do
+ * not converge in fewer iterations than cold ones - the two numbers
+ * the serve layer is for.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "observe/metrics.hh"
+#include "serve/service.hh"
+#include "util/atomic_file.hh"
+#include "util/logging.hh"
+#include "util/parallel.hh"
+
+namespace snoop {
+namespace {
+
+constexpr unsigned kQueries = 64;
+constexpr unsigned kN = 96;
+constexpr double kBaseHsw = 0.5;
+constexpr double kStep = 2e-4;
+
+/**
+ * The query population: near-duplicate points of a hSw parameter
+ * study on a contended 64-processor system - the heavy end of the
+ * paper's design space, where a cold solve costs a few hundred
+ * fixed-point iterations. Built once; the timed loops must measure
+ * the service, not request construction.
+ */
+std::vector<Request>
+queries()
+{
+    std::vector<Request> out;
+    out.reserve(kQueries);
+    for (unsigned i = 0; i < kQueries; ++i) {
+        Request req;
+        req.id = static_cast<int64_t>(i);
+        req.op = RequestOp::Analyze;
+        req.protocol = *findProtocol("Illinois");
+        req.workload = presets::appendixA(SharingLevel::TwentyPercent);
+        req.workload.hSw = kBaseHsw + i * kStep;
+        req.n = kN;
+        out.push_back(req);
+    }
+    return out;
+}
+
+double
+elapsedUs(const std::function<void()> &fn)
+{
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::micro>(end - start)
+        .count();
+}
+
+/** (count, total) of a counter in the current metrics snapshot. */
+std::pair<uint64_t, double>
+counter(const char *name)
+{
+    for (const MetricEntry &entry : metrics().snapshot())
+        if (entry.name == name)
+            return {entry.count, entry.total};
+    return {0, 0.0};
+}
+
+int
+run(const char *out_path)
+{
+    // Single-threaded on purpose: the comparison is per-request cost,
+    // not pool throughput (bench_parallel covers the pool).
+    setParallelJobs(1);
+
+    const int cold_reps = 5;
+    const int cached_reps = 50;
+    const std::vector<Request> pop = queries();
+
+    // Iteration counts come from dedicated instrumented passes; the
+    // timed passes below run with the registry disabled so they
+    // measure the service, not the metrics mutex.
+    metrics().setEnabled(true);
+    metrics().reset();
+    {
+        ServeOptions opts;
+        opts.warmStart = false;
+        SolveService service(opts);
+        for (const Request &req : pop)
+            service.handle(req);
+    }
+    auto [cold_solves, cold_iters] = counter("serve.cold_iterations");
+    double cold_iter_mean =
+        cold_solves ? cold_iters / static_cast<double>(cold_solves) : 0;
+
+    metrics().reset();
+    {
+        SolveService service;
+        service.handle(pop[0]); // anchor solves cold
+        for (unsigned i = 1; i < kQueries; ++i)
+            service.handle(pop[i]);
+    }
+    auto [warm_solves, warm_iters] = counter("serve.warm_iterations");
+    double warm_iter_mean =
+        warm_solves ? warm_iters / static_cast<double>(warm_solves) : 0;
+    metrics().setEnabled(false);
+
+    /** True when the response reports result.cached == expected. */
+    auto cachedFlag = [](const JsonValue &response) {
+        const JsonValue *result = response.get("result");
+        const JsonValue *cached =
+            result ? result->get("cached") : nullptr;
+        return cached != nullptr && cached->asBool();
+    };
+
+    // --- cold: cache bypassed, Section 3.2 start every time.
+    double cold_us = 0.0;
+    {
+        ServeOptions opts;
+        opts.warmStart = false;
+        SolveService service(opts);
+        std::vector<Request> bypass = pop;
+        for (Request &req : bypass)
+            req.noCache = true;
+        cold_us = elapsedUs([&] {
+            for (int rep = 0; rep < cold_reps; ++rep)
+                for (const Request &req : bypass)
+                    service.handle(req);
+        });
+    }
+    double cold_per_query = cold_us / (cold_reps * kQueries);
+
+    // --- cached: the same population over a primed cache.
+    double cached_us = 0.0;
+    bool hits_complete = true;
+    {
+        SolveService service;
+        for (const Request &req : pop)
+            service.handle(req); // prime (not timed)
+        cached_us = elapsedUs([&] {
+            for (int rep = 0; rep < cached_reps; ++rep)
+                for (const Request &req : pop)
+                    service.handle(req);
+        });
+        for (const Request &req : pop)
+            hits_complete = hits_complete && cachedFlag(service.handle(req));
+    }
+    double cached_per_query = cached_us / (cached_reps * kQueries);
+
+    // --- warm: fresh cache, one anchor, neighbors seeded from it
+    // (and from each other as the pass fills the cache).
+    double warm_us = 0.0;
+    {
+        SolveService service;
+        service.handle(pop[0]); // anchor (cold, not timed)
+        warm_us = elapsedUs([&] {
+            for (unsigned i = 1; i < kQueries; ++i)
+                service.handle(pop[i]);
+        });
+    }
+    double warm_per_query = warm_us / (kQueries - 1);
+
+    bool warm_complete = warm_solves == kQueries - 1;
+    double hit_speedup =
+        cached_per_query > 0 ? cold_per_query / cached_per_query : 0;
+    bool hit_ok = hits_complete && hit_speedup >= 10.0;
+    bool warm_ok = warm_complete && warm_iter_mean < cold_iter_mean;
+
+    std::string json = strprintf(
+        "{\n"
+        "  \"bench\": \"serve\",\n"
+        "  \"queries\": %u,\n"
+        "  \"n\": %u,\n"
+        "  \"workload\": \"appendixA20, hSw in [%.4f, %.4f] step %g\",\n"
+        "  \"cold\": {\n"
+        "    \"repetitions\": %d, \"us_per_query\": %.2f,\n"
+        "    \"iterations_mean\": %.2f\n"
+        "  },\n"
+        "  \"cached\": {\n"
+        "    \"repetitions\": %d, \"us_per_query\": %.2f,\n"
+        "    \"all_hits\": %s,\n"
+        "    \"speedup_vs_cold\": %.1f, \"at_least_10x\": %s\n"
+        "  },\n"
+        "  \"warm\": {\n"
+        "    \"us_per_query\": %.2f,\n"
+        "    \"solves\": %llu, \"iterations_mean\": %.2f,\n"
+        "    \"fewer_iterations_than_cold\": %s\n"
+        "  }\n"
+        "}\n",
+        kQueries, kN, kBaseHsw, kBaseHsw + (kQueries - 1) * kStep,
+        kStep, cold_reps, cold_per_query, cold_iter_mean, cached_reps,
+        cached_per_query,
+        hits_complete ? "true" : "false", hit_speedup,
+        hit_ok ? "true" : "false", warm_per_query,
+        static_cast<unsigned long long>(warm_solves), warm_iter_mean,
+        warm_ok ? "true" : "false");
+
+    std::fputs(json.c_str(), stdout);
+    AtomicFile out(out_path);
+    if (out.ok())
+        out.stream() << json;
+    if (auto ok = out.commit(); ok)
+        inform("wrote %s", out_path);
+    else
+        warn("could not write %s: %s", out_path,
+             ok.error().describe().c_str());
+
+    if (!hit_ok) {
+        warn("cache hits are not >= 10x cheaper than cold solves");
+        return 1;
+    }
+    if (!warm_ok) {
+        warn("warm-started solves did not converge in fewer "
+             "iterations than cold ones");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+} // namespace snoop
+
+int
+main(int argc, char **argv)
+{
+    return snoop::run(argc > 1 ? argv[1] : "BENCH_serve.json");
+}

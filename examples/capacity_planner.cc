@@ -53,20 +53,35 @@ main(int argc, char **argv)
              "asymptotic speedup"});
     t.setAlign(0, Align::Left);
     t.setAlign(1, Align::Left);
+    unsigned failures = 0;
     for (const auto &p : protocolCatalog()) {
-        unsigned knee = analyzer.saturationPoint(p.config, workload,
-                                                 target);
+        std::string mods = p.config.modString();
+        // One failed probe is one error row, not a dead planner: the
+        // remaining protocols still get their saturation analysis.
+        auto knee_or = analyzer.trySaturationPoint(p.config, workload,
+                                                  target);
+        if (!knee_or) {
+            warn("%s: %s", p.name.c_str(),
+                 knee_or.error().describe().c_str());
+            ++failures;
+            t.addRow({p.name, mods.empty() ? "-" : mods,
+                      "error", "-", "-"});
+            continue;
+        }
+        unsigned knee = knee_or.value();
         double at_knee = knee
             ? analyzer.analyze(p.config, workload, knee).speedup : 0.0;
         double asym =
             analyzer.analyze(p.config, workload, 2048).speedup;
-        std::string mods = p.config.modString();
         t.addRow({p.name, mods.empty() ? "-" : mods,
                   knee ? strprintf("%u", knee) : std::string("never"),
                   knee ? formatDouble(at_knee, 2) : std::string("-"),
                   formatDouble(asym, 2)});
     }
     std::fputs(t.render().c_str(), stdout);
+    if (failures > 0)
+        std::printf("\n%u protocol(s) failed; see warnings above.\n",
+                    failures);
     std::printf("\nThe asymptotic column is (tau + T_supply) / "
                 "per-request bus demand - adding processors past the "
                 "knee buys almost nothing (Table 4.1's N=100 column).\n");

@@ -50,7 +50,7 @@ main(int argc, char **argv)
     if (!protocol)
         fatal("unknown protocol '%s'", cli.get("protocol").c_str());
     spec.protocol = *protocol;
-    spec.title = strprintf("%s at %ld%% sharing",
+    spec.title = strprintf("%s at %d%% sharing",
                            protocol->name().c_str(),
                            cli.getInt("sharing"));
     spec.validateUpTo =

@@ -95,23 +95,61 @@ Analyzer::saturationPoint(const ProtocolConfig &protocol,
                           const WorkloadParams &workload, double target,
                           unsigned limit) const
 {
-    if (target <= 0.0 || target > 1.0) {
-        throw SolveException(makeError(
+    return trySaturationPoint(protocol, workload, target, limit)
+        .orThrow();
+}
+
+Expected<unsigned>
+Analyzer::trySaturationPoint(const ProtocolConfig &protocol,
+                             const WorkloadParams &workload,
+                             double target, unsigned limit) const
+{
+    // Negated-inside-the-parens form: a NaN target fails every
+    // comparison, so `target <= 0.0 || target > 1.0` waved it
+    // through to the binary search. This form rejects NaN along with
+    // everything else outside (0, 1].
+    if (!(target > 0.0 && target <= 1.0)) {
+        return makeError(
             SolveErrorCode::InvalidArgument, "Analyzer::saturationPoint",
-            "target = %g must be in (0, 1]", target));
+            "target = %g must be in (0, 1]", target);
+    }
+    if (limit == 0) {
+        return makeError(
+            SolveErrorCode::InvalidArgument, "Analyzer::saturationPoint",
+            "limit must be >= 1");
+    }
+    if (auto ok = workload.check(); !ok) {
+        return SolveError(ok.error())
+            .withContext(strprintf("Analyzer::trySaturationPoint(%s)",
+                                   protocol.name().c_str()));
     }
     auto inputs = DerivedInputs::compute(workload, protocol, timing_);
-    // Utilization is monotone in N, so binary search. Unconverged
-    // saturated probes are fine: busUtil is clamped to [0, 1] and the
-    // probe only feeds a threshold comparison.
+    auto probe = [&](unsigned n) -> Expected<double> {
+        // Unconverged saturated probes are fine: busUtil is clamped
+        // to [0, 1] and only feeds a threshold comparison.
+        // snoop-lint: nonconvergence-ok (threshold probe, see above)
+        auto r = solver_.trySolve(inputs, n);
+        if (!r) {
+            return SolveError(std::move(r).error())
+                .withContext(strprintf(
+                    "Analyzer::trySaturationPoint(%s, probe N=%u)",
+                    protocol.name().c_str(), n));
+        }
+        return r.value().busUtil;
+    };
+    // Utilization is monotone in N, so binary search.
     unsigned lo = 1, hi = limit;
-    // snoop-lint: nonconvergence-ok (threshold probe, see above)
-    if (solver_.solve(inputs, hi).busUtil < target)
-        return 0;
+    auto top = probe(hi);
+    if (!top)
+        return std::move(top).error();
+    if (top.value() < target)
+        return 0u;
     while (lo < hi) {
         unsigned mid = lo + (hi - lo) / 2;
-        // snoop-lint: nonconvergence-ok (threshold probe, see above)
-        if (solver_.solve(inputs, mid).busUtil >= target)
+        auto u = probe(mid);
+        if (!u)
+            return std::move(u).error();
+        if (u.value() >= target)
             hi = mid;
         else
             lo = mid + 1;

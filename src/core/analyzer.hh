@@ -74,12 +74,29 @@ class Analyzer
     /**
      * Smallest N at which bus utilization reaches @p target (default:
      * 95%), searched up to @p limit; returns 0 if never reached.
-     * The capacity-planning primitive of the examples.
+     * The capacity-planning primitive of the examples. Throws
+     * SolveException on an invalid target (non-finite or outside
+     * (0, 1]) or a failed probe solve.
      */
     unsigned saturationPoint(const ProtocolConfig &protocol,
                              const WorkloadParams &workload,
                              double target = 0.95,
                              unsigned limit = 4096) const;
+
+    /**
+     * Non-throwing saturationPoint: the knee, 0 if never reached
+     * within @p limit, or the structured error (InvalidArgument for a
+     * bad target/workload, or whatever a probe solve reported). One
+     * faulted probe stays one error instead of aborting a caller's
+     * whole per-protocol loop - the isolation primitive behind
+     * examples/capacity_planner and snoop_serve's `saturation`
+     * request.
+     */
+    [[nodiscard]] Expected<unsigned>
+    trySaturationPoint(const ProtocolConfig &protocol,
+                       const WorkloadParams &workload,
+                       double target = 0.95,
+                       unsigned limit = 4096) const;
 
     /** The timing constants in use. */
     const BusTiming &timing() const { return timing_; }

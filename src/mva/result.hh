@@ -54,6 +54,10 @@ struct MvaResult
     double residual = 0;    ///< final |R_k - R_{k-1}| residual
     /** The solve aborted on a non-finite iterate (all attempts). */
     bool nonFinite = false;
+    /** The time/iteration budget cut the ladder short (MvaOptions). */
+    bool budgetExhausted = false;
+    /** The solve started from a warm-start seed (MvaSeed). */
+    bool warmStarted = false;
     /** One entry per damping-ladder attempt, in execution order. */
     std::vector<SolveAttempt> attempts;
     /** |R_k - R_{k-1}| per iteration, for the convergence study. */

@@ -1,6 +1,7 @@
 #include "mva/solver.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <optional>
 
@@ -42,6 +43,10 @@ MvaSolver::MvaSolver(MvaOptions opts) : opts_(opts)
         throw SolveException(badOption("tolerance must be positive"));
     if (opts_.damping <= 0.0 || opts_.damping > 1.0)
         throw SolveException(badOption("damping must be in (0, 1]"));
+    if (!(opts_.timeBudget >= 0.0))
+        throw SolveException(badOption("timeBudget must be >= 0"));
+    if (opts_.iterationBudget < 0)
+        throw SolveException(badOption("iterationBudget must be >= 0"));
 }
 
 namespace {
@@ -136,16 +141,41 @@ attemptOf(const MvaResult &res, double damping)
     return a;
 }
 
+/**
+ * Admission check on a warm-start seed: the waiting times it carries
+ * must be finite and non-negative, or the solve would start from a
+ * state the model cannot produce.
+ */
+std::optional<SolveError>
+checkSeed(const MvaSeed &seed)
+{
+    if (!std::isfinite(seed.wBus) || !std::isfinite(seed.wMem) ||
+        !std::isfinite(seed.rTotal) || seed.wBus < 0.0 ||
+        seed.wMem < 0.0 || seed.rTotal < 0.0) {
+        return makeError(
+            SolveErrorCode::InvalidArgument, "MvaSolver::solve",
+            "warm-start seed (wBus=%g, wMem=%g, rTotal=%g) must be "
+            "finite and non-negative", seed.wBus, seed.wMem,
+            seed.rTotal);
+    }
+    return std::nullopt;
+}
+
 } // namespace
 
 Expected<MvaResult>
-MvaSolver::trySolve(const DerivedInputs &d, unsigned n) const
+MvaSolver::trySolve(const DerivedInputs &d, unsigned n,
+                    const MvaSeed &seed) const
 {
+    using clock = std::chrono::steady_clock;
+
     if (n == 0) {
         return makeError(SolveErrorCode::InvalidArgument,
                          "MvaSolver::solve",
                          "need at least one processor");
     }
+    if (auto err = checkSeed(seed))
+        return std::move(*err);
 
     // Fault-site arming is captured once per solve so injection is a
     // pure function of the configuration, not of pool scheduling.
@@ -158,11 +188,17 @@ MvaSolver::trySolve(const DerivedInputs &d, unsigned n) const
     // heavier fixed damping factor (geometric contraction restores
     // convergence). Every attempt is recorded for diagnostics.
     metricAdd("mva.solves");
+    const bool warm =
+        seed.wBus != 0.0 || seed.wMem != 0.0 || seed.rTotal != 0.0;
+    if (warm)
+        metricAdd("mva.warm_solves");
     ScopedMetricTimer solve_timer("mva.solve_us");
     TraceSpan solve_span(TraceLevel::Phase, "mva.solve", n);
     if (solve_span.active()) {
         solve_span.setArgs(
-            strprintf("\"protocol\":\"%s\"", d.protocol.name().c_str()));
+            strprintf("\"protocol\":\"%s\",\"warm\":%s",
+                      d.protocol.name().c_str(),
+                      warm ? "true" : "false"));
     }
     auto observeAttempt = [](size_t rung, const SolveAttempt &a) {
         metricAdd("mva.attempts");
@@ -177,21 +213,56 @@ MvaSolver::trySolve(const DerivedInputs &d, unsigned n) const
         }
     };
 
+    // Budgets span the whole ladder (mirroring FixedPointOptions):
+    // the wall-clock deadline is checked inside every attempt, the
+    // iteration budget shrinks each attempt's cap.
+    const bool budgeted_time = opts_.timeBudget > 0.0;
+    const clock::time_point deadline = budgeted_time
+        ? clock::now() + std::chrono::duration_cast<clock::duration>(
+              std::chrono::duration<double>(opts_.timeBudget))
+        : clock::time_point{};
+    long iters_used = 0;
+    auto attemptCap = [&](bool *exhausted) {
+        int max_it = opts_.maxIterations;
+        if (opts_.iterationBudget > 0) {
+            long remaining = opts_.iterationBudget - iters_used;
+            if (remaining <= 0) {
+                *exhausted = true;
+                return 0;
+            }
+            if (remaining < max_it)
+                max_it = static_cast<int>(remaining);
+        }
+        return max_it;
+    };
+
     std::vector<SolveAttempt> attempts;
+    bool budget_out = false;
     MvaResult res =
-        solveOnce(d, n, 0.0, inject_nonconverge || inject_first);
+        solveOnce(d, n, seed, 0.0, inject_nonconverge || inject_first,
+                  attemptCap(&budget_out),
+                  budgeted_time ? &deadline : nullptr);
+    iters_used += res.iterations;
     attempts.push_back(attemptOf(res, opts_.damping));
     observeAttempt(0, attempts.back());
     for (double damping : {0.5, 0.25, 0.1, 0.05}) {
-        if (res.converged || damping >= opts_.damping)
+        if (res.converged || res.budgetExhausted ||
+            damping >= opts_.damping)
             break;
-        res = solveOnce(d, n, damping, inject_nonconverge);
+        int cap = attemptCap(&budget_out);
+        if (budget_out) {
+            res.budgetExhausted = true;
+            break;
+        }
+        res = solveOnce(d, n, seed, damping, inject_nonconverge, cap,
+                        budgeted_time ? &deadline : nullptr);
+        iters_used += res.iterations;
         attempts.push_back(attemptOf(res, damping));
         observeAttempt(attempts.size() - 1, attempts.back());
     }
     res.attempts = std::move(attempts);
 
-    if (res.nonFinite) {
+    if (res.nonFinite && !res.budgetExhausted) {
         return makeError(
             SolveErrorCode::NonFiniteIterate, "MvaSolver::solve",
             "iterate became non-finite in all %zu damping attempts "
@@ -202,16 +273,20 @@ MvaSolver::trySolve(const DerivedInputs &d, unsigned n) const
         switch (opts_.onNonConvergence) {
           case NonConvergencePolicy::Warn:
             warn("MvaSolver: no convergence after %d iterations across "
-                 "%zu attempts (N=%u, protocol %s)",
+                 "%zu attempts (N=%u, protocol %s%s)",
                  opts_.maxIterations, res.attempts.size(), n,
-                 d.protocol.name().c_str());
+                 d.protocol.name().c_str(),
+                 res.budgetExhausted ? ", budget exhausted" : "");
             break;
           case NonConvergencePolicy::Fatal:
             return makeError(
-                SolveErrorCode::NonConvergence, "MvaSolver::solve",
+                res.budgetExhausted ? SolveErrorCode::BudgetExhausted
+                                    : SolveErrorCode::NonConvergence,
+                "MvaSolver::solve",
                 "no convergence after %d iterations across %zu attempts "
-                "(N=%u, protocol %s)", opts_.maxIterations,
-                res.attempts.size(), n, d.protocol.name().c_str());
+                "(N=%u, protocol %s%s)", opts_.maxIterations,
+                res.attempts.size(), n, d.protocol.name().c_str(),
+                res.budgetExhausted ? ", budget exhausted" : "");
           case NonConvergencePolicy::Accept:
             break;
         }
@@ -229,9 +304,13 @@ MvaSolver::solve(const DerivedInputs &d, unsigned n) const
 
 MvaResult
 MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
-                     double damping_override,
-                     bool force_nonconverge) const
+                     const MvaSeed &seed, double damping_override,
+                     bool force_nonconverge, int max_iterations,
+                     const std::chrono::steady_clock::time_point
+                         *deadline) const
 {
+    using clock = std::chrono::steady_clock;
+
     const bool inject_nan = faultArmed("mva.nan");
 
     const double num_proc = static_cast<double>(n);
@@ -243,11 +322,16 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
     MvaResult res;
     res.numProcessors = n;
     res.inputs = d;
+    res.warmStarted =
+        seed.wBus != 0.0 || seed.wMem != 0.0 || seed.rTotal != 0.0;
 
-    // Section 3.2: start with all waiting times set to zero.
-    double w_bus = 0.0;
-    double w_mem = 0.0;
-    double r_total = d.tau + t_supply;
+    // Section 3.2: start with all waiting times set to zero and
+    // R = tau + T_supply - or, under warm-start continuation, from
+    // the full seeded state of a neighboring solution (the all-zero
+    // MvaSeed reproduces the paper's cold start exactly).
+    double w_bus = seed.wBus;
+    double w_mem = seed.wMem;
+    double r_total = seed.rTotal > 0.0 ? seed.rTotal : d.tau + t_supply;
 
     double damping = damping_override > 0.0 ? damping_override
                                             : opts_.damping;
@@ -265,7 +349,11 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
              d.wbCsupply * kAppendixBBlockCycles)
         : 0.0;
 
-    for (int it = 1; it <= opts_.maxIterations; ++it) {
+    for (int it = 1; it <= max_iterations; ++it) {
+        if (deadline != nullptr && clock::now() >= *deadline) {
+            res.budgetExhausted = true;
+            break;
+        }
         // --- Mean queue length seen by an arrival, eq. (6) -----------
         double r_bc = d.pBc * (w_bus + w_mem + t_write);
         double r_rr = d.pRr * (w_bus + d.tRead);

@@ -9,6 +9,7 @@
  * all-zero waiting times (Section 3.2).
  */
 
+#include <chrono>
 #include <vector>
 
 #include "mva/result.hh"
@@ -34,6 +35,47 @@ struct MvaOptions
      * convergence (see NonConvergencePolicy in util/fixed_point.hh).
      */
     NonConvergencePolicy onNonConvergence = NonConvergencePolicy::Warn;
+    /**
+     * Wall-clock budget in seconds across all ladder attempts; 0
+     * means unbudgeted. Exhaustion stops the ladder and is recorded
+     * in MvaResult::budgetExhausted, then judged by the
+     * onNonConvergence policy like any other unconverged solve.
+     */
+    double timeBudget = 0.0;
+    /**
+     * Total iteration budget across all ladder attempts; 0 means
+     * each attempt gets maxIterations on its own.
+     */
+    long iterationBudget = 0;
+};
+
+/**
+ * A warm-start seed for the MVA fixed point: the waiting-time state
+ * of a previously solved neighboring configuration. Seeding replaces
+ * Section 3.2's all-zero start, so a query near a known solution
+ * converges in a handful of iterations instead of from cold. The
+ * recovery ladder restarts from the seed, and a non-finite seed is
+ * rejected as InvalidArgument.
+ */
+struct MvaSeed
+{
+    double wBus = 0.0; ///< initial mean bus waiting time
+    double wMem = 0.0; ///< initial mean memory waiting time
+    /**
+     * Initial response time R. The iteration state is genuinely
+     * three-dimensional - eq. (6) computes the arrival queue length
+     * from the *previous* iterate's R - so a seed that restores the
+     * waiting times but not R lands far from the fixed point and
+     * converges no faster than a cold start. 0 means "use the
+     * cold-start value tau + T_supply".
+     */
+    double rTotal = 0.0;
+
+    /** The seed corresponding to a finished solve's state. */
+    static MvaSeed fromResult(const MvaResult &r)
+    {
+        return MvaSeed{r.wBus, r.wMem, r.responseTime};
+    }
 };
 
 /**
@@ -62,7 +104,21 @@ class MvaSolver
      * solve is a *value* with converged == false.
      */
     [[nodiscard]] Expected<MvaResult> trySolve(const DerivedInputs &inputs,
-                                 unsigned n) const;
+                                 unsigned n) const
+    {
+        // The all-zero seed is Section 3.2's cold start.
+        return trySolve(inputs, n, MvaSeed{});
+    }
+
+    /**
+     * Solve for @p n processors starting the fixed point from
+     * @p seed instead of the all-zero state (warm-start
+     * continuation). Every recovery-ladder attempt restarts from the
+     * seed. Additional error: InvalidArgument on a non-finite or
+     * negative seed component.
+     */
+    [[nodiscard]] Expected<MvaResult> trySolve(const DerivedInputs &inputs,
+                                 unsigned n, const MvaSeed &seed) const;
 
     /** Solve for @p n processors; throws SolveException on error. */
     MvaResult solve(const DerivedInputs &inputs, unsigned n) const;
@@ -81,15 +137,19 @@ class MvaSolver
 
   private:
     /**
-     * One fixed-point run. @p damping_override replaces the configured
-     * damping when positive (used by the saturation fallback ladder);
-     * @p force_nonconverge suppresses the convergence check (fault
-     * injection). A non-finite iterate aborts the run with nonFinite
+     * One fixed-point run from @p seed. @p damping_override replaces
+     * the configured damping when positive (used by the saturation
+     * fallback ladder); @p force_nonconverge suppresses the
+     * convergence check (fault injection); @p max_iterations caps
+     * this attempt (the ladder shrinks it when an iteration budget is
+     * configured). A non-finite iterate aborts the run with nonFinite
      * set instead of poisoning the returned measures.
      */
     MvaResult solveOnce(const DerivedInputs &inputs, unsigned n,
-                        double damping_override,
-                        bool force_nonconverge) const;
+                        const MvaSeed &seed, double damping_override,
+                        bool force_nonconverge, int max_iterations,
+                        const std::chrono::steady_clock::time_point
+                            *deadline) const;
 
     MvaOptions opts_;
 };

@@ -1,0 +1,414 @@
+#include "serve/json.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+namespace snoop {
+
+namespace {
+
+constexpr int kMaxDepth = 64;
+
+/** Recursive-descent parser over a byte range. */
+class Parser
+{
+  public:
+    explicit Parser(const std::string &text) : text_(text) {}
+
+    Expected<JsonValue> parse()
+    {
+        skipWs();
+        JsonValue v;
+        if (auto err = parseValue(v, 0))
+            return std::move(*err);
+        skipWs();
+        if (pos_ != text_.size())
+            return fail("trailing bytes after the document");
+        return v;
+    }
+
+  private:
+    SolveError fail(const char *what) const
+    {
+        return makeError(SolveErrorCode::InvalidArgument,
+                         "serve::parseJson", "%s at byte %zu", what,
+                         pos_);
+    }
+
+    void skipWs()
+    {
+        while (pos_ < text_.size() &&
+               (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+                text_[pos_] == '\n' || text_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool literal(const char *word)
+    {
+        size_t len = std::strlen(word);
+        if (text_.compare(pos_, len, word) != 0)
+            return false;
+        pos_ += len;
+        return true;
+    }
+
+    // The parse* helpers return an engaged error on failure, nullopt
+    // on success, writing the value through the out-parameter (the
+    // recursive structure reads better than Expected plumbing here).
+    std::optional<SolveError> parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting deeper than 64 levels");
+        skipWs();
+        if (pos_ >= text_.size())
+            return fail("unexpected end of input");
+        char c = text_[pos_];
+        switch (c) {
+          case '{':
+            return parseObject(out, depth);
+          case '[':
+            return parseArray(out, depth);
+          case '"': {
+            std::string s;
+            if (auto err = parseString(s))
+                return err;
+            out = JsonValue(std::move(s));
+            return std::nullopt;
+          }
+          case 't':
+            if (!literal("true"))
+                return fail("bad literal");
+            out = JsonValue(true);
+            return std::nullopt;
+          case 'f':
+            if (!literal("false"))
+                return fail("bad literal");
+            out = JsonValue(false);
+            return std::nullopt;
+          case 'n':
+            if (!literal("null"))
+                return fail("bad literal");
+            out = JsonValue();
+            return std::nullopt;
+          default:
+            return parseNumber(out);
+        }
+    }
+
+    std::optional<SolveError> parseObject(JsonValue &out, int depth)
+    {
+        ++pos_; // '{'
+        JsonValue::Object members;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == '}') {
+            ++pos_;
+            out = JsonValue(std::move(members));
+            return std::nullopt;
+        }
+        while (true) {
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != '"')
+                return fail("expected a string key");
+            std::string key;
+            if (auto err = parseString(key))
+                return err;
+            skipWs();
+            if (pos_ >= text_.size() || text_[pos_] != ':')
+                return fail("expected ':'");
+            ++pos_;
+            JsonValue value;
+            if (auto err = parseValue(value, depth + 1))
+                return err;
+            members[std::move(key)] = std::move(value);
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated object");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == '}') {
+                ++pos_;
+                out = JsonValue(std::move(members));
+                return std::nullopt;
+            }
+            return fail("expected ',' or '}'");
+        }
+    }
+
+    std::optional<SolveError> parseArray(JsonValue &out, int depth)
+    {
+        ++pos_; // '['
+        JsonValue::Array items;
+        skipWs();
+        if (pos_ < text_.size() && text_[pos_] == ']') {
+            ++pos_;
+            out = JsonValue(std::move(items));
+            return std::nullopt;
+        }
+        while (true) {
+            JsonValue value;
+            if (auto err = parseValue(value, depth + 1))
+                return err;
+            items.push_back(std::move(value));
+            skipWs();
+            if (pos_ >= text_.size())
+                return fail("unterminated array");
+            if (text_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (text_[pos_] == ']') {
+                ++pos_;
+                out = JsonValue(std::move(items));
+                return std::nullopt;
+            }
+            return fail("expected ',' or ']'");
+        }
+    }
+
+    std::optional<SolveError> parseString(std::string &out)
+    {
+        ++pos_; // opening quote
+        std::string s;
+        while (true) {
+            if (pos_ >= text_.size())
+                return fail("unterminated string");
+            unsigned char c = text_[pos_];
+            if (c == '"') {
+                ++pos_;
+                out = std::move(s);
+                return std::nullopt;
+            }
+            if (c < 0x20)
+                return fail("raw control character in string");
+            if (c != '\\') {
+                s.push_back(static_cast<char>(c));
+                ++pos_;
+                continue;
+            }
+            ++pos_;
+            if (pos_ >= text_.size())
+                return fail("unterminated escape");
+            char e = text_[pos_++];
+            switch (e) {
+              case '"': s.push_back('"'); break;
+              case '\\': s.push_back('\\'); break;
+              case '/': s.push_back('/'); break;
+              case 'b': s.push_back('\b'); break;
+              case 'f': s.push_back('\f'); break;
+              case 'n': s.push_back('\n'); break;
+              case 'r': s.push_back('\r'); break;
+              case 't': s.push_back('\t'); break;
+              case 'u': {
+                unsigned cp = 0;
+                if (auto err = parseHex4(cp))
+                    return err;
+                // Combine a surrogate pair when one follows.
+                if (cp >= 0xD800 && cp <= 0xDBFF &&
+                    text_.compare(pos_, 2, "\\u") == 0) {
+                    pos_ += 2;
+                    unsigned lo = 0;
+                    if (auto err = parseHex4(lo))
+                        return err;
+                    if (lo < 0xDC00 || lo > 0xDFFF)
+                        return fail("unpaired surrogate");
+                    cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+                } else if (cp >= 0xD800 && cp <= 0xDFFF) {
+                    return fail("unpaired surrogate");
+                }
+                appendUtf8(s, cp);
+                break;
+              }
+              default:
+                return fail("unknown escape");
+            }
+        }
+    }
+
+    std::optional<SolveError> parseHex4(unsigned &out)
+    {
+        if (pos_ + 4 > text_.size())
+            return fail("truncated \\u escape");
+        unsigned v = 0;
+        for (int i = 0; i < 4; ++i) {
+            char c = text_[pos_ + i];
+            v <<= 4;
+            if (c >= '0' && c <= '9')
+                v |= static_cast<unsigned>(c - '0');
+            else if (c >= 'a' && c <= 'f')
+                v |= static_cast<unsigned>(c - 'a' + 10);
+            else if (c >= 'A' && c <= 'F')
+                v |= static_cast<unsigned>(c - 'A' + 10);
+            else
+                return fail("bad hex digit in \\u escape");
+        }
+        pos_ += 4;
+        out = v;
+        return std::nullopt;
+    }
+
+    static void appendUtf8(std::string &s, unsigned cp)
+    {
+        if (cp < 0x80) {
+            s.push_back(static_cast<char>(cp));
+        } else if (cp < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else if (cp < 0x10000) {
+            s.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        } else {
+            s.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+        }
+    }
+
+    std::optional<SolveError> parseNumber(JsonValue &out)
+    {
+        size_t start = pos_;
+        if (pos_ < text_.size() && text_[pos_] == '-')
+            ++pos_;
+        while (pos_ < text_.size() &&
+               ((text_[pos_] >= '0' && text_[pos_] <= '9') ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '+' ||
+                text_[pos_] == '-'))
+            ++pos_;
+        if (pos_ == start)
+            return fail("expected a value");
+        std::string token = text_.substr(start, pos_ - start);
+        double v = 0.0;
+        if (!parseDouble(token, v))
+            return fail("malformed number");
+        // JSON has no NaN/inf literal; an overflowing exponent like
+        // 1e999 is the only way here, and the serve layer's admission
+        // control rejects non-finite inputs outright.
+        if (!std::isfinite(v))
+            return fail("number overflows to non-finite");
+        out = JsonValue(v);
+        return std::nullopt;
+    }
+
+    const std::string &text_;
+    size_t pos_ = 0;
+};
+
+void
+serializeString(const std::string &s, std::string &out)
+{
+    out.push_back('"');
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\b': out += "\\b"; break;
+          case '\f': out += "\\f"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out.push_back(static_cast<char>(c));
+        }
+    }
+    out.push_back('"');
+}
+
+/**
+ * Shortest decimal form that parses back to the same bits: try
+ * increasing precision until the round trip is exact. Deterministic,
+ * and "16" stays "16" instead of "16.000000000000000".
+ */
+void
+serializeNumber(double v, std::string &out)
+{
+    char buf[40];
+    // Integers print as integers ("30", not the equally-round-trip
+    // "3e+01" that %.1g would pick first).
+    if (v == std::floor(v) && std::fabs(v) < 1e15) {
+        std::snprintf(buf, sizeof buf, "%.0f", v);
+        out += buf;
+        return;
+    }
+    for (int prec = 1; prec <= 17; ++prec) {
+        std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+        if (std::strtod(buf, nullptr) == v)
+            break;
+    }
+    out += buf;
+}
+
+void
+serializeValue(const JsonValue &v, std::string &out)
+{
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        out += "null";
+        break;
+      case JsonValue::Kind::Bool:
+        out += v.asBool() ? "true" : "false";
+        break;
+      case JsonValue::Kind::Number:
+        serializeNumber(v.asNumber(), out);
+        break;
+      case JsonValue::Kind::String:
+        serializeString(v.asString(), out);
+        break;
+      case JsonValue::Kind::Array: {
+        out.push_back('[');
+        bool first = true;
+        for (const auto &item : v.asArray()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            serializeValue(item, out);
+        }
+        out.push_back(']');
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        out.push_back('{');
+        bool first = true;
+        for (const auto &[key, value] : v.asObject()) {
+            if (!first)
+                out.push_back(',');
+            first = false;
+            serializeString(key, out);
+            out.push_back(':');
+            serializeValue(value, out);
+        }
+        out.push_back('}');
+        break;
+      }
+    }
+}
+
+} // namespace
+
+Expected<JsonValue>
+parseJson(const std::string &text)
+{
+    return Parser(text).parse();
+}
+
+std::string
+serializeJson(const JsonValue &value)
+{
+    std::string out;
+    serializeValue(value, out);
+    return out;
+}
+
+} // namespace snoop

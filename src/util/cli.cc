@@ -1,7 +1,9 @@
 #include "util/cli.hh"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 
 #include "util/logging.hh"
 #include "util/strutil.hh"
@@ -93,8 +95,20 @@ CliParser::get(const std::string &name) const
     return o->second.def;
 }
 
-long
+int
 CliParser::getInt(const std::string &name) const
+{
+    long out = getLong(name);
+    if (out < std::numeric_limits<int>::min() ||
+        out > std::numeric_limits<int>::max()) {
+        fatal("option --%s: %ld overflows the int range", name.c_str(),
+              out);
+    }
+    return static_cast<int>(out);
+}
+
+long
+CliParser::getLong(const std::string &name) const
 {
     long out = 0;
     std::string v = get(name);
@@ -111,6 +125,11 @@ CliParser::getDouble(const std::string &name) const
     std::string v = get(name);
     if (!parseDouble(v, out))
         fatal("option --%s: '%s' is not a number", name.c_str(), v.c_str());
+    if (!std::isfinite(out)) {
+        fatal("option --%s: '%s' is not finite (every numeric option "
+              "feeds a validation range NaN/inf would pass)",
+              name.c_str(), v.c_str());
+    }
     return out;
 }
 

@@ -20,8 +20,12 @@ namespace snoop {
  *   cli.addOption("n", "8", "number of processors");
  *   cli.addFlag("verbose", "print the full report");
  *   cli.parse(argc, argv);            // exits with usage on error
- *   int n = cli.getInt("n");
+ *   int n = cli.getInt("n");          // fatal if not a valid int
  * @endcode
+ *
+ * getInt() really returns an `int`: values that parse but overflow
+ * the int range are fatal instead of being narrowed silently (use
+ * getLong() when the full long range is meant).
  */
 class CliParser
 {
@@ -44,10 +48,22 @@ class CliParser
     /** String value of option @p name (fatal if undeclared). */
     std::string get(const std::string &name) const;
 
-    /** Integer value of option @p name (fatal on parse failure). */
-    long getInt(const std::string &name) const;
+    /**
+     * Integer value of option @p name; fatal on parse failure or on
+     * a value outside the int range (the documented return type -
+     * the old `long` signature narrowed silently at call sites).
+     */
+    int getInt(const std::string &name) const;
 
-    /** Double value of option @p name (fatal on parse failure). */
+    /** Full-range long value of @p name (fatal on parse failure). */
+    long getLong(const std::string &name) const;
+
+    /**
+     * Double value of option @p name; fatal on parse failure or on a
+     * non-finite value ("nan"/"inf" parse, but every numeric option
+     * in this tree feeds a validation range that NaN would sail
+     * through - see Analyzer::saturationPoint).
+     */
     double getDouble(const std::string &name) const;
 
     /** True if flag @p name was given. */

@@ -36,6 +36,7 @@
  *  | sweep.cell                | keyed: sweep cell throws              |
  *  | sim.replication           | keyed: replication throws             |
  *  | validate.point            | keyed: comparison point throws        |
+ *  | serve.request             | keyed by request id: serve cell fails |
  *  | io.commit                 | AtomicFile::commit fails              |
  *
  * The no-fault fast path is one relaxed atomic load; production runs

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/analyzer.hh"
+#include "util/fault.hh"
 
 namespace snoop {
 namespace {
@@ -165,6 +168,62 @@ TEST(Analyzer, BadSaturationTargetThrows)
         EXPECT_NE(std::string(e.what()).find("target"),
                   std::string::npos);
     }
+}
+
+TEST(Analyzer, NaNSaturationTargetIsRejected)
+{
+    // A NaN target fails every comparison, so the old
+    // `target <= 0 || target > 1` form waved it into the binary
+    // search; the !(target > 0 && target <= 1) form must reject it.
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    auto r = a.trySaturationPoint(ProtocolConfig::writeOnce(), wl,
+                                  std::nan(""));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::InvalidArgument);
+    EXPECT_NE(r.error().message.find("target"), std::string::npos);
+}
+
+TEST(Analyzer, ZeroSaturationLimitIsRejected)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    auto r = a.trySaturationPoint(ProtocolConfig::writeOnce(), wl,
+                                  0.95, 0);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::InvalidArgument);
+    EXPECT_NE(r.error().message.find("limit"), std::string::npos);
+}
+
+TEST(Analyzer, TrySaturationPointMatchesTheThrowingFacade)
+{
+    Analyzer a;
+    auto wl = presets::appendixA(SharingLevel::TwentyPercent);
+    auto protocol = ProtocolConfig::writeOnce();
+    auto r = a.trySaturationPoint(protocol, wl, 0.9, 256);
+    ASSERT_TRUE(r.ok());
+    EXPECT_GE(r.value(), 1u);
+    EXPECT_EQ(r.value(), a.saturationPoint(protocol, wl, 0.9, 256));
+}
+
+TEST(Analyzer, FaultedSaturationProbeIsOneStructuredError)
+{
+    // Under Fatal policy a probe solve that never converges must come
+    // back as an error naming the probe, not abort the process.
+    MvaOptions opts;
+    opts.onNonConvergence = NonConvergencePolicy::Fatal;
+    Analyzer a(opts);
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    ASSERT_TRUE(bool(setFaultSpecs("mva.nonconverge:every=1")));
+    auto r = a.trySaturationPoint(ProtocolConfig::writeOnce(), wl,
+                                  0.95, 64);
+    clearFaultSpecs();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::NonConvergence);
+    bool probe_frame = false;
+    for (const auto &frame : r.error().context)
+        probe_frame |= frame.find("probe") != std::string::npos;
+    EXPECT_TRUE(probe_frame);
 }
 
 } // namespace

@@ -120,6 +120,27 @@ TEST(Parser, GlobalVariableFlags)
     EXPECT_EQ(pf.globals[4].guardedBy, "internal");
 }
 
+TEST(Parser, OperatorEqualsDefinitionIsNotAVariable)
+{
+    // The lexer emits single-char puncts, so the '==' here once read
+    // as "global variable 'Key' with an initializer" and tripped the
+    // guarded-shared-state pass on every out-of-line operator==.
+    ParsedFile pf = parseSource(
+        "bool\n"
+        "Key::operator==(const Key &other) const\n"
+        "{\n"
+        "    return a == other.a;\n"
+        "}\n"
+        "bool\n"
+        "Key::operator!=(const Key &other) const\n"
+        "{\n"
+        "    return !(*this == other);\n"
+        "}\n");
+    // Not indexed as functions either (the name token before '(' is
+    // a punct) - the invariant is that no phantom global appears.
+    EXPECT_TRUE(pf.globals.empty());
+}
+
 TEST(Parser, FunctionLocalStatic)
 {
     ParsedFile pf = parseSource(

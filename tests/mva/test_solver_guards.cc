@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "mva/solver.hh"
 #include "util/fixed_point.hh"
 
@@ -151,6 +153,113 @@ TEST(SolverGuards, FixedPointFatalPolicyThrows)
                      },
                      {0.0}),
                  SolveException);
+}
+
+TEST(SolverGuards, NonFiniteOrNegativeSeedIsRejected)
+{
+    MvaSolver solver;
+    auto inputs = appendixAInputs(SharingLevel::FivePercent, "");
+    for (MvaSeed seed : {MvaSeed{std::nan(""), 0.0, 0.0},
+                         MvaSeed{0.0, INFINITY, 0.0},
+                         MvaSeed{0.0, 0.0, -1.0}}) {
+        auto r = solver.trySolve(inputs, 10, seed);
+        ASSERT_FALSE(r.ok());
+        EXPECT_EQ(r.error().code, SolveErrorCode::InvalidArgument);
+        EXPECT_NE(r.error().message.find("seed"), std::string::npos);
+    }
+}
+
+TEST(SolverGuards, AllZeroSeedIsExactlyTheColdStart)
+{
+    MvaSolver solver;
+    auto inputs = appendixAInputs(SharingLevel::FivePercent, "13");
+    auto cold = solver.trySolve(inputs, 10);
+    auto zero = solver.trySolve(inputs, 10, MvaSeed{});
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(zero.ok());
+    EXPECT_FALSE(cold.value().warmStarted);
+    EXPECT_FALSE(zero.value().warmStarted);
+    EXPECT_EQ(cold.value().iterations, zero.value().iterations);
+    EXPECT_EQ(cold.value().speedup, zero.value().speedup);
+    EXPECT_EQ(cold.value().responseTime, zero.value().responseTime);
+}
+
+TEST(SolverGuards, SelfSeedConvergesAlmostImmediately)
+{
+    MvaSolver solver;
+    auto inputs = appendixAInputs(SharingLevel::FivePercent, "13");
+    auto cold = solver.trySolve(inputs, 10);
+    ASSERT_TRUE(cold.ok());
+    auto warm = solver.trySolve(inputs, 10,
+                                MvaSeed::fromResult(cold.value()));
+    ASSERT_TRUE(warm.ok());
+    EXPECT_TRUE(warm.value().warmStarted);
+    // Restarting at the fixed point needs only the iterations that
+    // confirm it is one.
+    EXPECT_LE(warm.value().iterations, 3);
+}
+
+TEST(SolverGuards, NearbySeedConvergesFasterAndAgrees)
+{
+    MvaSolver solver;
+    auto wl = presets::appendixA(SharingLevel::FivePercent);
+    auto protocol = ProtocolConfig::fromModString("13");
+    auto anchor =
+        solver.trySolve(DerivedInputs::compute(wl, protocol), 10);
+    ASSERT_TRUE(anchor.ok());
+
+    wl.hSw += 1e-3; // a near-duplicate query
+    auto inputs = DerivedInputs::compute(wl, protocol);
+    auto cold = solver.trySolve(inputs, 10);
+    auto warm = solver.trySolve(inputs, 10,
+                                MvaSeed::fromResult(anchor.value()));
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(warm.ok());
+    EXPECT_LT(warm.value().iterations, cold.value().iterations);
+    // Both runs stop at the same tolerance, so the answers agree to
+    // the envelope documented in docs/SERVING.md.
+    EXPECT_NEAR(warm.value().responseTime, cold.value().responseTime,
+                1e-5 * cold.value().responseTime);
+    EXPECT_NEAR(warm.value().speedup, cold.value().speedup,
+                1e-5 * cold.value().speedup);
+}
+
+TEST(SolverGuards, IterationBudgetExhaustionIsRecorded)
+{
+    MvaOptions opts;
+    opts.iterationBudget = 3;
+    opts.onNonConvergence = NonConvergencePolicy::Accept;
+    MvaSolver solver(opts);
+    auto r = solver.trySolve(
+        appendixAInputs(SharingLevel::FivePercent, ""), 10);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().converged);
+    EXPECT_TRUE(r.value().budgetExhausted);
+}
+
+TEST(SolverGuards, IterationBudgetUnderFatalIsAStructuredError)
+{
+    MvaOptions opts;
+    opts.iterationBudget = 3;
+    opts.onNonConvergence = NonConvergencePolicy::Fatal;
+    MvaSolver solver(opts);
+    auto r = solver.trySolve(
+        appendixAInputs(SharingLevel::FivePercent, ""), 10);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::BudgetExhausted);
+}
+
+TEST(SolverGuards, TimeBudgetExhaustionIsRecorded)
+{
+    MvaOptions opts;
+    opts.timeBudget = 1e-12; // expires before the first check
+    opts.onNonConvergence = NonConvergencePolicy::Accept;
+    MvaSolver solver(opts);
+    auto r = solver.trySolve(
+        appendixAInputs(SharingLevel::FivePercent, ""), 10);
+    ASSERT_TRUE(r.ok());
+    EXPECT_FALSE(r.value().converged);
+    EXPECT_TRUE(r.value().budgetExhausted);
 }
 
 } // namespace

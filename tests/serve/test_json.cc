@@ -1,0 +1,147 @@
+/**
+ * Tests for the serve layer's line-delimited JSON codec: round trips,
+ * deterministic serialization (sorted keys, shortest round-trip
+ * numbers, integers as integers), structured parse errors with byte
+ * offsets, escape handling including surrogate pairs, the depth
+ * bound, and the non-finite-number rejection the admission contract
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/json.hh"
+
+namespace snoop {
+namespace {
+
+JsonValue
+parsed(const std::string &text)
+{
+    auto v = parseJson(text);
+    EXPECT_TRUE(bool(v)) << text;
+    return v ? std::move(v).value() : JsonValue();
+}
+
+TEST(ServeJson, RoundTripsScalars)
+{
+    EXPECT_EQ(serializeJson(parsed("null")), "null");
+    EXPECT_EQ(serializeJson(parsed("true")), "true");
+    EXPECT_EQ(serializeJson(parsed("false")), "false");
+    EXPECT_EQ(serializeJson(parsed("42")), "42");
+    EXPECT_EQ(serializeJson(parsed("-1.5")), "-1.5");
+    EXPECT_EQ(serializeJson(parsed("\"hi\"")), "\"hi\"");
+}
+
+TEST(ServeJson, IntegersStayIntegers)
+{
+    // %.1g would print 30 as "3e+01", which round-trips but reads
+    // badly in response logs; the serializer special-cases integers.
+    EXPECT_EQ(serializeJson(JsonValue(30)), "30");
+    EXPECT_EQ(serializeJson(JsonValue(1e6)), "1000000");
+    EXPECT_EQ(serializeJson(JsonValue(-7.0)), "-7");
+}
+
+TEST(ServeJson, NumbersRoundTripShortest)
+{
+    // The shortest form that parses back to the same bits.
+    double v = 0.1;
+    auto r = parseJson(serializeJson(JsonValue(v)));
+    ASSERT_TRUE(bool(r));
+    EXPECT_EQ(r.value().asNumber(), v);
+    EXPECT_EQ(serializeJson(JsonValue(0.1)), "0.1");
+}
+
+TEST(ServeJson, ObjectKeysSerializeSorted)
+{
+    auto v = parsed("{\"b\":1,\"a\":2,\"c\":3}");
+    EXPECT_EQ(serializeJson(v), "{\"a\":2,\"b\":1,\"c\":3}");
+}
+
+TEST(ServeJson, NestedStructuresRoundTrip)
+{
+    std::string text =
+        "{\"a\":[1,2,{\"b\":null}],\"c\":{\"d\":[true,false]}}";
+    EXPECT_EQ(serializeJson(parsed(text)), text);
+}
+
+TEST(ServeJson, StringEscapesRoundTrip)
+{
+    auto v = parsed("\"line\\nquote\\\"tab\\tback\\\\slash\\/\"");
+    EXPECT_EQ(v.asString(), "line\nquote\"tab\tback\\slash/");
+    auto again = parseJson(serializeJson(v));
+    ASSERT_TRUE(bool(again));
+    EXPECT_EQ(again.value().asString(), v.asString());
+}
+
+TEST(ServeJson, UnicodeEscapesDecodeToUtf8)
+{
+    EXPECT_EQ(parsed("\"\\u0041\"").asString(), "A");
+    EXPECT_EQ(parsed("\"\\u00e9\"").asString(), "\xc3\xa9");
+    // Surrogate pair: U+1F600.
+    EXPECT_EQ(parsed("\"\\ud83d\\ude00\"").asString(),
+              "\xf0\x9f\x98\x80");
+}
+
+TEST(ServeJson, UnpairedSurrogateIsRejected)
+{
+    EXPECT_FALSE(bool(parseJson("\"\\ud83d\"")));
+    EXPECT_FALSE(bool(parseJson("\"\\ud83dx\"")));
+}
+
+TEST(ServeJson, ControlCharactersEscapeOnOutput)
+{
+    // Split the literal: "\x01b" would be one hex escape (0x1B).
+    JsonValue v(std::string("a\x01"
+                            "b"));
+    EXPECT_EQ(serializeJson(v), "\"a\\u0001b\"");
+}
+
+TEST(ServeJson, ParseErrorsCarryByteOffsets)
+{
+    auto r = parseJson("{\"a\": }");
+    ASSERT_FALSE(bool(r));
+    EXPECT_EQ(r.error().code, SolveErrorCode::InvalidArgument);
+    EXPECT_NE(r.error().message.find("at byte"), std::string::npos);
+}
+
+TEST(ServeJson, TrailingGarbageIsRejected)
+{
+    EXPECT_FALSE(bool(parseJson("{} trailing")));
+    EXPECT_FALSE(bool(parseJson("1 2")));
+}
+
+TEST(ServeJson, NonFiniteNumbersAreRejected)
+{
+    // JSON has no NaN/inf literal; an overflowing exponent is the
+    // only route to a non-finite double, and it must not parse.
+    EXPECT_FALSE(bool(parseJson("1e999")));
+    EXPECT_FALSE(bool(parseJson("[-1e999]")));
+    EXPECT_FALSE(bool(parseJson("nan")));
+    EXPECT_FALSE(bool(parseJson("Infinity")));
+}
+
+TEST(ServeJson, DepthBoundRejectsRunawayNesting)
+{
+    std::string deep;
+    for (int i = 0; i < 100; ++i)
+        deep += "[";
+    EXPECT_FALSE(bool(parseJson(deep)));
+    // 32 levels is comfortably inside the bound.
+    std::string ok(32, '[');
+    ok += std::string(32, ']');
+    EXPECT_TRUE(bool(parseJson(ok)));
+}
+
+TEST(ServeJson, AccessorsAndLookup)
+{
+    auto v = parsed("{\"x\":1,\"y\":[true]}");
+    ASSERT_TRUE(v.isObject());
+    ASSERT_NE(v.get("x"), nullptr);
+    EXPECT_EQ(v.get("x")->asNumber(), 1.0);
+    EXPECT_EQ(v.get("missing"), nullptr);
+    ASSERT_TRUE(v.get("y")->isArray());
+    EXPECT_TRUE(v.get("y")->asArray()[0].asBool());
+}
+
+} // namespace
+} // namespace snoop

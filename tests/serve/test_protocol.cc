@@ -1,0 +1,198 @@
+/**
+ * Tests for the snoop_serve wire protocol: request parsing and
+ * validation (ops, protocols, presets, workload overrides, budgets,
+ * the NaN-proof saturation target), the batch envelope, id recovery
+ * from malformed lines, and the response envelopes.
+ */
+
+#include <gtest/gtest.h>
+
+#include "serve/protocol.hh"
+
+namespace snoop {
+namespace {
+
+Expected<Request>
+parse(const std::string &text)
+{
+    auto doc = parseJson(text);
+    EXPECT_TRUE(bool(doc)) << text;
+    if (!doc)
+        return std::move(doc).error();
+    return parseRequest(doc.value());
+}
+
+TEST(ServeProtocol, ParsesMinimalAnalyze)
+{
+    auto r = parse("{\"id\":7,\"op\":\"analyze\","
+                   "\"protocol\":\"Illinois\",\"n\":8}");
+    ASSERT_TRUE(bool(r));
+    EXPECT_EQ(r.value().id, 7);
+    EXPECT_EQ(r.value().op, RequestOp::Analyze);
+    EXPECT_EQ(r.value().n, 8u);
+    EXPECT_FALSE(r.value().noCache);
+    EXPECT_FALSE(r.value().noWarmStart);
+}
+
+TEST(ServeProtocol, PresetAndOverridesApply)
+{
+    auto r = parse("{\"op\":\"analyze\",\"protocol\":\"Illinois\","
+                   "\"preset\":\"appendixA5\","
+                   "\"workload\":{\"hSw\":0.61},\"n\":4}");
+    ASSERT_TRUE(bool(r));
+    EXPECT_EQ(r.value().workload.hSw, 0.61);
+}
+
+TEST(ServeProtocol, RejectsUnknownOpPresetFieldAndProtocol)
+{
+    auto r = parse("{\"op\":\"frobnicate\"}");
+    ASSERT_FALSE(bool(r));
+    EXPECT_NE(r.error().message.find("frobnicate"), std::string::npos);
+
+    r = parse("{\"op\":\"analyze\",\"protocol\":\"Illinois\","
+              "\"preset\":\"bogus\",\"n\":4}");
+    ASSERT_FALSE(bool(r));
+    EXPECT_NE(r.error().message.find("bogus"), std::string::npos);
+
+    r = parse("{\"op\":\"analyze\",\"protocol\":\"Illinois\","
+              "\"workload\":{\"noSuchKnob\":1},\"n\":4}");
+    ASSERT_FALSE(bool(r));
+    EXPECT_NE(r.error().message.find("noSuchKnob"), std::string::npos);
+
+    r = parse("{\"op\":\"analyze\",\"protocol\":\"NotAProtocol\","
+              "\"n\":4}");
+    ASSERT_FALSE(bool(r));
+    EXPECT_EQ(r.error().code, SolveErrorCode::UnknownProtocol);
+}
+
+TEST(ServeProtocol, RequiresNForAnalyzeAndRank)
+{
+    EXPECT_FALSE(bool(
+        parse("{\"op\":\"analyze\",\"protocol\":\"Illinois\"}")));
+    EXPECT_FALSE(bool(parse("{\"op\":\"rank\"}")));
+    EXPECT_TRUE(bool(parse("{\"op\":\"rank\",\"n\":8}")));
+}
+
+TEST(ServeProtocol, ValidatesNRange)
+{
+    EXPECT_FALSE(bool(parse(
+        "{\"op\":\"analyze\",\"protocol\":\"Illinois\",\"n\":0}")));
+    EXPECT_FALSE(bool(parse(
+        "{\"op\":\"analyze\",\"protocol\":\"Illinois\",\"n\":2.5}")));
+    EXPECT_FALSE(bool(parse("{\"op\":\"analyze\","
+                            "\"protocol\":\"Illinois\","
+                            "\"n\":99999999}")));
+}
+
+TEST(ServeProtocol, SweepNeedsNonEmptyIntegerNs)
+{
+    EXPECT_FALSE(bool(
+        parse("{\"op\":\"sweep\",\"protocol\":\"Illinois\"}")));
+    EXPECT_FALSE(bool(parse("{\"op\":\"sweep\","
+                            "\"protocol\":\"Illinois\",\"ns\":[]}")));
+    EXPECT_FALSE(bool(parse(
+        "{\"op\":\"sweep\",\"protocol\":\"Illinois\",\"ns\":[1,0]}")));
+    auto r = parse(
+        "{\"op\":\"sweep\",\"protocol\":\"Illinois\",\"ns\":[1,4,16]}");
+    ASSERT_TRUE(bool(r));
+    EXPECT_EQ(r.value().ns, (std::vector<unsigned>{1, 4, 16}));
+}
+
+TEST(ServeProtocol, SaturationTargetIsNaNProof)
+{
+    // The wire cannot carry a NaN literal, but the boundary values
+    // exercise the same !(target > 0 && target <= 1) form that
+    // rejects it (Analyzer::trySaturationPoint).
+    EXPECT_FALSE(bool(parse("{\"op\":\"saturation\","
+                            "\"protocol\":\"Illinois\","
+                            "\"target\":0}")));
+    EXPECT_FALSE(bool(parse("{\"op\":\"saturation\","
+                            "\"protocol\":\"Illinois\","
+                            "\"target\":1.5}")));
+    EXPECT_FALSE(bool(parse("{\"op\":\"saturation\","
+                            "\"protocol\":\"Illinois\","
+                            "\"target\":-1}")));
+    auto r = parse("{\"op\":\"saturation\",\"protocol\":\"Illinois\","
+                   "\"target\":0.9,\"limit\":128}");
+    ASSERT_TRUE(bool(r));
+    EXPECT_EQ(r.value().target, 0.9);
+    EXPECT_EQ(r.value().limit, 128u);
+}
+
+TEST(ServeProtocol, BudgetsAndCacheFlagsParse)
+{
+    auto r = parse("{\"op\":\"analyze\",\"protocol\":\"Illinois\","
+                   "\"n\":4,\"timeBudget\":0.5,"
+                   "\"iterationBudget\":100,\"noCache\":true,"
+                   "\"noWarmStart\":true}");
+    ASSERT_TRUE(bool(r));
+    EXPECT_EQ(r.value().timeBudget, 0.5);
+    EXPECT_EQ(r.value().iterationBudget, 100);
+    EXPECT_TRUE(r.value().noCache);
+    EXPECT_TRUE(r.value().noWarmStart);
+
+    EXPECT_FALSE(bool(parse("{\"op\":\"analyze\","
+                            "\"protocol\":\"Illinois\",\"n\":4,"
+                            "\"timeBudget\":-1}")));
+    EXPECT_FALSE(bool(parse("{\"op\":\"analyze\","
+                            "\"protocol\":\"Illinois\",\"n\":4,"
+                            "\"iterationBudget\":2.5}")));
+}
+
+TEST(ServeProtocol, StatsAndShutdownNeedNothingElse)
+{
+    EXPECT_TRUE(bool(parse("{\"op\":\"stats\"}")));
+    EXPECT_TRUE(bool(parse("{\"op\":\"shutdown\"}")));
+}
+
+TEST(ServeProtocol, BatchEnvelopeFlattensInWireOrder)
+{
+    auto rs = parseRequestLine(
+        "{\"op\":\"batch\",\"requests\":["
+        "{\"id\":1,\"op\":\"analyze\",\"protocol\":\"Illinois\","
+        "\"n\":4},"
+        "{\"id\":2,\"op\":\"stats\"}]}");
+    ASSERT_TRUE(bool(rs));
+    ASSERT_EQ(rs.value().size(), 2u);
+    EXPECT_EQ(rs.value()[0].id, 1);
+    EXPECT_EQ(rs.value()[1].op, RequestOp::Stats);
+}
+
+TEST(ServeProtocol, BatchRejectsShutdownAndEmptyLists)
+{
+    EXPECT_FALSE(bool(parseRequestLine(
+        "{\"op\":\"batch\",\"requests\":[]}")));
+    auto rs = parseRequestLine(
+        "{\"op\":\"batch\",\"requests\":[{\"op\":\"shutdown\"}]}");
+    ASSERT_FALSE(bool(rs));
+    EXPECT_NE(rs.error().message.find("shutdown"), std::string::npos);
+}
+
+TEST(ServeProtocol, RecoverRequestIdBestEffort)
+{
+    EXPECT_EQ(recoverRequestId("{\"id\":42,\"op\":\"bogus\"}"), 42);
+    EXPECT_EQ(recoverRequestId("{nope"), 0);
+    EXPECT_EQ(recoverRequestId("{\"op\":\"analyze\"}"), 0);
+}
+
+TEST(ServeProtocol, ResponseEnvelopes)
+{
+    auto err = makeError(SolveErrorCode::InvalidArgument, "here",
+                         "went wrong");
+    std::string line =
+        serializeJson(errorResponse(3, err.withContext("ctx")));
+    EXPECT_NE(line.find("\"id\":3"), std::string::npos);
+    EXPECT_NE(line.find("\"ok\":false"), std::string::npos);
+    EXPECT_NE(line.find("\"code\":\"invalid-argument\""),
+              std::string::npos);
+    EXPECT_NE(line.find("\"context\":[\"ctx\"]"), std::string::npos);
+
+    std::string ok = serializeJson(
+        okResponse(4, RequestOp::Analyze, JsonValue(1.5)));
+    EXPECT_EQ(ok,
+              "{\"id\":4,\"ok\":true,\"op\":\"analyze\","
+              "\"result\":1.5}");
+}
+
+} // namespace
+} // namespace snoop

@@ -110,6 +110,36 @@ TEST(CliDeath, NonNumericIntIsFatal)
                 "not an integer");
 }
 
+TEST(CliDeath, IntOverflowIsFatal)
+{
+    auto cli = makeParser();
+    // Parses as a long but does not fit an int: silently truncating
+    // here is how a 64-bit budget turns into a negative capacity.
+    Argv a({"prog", "--n=4294967296"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_EXIT(cli.getInt("n"), testing::ExitedWithCode(1),
+                "overflows the int range");
+}
+
+TEST(Cli, GetLongCoversTheFullRange)
+{
+    auto cli = makeParser();
+    Argv a({"prog", "--n=4294967296"});
+    cli.parse(a.argc(), a.argv());
+    EXPECT_EQ(cli.getLong("n"), 4294967296L);
+}
+
+TEST(CliDeath, NonFiniteDoubleIsFatal)
+{
+    for (const char *bad : {"--tau=nan", "--tau=inf"}) {
+        auto cli = makeParser();
+        Argv a({"prog", bad});
+        cli.parse(a.argc(), a.argv());
+        EXPECT_EXIT(cli.getDouble("tau"), testing::ExitedWithCode(1),
+                    "not finite");
+    }
+}
+
 TEST(CliDeath, HelpExitsZero)
 {
     auto cli = makeParser();

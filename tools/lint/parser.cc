@@ -318,6 +318,18 @@ class Parser
                     }
                     return parseFunction(i, j);
                 }
+                if (t.text == "=" &&
+                    ((j + 1 < toks_.size() &&
+                      isPunct(toks_[j + 1], "=")) ||
+                     (j > i && (isPunct(toks_[j - 1], "=") ||
+                                isPunct(toks_[j - 1], "!") ||
+                                isPunct(toks_[j - 1], "<") ||
+                                isPunct(toks_[j - 1], ">"))))) {
+                    // The lexer emits single-char puncts, so the '=='
+                    // in an out-of-line `bool T::operator==(...)`
+                    // definition must not read as an initializer.
+                    continue;
+                }
                 if (t.text == "=" || t.text == ";")
                     return parseVariable(i, j);
                 if (t.text == "{") {
