@@ -1,8 +1,10 @@
 #include "core/sweep.hh"
 
+#include <algorithm>
 #include <map>
 #include <utility>
 
+#include "core/checkpoint.hh"
 #include "observe/metrics.hh"
 #include "observe/trace.hh"
 #include "util/contracts.hh"
@@ -61,6 +63,17 @@ sweepableParams()
     return names;
 }
 
+std::pair<size_t, size_t>
+ShardSpec::cellRange(size_t cells) const
+{
+    if (isWhole())
+        return {0, cells};
+    // cells * index never overflows in practice (grids are small), and
+    // the floor division makes the slices contiguous, exhaustive, and
+    // disjoint: shard i's end is exactly shard i+1's begin.
+    return {cells * index / count, cells * (index + 1) / count};
+}
+
 Expected<void>
 SweepSpec::validate() const
 {
@@ -81,6 +94,17 @@ SweepSpec::validate() const
         return makeError(SolveErrorCode::InvalidArgument, "SweepSpec",
                          "field 'n': need at least one processor");
     }
+    if (shard.count == 0 || shard.index >= shard.count) {
+        return makeError(SolveErrorCode::InvalidArgument, "SweepSpec",
+                         "field 'shard': index %zu of count %zu is not "
+                         "a valid shard descriptor",
+                         shard.index, shard.count);
+    }
+    if (checkpointEvery == 0) {
+        return makeError(SolveErrorCode::InvalidArgument, "SweepSpec",
+                         "field 'checkpointEvery': need at least one "
+                         "cell per checkpoint interval");
+    }
     return {};
 }
 
@@ -100,6 +124,32 @@ SweepResult::cellFailed(size_t v, size_t p) const
 {
     return v < errors.size() && p < errors[v].size() &&
            errors[v][p].has_value();
+}
+
+bool
+SweepResult::cellEvaluated(size_t v, size_t p) const
+{
+    if (evaluated.empty())
+        return true; // hand-built results carry no mask
+    return v < evaluated.size() && p < evaluated[v].size() &&
+           evaluated[v][p] != 0;
+}
+
+size_t
+SweepResult::evaluatedCount() const
+{
+    if (evaluated.empty()) {
+        size_t cells = 0;
+        for (const auto &row : results)
+            cells += row.size();
+        return cells;
+    }
+    size_t count = 0;
+    for (const auto &row : evaluated)
+        count += static_cast<size_t>(
+            std::count_if(row.begin(), row.end(),
+                          [](char c) { return c != 0; }));
+    return count;
 }
 
 size_t
@@ -144,9 +194,12 @@ SweepResult::table() const
         std::vector<std::string> row = {
             formatCompact(spec.values[v], 4)};
         for (size_t p = 0; p < spec.protocols.size(); ++p) {
-            row.push_back(cellFailed(v, p)
-                              ? "—"
-                              : formatDouble(results[v][p].speedup, 3));
+            if (!cellEvaluated(v, p))
+                row.push_back("·"); // another shard owns this cell
+            else if (cellFailed(v, p))
+                row.push_back("—");
+            else
+                row.push_back(formatDouble(results[v][p].speedup, 3));
         }
         t.addRow(row);
     }
@@ -174,7 +227,9 @@ SweepResult::csv() const
         fields = {CsvWriter::escape(formatCompact(spec.values[v], 4))};
         std::vector<std::string> cell_errors;
         for (size_t p = 0; p < spec.protocols.size(); ++p) {
-            if (cellFailed(v, p)) {
+            if (!cellEvaluated(v, p)) {
+                fields.push_back(""); // another shard owns this cell
+            } else if (cellFailed(v, p)) {
                 fields.push_back("nan");
                 cell_errors.push_back(
                     protocolHeader(spec.protocols[p]) + ": " +
@@ -190,22 +245,62 @@ SweepResult::csv() const
     return out;
 }
 
-std::vector<size_t>
-SweepResult::winners() const
+std::string
+SweepResult::cellCsv() const
+{
+    // One line per evaluated cell, walked in global cell order - the
+    // concatenation guarantee rides on this loop being a function of
+    // the grid alone, never of scheduling or shard boundaries.
+    const size_t protocols = spec.protocols.size();
+    std::string out;
+    for (size_t cell = 0; cell < spec.values.size() * protocols;
+         ++cell) {
+        size_t v = cell / protocols, p = cell % protocols;
+        if (!cellEvaluated(v, p))
+            continue;
+        std::vector<std::string> fields = {
+            strprintf("%zu", cell),
+            CsvWriter::escape(formatCompact(spec.values[v], 4)),
+            CsvWriter::escape(protocolHeader(spec.protocols[p]))};
+        if (cellFailed(v, p)) {
+            fields.push_back("nan");
+            fields.push_back(
+                CsvWriter::escape(errors[v][p]->describe()));
+        } else {
+            fields.push_back(formatDouble(results[v][p].speedup, 3));
+            fields.push_back("");
+        }
+        out += join(fields, ",") + "\n";
+    }
+    return out;
+}
+
+Expected<std::vector<size_t>>
+SweepResult::tryWinners() const
 {
     std::vector<size_t> out;
     out.reserve(results.size());
     for (size_t v = 0; v < results.size(); ++v) {
         const auto &row = results[v];
-        SNOOP_REQUIRE(!row.empty(),
-                      "SweepResult::winners: row %zu has no protocol "
-                      "results", v);
+        if (row.empty()) {
+            return makeError(SolveErrorCode::InvalidArgument,
+                             "SweepResult::winners",
+                             "row %zu has no protocol results", v);
+        }
         // Ties resolve to the lowest protocol index (the column order
         // of SweepSpec::protocols), so winners() is deterministic.
         // Error cells never win; a row of only error cells yields
         // kNoWinner.
         size_t best = kNoWinner;
         for (size_t p = 0; p < row.size(); ++p) {
+            if (!cellEvaluated(v, p)) {
+                return makeError(
+                    SolveErrorCode::InvalidArgument,
+                    "SweepResult::winners",
+                    "cell (%zu, %zu) was never evaluated - winners() "
+                    "needs the whole grid, not one shard's slice "
+                    "(merge the shards first)", v, p);
+            }
             if (cellFailed(v, p))
                 continue;
             if (best == kNoWinner || row[p].speedup > row[best].speedup)
@@ -216,10 +311,17 @@ SweepResult::winners() const
     return out;
 }
 
-SweepResult
-runSweep(const SweepSpec &spec, const Analyzer &analyzer)
+std::vector<size_t>
+SweepResult::winners() const
 {
-    spec.validate().orThrow();
+    return tryWinners().orThrow();
+}
+
+Expected<SweepResult>
+tryRunSweep(const SweepSpec &spec, const Analyzer &analyzer)
+{
+    if (auto valid = spec.validate(); !valid)
+        return valid.error();
     SweepResult res;
     res.spec = spec;
     // Pre-sized result grid: each (value, protocol) cell is written by
@@ -227,59 +329,146 @@ runSweep(const SweepSpec &spec, const Analyzer &analyzer)
     // path regardless of thread count (the determinism contract of
     // util/parallel.hh).
     const size_t num_protocols = spec.protocols.size();
+    const size_t grid_cells = spec.values.size() * num_protocols;
     res.results.assign(spec.values.size(),
                        std::vector<MvaResult>(num_protocols));
     res.errors.assign(
         spec.values.size(),
         std::vector<std::optional<SolveError>>(num_protocols));
+    res.evaluated.assign(spec.values.size(),
+                         std::vector<char>(num_protocols, 0));
+
+    const bool checkpointing = !spec.checkpointPath.empty();
+    if (checkpointing && checkpointExists(spec.checkpointPath)) {
+        auto data = readSweepCheckpoint(spec.checkpointPath);
+        if (!data) {
+            return std::move(data).error().withContext(
+                "resuming sweep from its checkpoint");
+        }
+        if (auto applied = applyCheckpoint(data.value(), spec, res);
+            !applied) {
+            SolveError err = applied.error();
+            err.withContext(strprintf("resuming sweep from '%s'",
+                                      spec.checkpointPath.c_str()));
+            return err;
+        }
+        inform("runSweep: resumed %zu completed cells from '%s'",
+               res.evaluatedCount(), spec.checkpointPath.c_str());
+        metricAdd("sweep.resumed_cells",
+                  static_cast<double>(res.evaluatedCount()));
+    }
+
+    // The work list: this shard's slice of the grid, minus whatever
+    // the checkpoint already settled. Cell order (and so batch
+    // boundaries) is a pure function of the grid and the resume
+    // point - never of scheduling.
+    auto [begin, end] = spec.shard.cellRange(grid_cells);
+    std::vector<size_t> pending;
+    pending.reserve(end - begin);
+    for (size_t cell = begin; cell < end; ++cell) {
+        if (!res.evaluated[cell / num_protocols][cell % num_protocols])
+            pending.push_back(cell);
+    }
+
     ScopedMetricTimer sweep_timer("sweep.run_us");
-    TraceSpan sweep_span(TraceLevel::Phase, "sweep.run",
-                         spec.values.size() * num_protocols);
-    parallelFor(spec.values.size() * num_protocols, [&](size_t idx) {
-        size_t v = idx / num_protocols;
-        size_t p = idx % num_protocols;
-        // The cell index is the same schedule-independent key the
-        // fault layer uses, so the trace groups by work item and the
-        // event set is bit-identical at any SNOOP_JOBS.
-        TraceTaskScope task(idx + 1);
-        TraceSpan cell_span(TraceLevel::Phase, "sweep.cell", idx);
-        metricAdd("sweep.cells");
-        // Everything is caught *inside* the cell: an exception
-        // escaping into parallelFor would cancel the remaining cells,
-        // which is exactly the blast radius fault isolation exists to
-        // prevent.
-        try {
-            if (faultFires("sweep.cell", idx))
-                throw SolveException(injectedFault("sweep.cell", idx));
-            WorkloadParams wl = spec.base;
-            spec.set(wl, spec.values[v]);
-            auto r = analyzer.tryAnalyze(spec.protocols[p], wl, spec.n);
-            if (r)
-                res.results[v][p] = std::move(r).value();
-            else
-                res.errors[v][p] = std::move(r).error();
-        } catch (const SolveException &e) {
-            res.errors[v][p] = e.error();
-        } catch (const std::exception &e) {
-            res.errors[v][p] = makeError(
-                SolveErrorCode::Internal, "runSweep",
-                "unexpected exception in cell (%zu, %zu): %s", v, p,
-                e.what());
+    TraceSpan sweep_span(TraceLevel::Phase, "sweep.run", grid_cells);
+    const size_t batch_size =
+        checkpointing ? spec.checkpointEvery : pending.size();
+    size_t checkpoint_ordinal = 0;
+    for (size_t start = 0; start < pending.size();
+         start += batch_size) {
+        const size_t batch =
+            std::min(batch_size, pending.size() - start);
+        parallelFor(batch, [&](size_t i) {
+            const size_t idx = pending[start + i];
+            size_t v = idx / num_protocols;
+            size_t p = idx % num_protocols;
+            // The cell index is the same schedule-independent key the
+            // fault layer uses, so the trace groups by work item and
+            // the event set is bit-identical at any SNOOP_JOBS.
+            TraceTaskScope task(idx + 1);
+            TraceSpan cell_span(TraceLevel::Phase, "sweep.cell", idx);
+            metricAdd("sweep.cells");
+            // Everything is caught *inside* the cell: an exception
+            // escaping into parallelFor would cancel the remaining
+            // cells, which is exactly the blast radius fault
+            // isolation exists to prevent.
+            try {
+                if (faultFires("sweep.cell", idx))
+                    throw SolveException(
+                        injectedFault("sweep.cell", idx));
+                WorkloadParams wl = spec.base;
+                spec.set(wl, spec.values[v]);
+                auto r =
+                    analyzer.tryAnalyze(spec.protocols[p], wl, spec.n);
+                if (r)
+                    res.results[v][p] = std::move(r).value();
+                else
+                    res.errors[v][p] = std::move(r).error();
+            } catch (const SolveException &e) {
+                res.errors[v][p] = e.error();
+            } catch (const std::exception &e) {
+                res.errors[v][p] = makeError(
+                    SolveErrorCode::Internal, "runSweep",
+                    "unexpected exception in cell (%zu, %zu): %s", v,
+                    p, e.what());
+            }
+            if (res.errors[v][p])
+                metricAdd("sweep.errors");
+            if (cell_span.active()) {
+                cell_span.setArgs(
+                    strprintf("\"v\":%zu,\"p\":%zu,\"ok\":%s", v, p,
+                              res.errors[v][p] ? "false" : "true"));
+            }
+        });
+        // Mark the batch evaluated *after* the barrier, serially:
+        // vector<char> rows are written cell-wise by workers only for
+        // results/errors; the mask itself never sees concurrent
+        // writes.
+        for (size_t i = 0; i < batch; ++i) {
+            const size_t idx = pending[start + i];
+            res.evaluated[idx / num_protocols][idx % num_protocols] =
+                1;
         }
-        if (res.errors[v][p])
-            metricAdd("sweep.errors");
-        if (cell_span.active()) {
-            cell_span.setArgs(
-                strprintf("\"v\":%zu,\"p\":%zu,\"ok\":%s", v, p,
-                          res.errors[v][p] ? "false" : "true"));
+        if (checkpointing) {
+            ++checkpoint_ordinal;
+            if (auto written = writeSweepCheckpoint(
+                    spec.checkpointPath, spec, res);
+                !written) {
+                SolveError err = written.error();
+                err.withContext(
+                    "checkpointing sweep progress (completed work up "
+                    "to the previous commit survives)");
+                return err;
+            }
+            metricAdd("sweep.checkpoints");
+            // The chaos harness's crash point: the commit above
+            // SUCCEEDED, so aborting here is exactly "the process
+            // died between checkpoints" - the strongest point to
+            // prove resume from (docs/SHARDING.md).
+            if (faultFires("sweep.checkpoint", checkpoint_ordinal)) {
+                return injectedFault("sweep.checkpoint",
+                                     checkpoint_ordinal)
+                    .withContext(strprintf(
+                        "sweep aborted after checkpoint %zu of '%s' "
+                        "(chaos harness crash point; resume to "
+                        "continue)",
+                        checkpoint_ordinal,
+                        spec.checkpointPath.c_str()));
+            }
         }
-    });
+    }
     if (size_t failed = res.failureCount(); failed > 0) {
         warn("runSweep: %zu of %zu cells failed:\n%s", failed,
-             spec.values.size() * num_protocols,
-             res.failureSummary().c_str());
+             res.evaluatedCount(), res.failureSummary().c_str());
     }
     return res;
+}
+
+SweepResult
+runSweep(const SweepSpec &spec, const Analyzer &analyzer)
+{
+    return tryRunSweep(spec, analyzer).orThrow();
 }
 
 } // namespace snoop

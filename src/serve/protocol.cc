@@ -316,17 +316,9 @@ recoverRequestId(const std::string &line)
 JsonValue
 errorJson(const SolveError &error)
 {
-    JsonValue::Object obj;
-    obj["code"] = JsonValue(to_string(error.code));
-    obj["site"] = JsonValue(error.site);
-    obj["message"] = JsonValue(error.message);
-    if (!error.context.empty()) {
-        JsonValue::Array frames;
-        for (const std::string &frame : error.context)
-            frames.push_back(JsonValue(frame));
-        obj["context"] = JsonValue(std::move(frames));
-    }
-    return JsonValue(std::move(obj));
+    // The wire shape is the shared SolveError codec (util/json.hh),
+    // which the sweep checkpoint format also round-trips through.
+    return solveErrorToJson(error);
 }
 
 JsonValue

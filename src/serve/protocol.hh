@@ -20,7 +20,7 @@
 #include <vector>
 
 #include "protocol/config.hh"
-#include "serve/json.hh"
+#include "util/json.hh"
 #include "util/expected.hh"
 #include "workload/params.hh"
 

@@ -22,7 +22,7 @@
 #include "core/analyzer.hh"
 #include "mva/solver.hh"
 #include "serve/cache.hh"
-#include "serve/json.hh"
+#include "util/json.hh"
 #include "serve/protocol.hh"
 #include "workload/derived.hh"
 

@@ -1,8 +1,11 @@
 #include "util/atomic_file.hh"
 
 #include <atomic>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
+#include <fcntl.h>
 #include <unistd.h>
 
 #include "util/fault.hh"
@@ -15,6 +18,45 @@ namespace {
 // Distinguishes temporaries when one process stages several files
 // with the same destination (e.g. a test overwriting its own output).
 std::atomic<uint64_t> g_tmp_seq{0};
+
+/**
+ * fsync @p path (a file or a directory), reporting failure - and the
+ * armed io.fsync fault site - as an IoError naming the path. EINVAL
+ * from fsync is tolerated: some filesystems (and directory fds on a
+ * few of them) do not support fsync, and "not supported here" must
+ * not fail every commit on such a mount.
+ */
+Expected<void>
+syncPath(const char *path, bool directory)
+{
+    int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_WRONLY;
+    int fd = ::open(path, flags | O_CLOEXEC);
+    if (fd < 0) {
+        return makeError(SolveErrorCode::IoError, "AtomicFile::commit",
+                         "cannot reopen '%s' to fsync: %s", path,
+                         std::strerror(errno));
+    }
+    int rc = ::fsync(fd);
+    int saved_errno = errno;
+    (void)::close(fd);
+    if ((rc != 0 && saved_errno != EINVAL) || faultArmed("io.fsync")) {
+        return makeError(SolveErrorCode::IoError, "AtomicFile::commit",
+                         "fsync '%s' failed: %s", path,
+                         rc != 0 ? std::strerror(saved_errno)
+                                 : "injected fault (io.fsync)");
+    }
+    return {};
+}
+
+/** The directory component of @p path ("." when there is none). */
+std::string
+parentDir(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    if (slash == std::string::npos)
+        return ".";
+    return slash == 0 ? "/" : path.substr(0, slash);
+}
 
 } // namespace
 
@@ -51,6 +93,17 @@ AtomicFile::commit()
                          "failed to write '%s' (temporary discarded, "
                          "destination untouched)", path_.c_str());
     }
+    // Durability, step 1: the temporary's data must be on stable
+    // storage before the rename makes it the destination - otherwise
+    // a power cut can leave a fully-renamed file with torn contents.
+    if (auto synced = syncPath(tmp_path_.c_str(), false); !synced) {
+        discard();
+        SolveError err = synced.error();
+        err.withContext(
+            strprintf("committing '%s' (temporary discarded, "
+                      "destination untouched)", path_.c_str()));
+        return err;
+    }
     if (std::rename(tmp_path_.c_str(), path_.c_str()) != 0) {
         discard();
         return makeError(SolveErrorCode::IoError, "AtomicFile::commit",
@@ -58,6 +111,19 @@ AtomicFile::commit()
                          tmp_path_.c_str(), path_.c_str());
     }
     committed_ = true;
+    // Durability, step 2: the rename itself lives in the parent
+    // directory; fsync it so the new entry survives power loss. The
+    // destination already holds the new contents at this point, so a
+    // failure here reports "visible but not yet durable" rather than
+    // discarding anything.
+    if (auto synced = syncPath(parentDir(path_).c_str(), true);
+        !synced) {
+        SolveError err = synced.error();
+        err.withContext(
+            strprintf("'%s' renamed into place but its directory "
+                      "entry may not be durable", path_.c_str()));
+        return err;
+    }
     return {};
 }
 

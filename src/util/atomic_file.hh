@@ -12,8 +12,21 @@
  * destination is always either the previous complete file or the new
  * complete file - never a torn mix.
  *
- * The fault site `io.commit` (util/fault.hh) forces commit() to fail,
- * which is how tests prove the destination survives a failed write.
+ * Durability contract (what a successful commit() guarantees): the
+ * temporary's *data* is fsync'd to stable storage before the rename,
+ * and the parent directory is fsync'd after it, so the committed file
+ * survives power loss - not just process death. (rename alone is
+ * atomic against crashes of this process, but the kernel may hold
+ * both the file data and the directory entry in volatile caches; a
+ * checkpoint that a resume depends on needs the full sequence.) Any
+ * fsync failure is surfaced as an IoError - never silent success -
+ * with the caveat that a failed *directory* fsync leaves the renamed
+ * file visible but possibly not yet durable.
+ *
+ * The fault sites `io.commit` and `io.fsync` (util/fault.hh) force
+ * commit() to fail before and after the flush-to-disk step
+ * respectively, which is how tests prove the destination survives a
+ * failed write and that fsync failures are reported.
  */
 
 #include <fstream>
@@ -50,10 +63,14 @@ class AtomicFile
     const std::string &path() const { return path_; }
 
     /**
-     * Flush, close, and rename the temporary over the destination.
-     * Idempotent: a second call after success is a no-op. On failure
-     * the temporary is removed and an IoError is returned; the
-     * destination keeps its previous contents.
+     * Flush, close, fsync, and rename the temporary over the
+     * destination, then fsync the parent directory (the durability
+     * contract in the file comment). Idempotent: a second call after
+     * success is a no-op. On failure before the rename the temporary
+     * is removed, an IoError is returned, and the destination keeps
+     * its previous contents; an IoError from the post-rename
+     * directory fsync means the new file is visible but its
+     * durability is not yet guaranteed.
      */
     Expected<void> commit();
 

@@ -34,10 +34,14 @@
  *  | mva.nonconverge           | MVA attempt never converges           |
  *  | mva.first_attempt         | first MVA attempt fails (recovers)    |
  *  | sweep.cell                | keyed: sweep cell throws              |
+ *  | sweep.checkpoint          | keyed by checkpoint ordinal: the      |
+ *  |                           | sweep aborts after that commit (the   |
+ *  |                           | chaos harness's crash point)          |
  *  | sim.replication           | keyed: replication throws             |
  *  | validate.point            | keyed: comparison point throws        |
  *  | serve.request             | keyed by request id: serve cell fails |
  *  | io.commit                 | AtomicFile::commit fails              |
+ *  | io.fsync                  | AtomicFile fsync step fails           |
  *
  * The no-fault fast path is one relaxed atomic load; production runs
  * with SNOOP_FAULT unset pay nothing measurable.

@@ -1,4 +1,4 @@
-#include "serve/json.hh"
+#include "util/json.hh"
 
 #include <cmath>
 #include <cstdio>
@@ -37,8 +37,7 @@ class Parser
     SolveError fail(const char *what) const
     {
         return makeError(SolveErrorCode::InvalidArgument,
-                         "serve::parseJson", "%s at byte %zu", what,
-                         pos_);
+                         "parseJson", "%s at byte %zu", what, pos_);
     }
 
     void skipWs()
@@ -409,6 +408,82 @@ serializeJson(const JsonValue &value)
     std::string out;
     serializeValue(value, out);
     return out;
+}
+
+JsonValue
+solveErrorToJson(const SolveError &error)
+{
+    JsonValue::Object obj;
+    obj["code"] = JsonValue(to_string(error.code));
+    obj["site"] = JsonValue(error.site);
+    obj["message"] = JsonValue(error.message);
+    if (!error.context.empty()) {
+        JsonValue::Array frames;
+        for (const std::string &frame : error.context)
+            frames.push_back(JsonValue(frame));
+        obj["context"] = JsonValue(std::move(frames));
+    }
+    return JsonValue(std::move(obj));
+}
+
+Expected<void>
+solveErrorFromJson(const JsonValue &value, SolveError &out)
+{
+    if (!value.isObject()) {
+        return makeError(SolveErrorCode::InvalidArgument,
+                         "solveErrorFromJson",
+                         "error value is not an object");
+    }
+    const JsonValue *code = value.get("code");
+    const JsonValue *site = value.get("site");
+    const JsonValue *message = value.get("message");
+    if (code == nullptr || !code->isString() || site == nullptr ||
+        !site->isString() || message == nullptr ||
+        !message->isString()) {
+        return makeError(SolveErrorCode::InvalidArgument,
+                         "solveErrorFromJson",
+                         "error object needs string members "
+                         "code/site/message");
+    }
+    SolveError parsed;
+    bool known = false;
+    for (SolveErrorCode c :
+         {SolveErrorCode::InvalidArgument, SolveErrorCode::UnknownProtocol,
+          SolveErrorCode::NonConvergence, SolveErrorCode::NonFiniteIterate,
+          SolveErrorCode::NumericRange, SolveErrorCode::BudgetExhausted,
+          SolveErrorCode::InjectedFault, SolveErrorCode::IoError,
+          SolveErrorCode::Internal}) {
+        if (code->asString() == to_string(c)) {
+            parsed.code = c;
+            known = true;
+            break;
+        }
+    }
+    if (!known) {
+        return makeError(SolveErrorCode::InvalidArgument,
+                         "solveErrorFromJson",
+                         "unknown error code '%s'",
+                         code->asString().c_str());
+    }
+    parsed.site = site->asString();
+    parsed.message = message->asString();
+    if (const JsonValue *context = value.get("context")) {
+        if (!context->isArray()) {
+            return makeError(SolveErrorCode::InvalidArgument,
+                             "solveErrorFromJson",
+                             "member 'context' is not an array");
+        }
+        for (const JsonValue &frame : context->asArray()) {
+            if (!frame.isString()) {
+                return makeError(SolveErrorCode::InvalidArgument,
+                                 "solveErrorFromJson",
+                                 "non-string frame in 'context'");
+            }
+            parsed.context.push_back(frame.asString());
+        }
+    }
+    out = std::move(parsed);
+    return {};
 }
 
 } // namespace snoop

@@ -2,14 +2,18 @@
 
 /**
  * @file
- * A minimal JSON value model, parser, and serializer for the serving
- * layer's line-delimited request/response protocol (docs/SERVING.md).
+ * A minimal JSON value model, parser, and serializer, shared by the
+ * serving layer's line-delimited request/response protocol
+ * (docs/SERVING.md) and the sweep checkpoint format
+ * (docs/SHARDING.md). It lives in util so that both serve and core
+ * can consume it without bending the module layering.
  *
  * Deliberately small: objects are std::map (so serialization order is
  * deterministic regardless of input order), numbers are doubles, and
  * parse failures come back as structured InvalidArgument errors
  * instead of exceptions - a malformed request line must become an
- * error *response*, never a dead daemon.
+ * error *response* (and a corrupt checkpoint a structured rejection),
+ * never a dead process.
  */
 
 #include <map>
@@ -139,5 +143,22 @@ Expected<JsonValue> parseJson(const std::string &text);
  * response-determinism contract rides on.
  */
 std::string serializeJson(const JsonValue &value);
+
+/**
+ * A SolveError as a JSON object: {"code","site","message"} plus
+ * "context" when any frames are attached. The serve wire protocol and
+ * the sweep checkpoint format share this shape, so an error cell
+ * round-trips bit-identically through either.
+ */
+JsonValue solveErrorToJson(const SolveError &error);
+
+/**
+ * Inverse of solveErrorToJson, writing through @p out (an
+ * Expected<SolveError> cannot distinguish its value from its error).
+ * Unknown code names, missing members, and wrong member kinds come
+ * back as InvalidArgument and leave @p out untouched.
+ */
+Expected<void> solveErrorFromJson(const JsonValue &value,
+                                  SolveError &out);
 
 } // namespace snoop

@@ -209,6 +209,34 @@ TEST_F(FaultInjection, IoCommitFaultLeavesDestinationUntouched)
     std::remove(path.c_str());
 }
 
+TEST_F(FaultInjection, IoFsyncFaultIsAnErrorNotSilentSuccess)
+{
+    // The durability contract of util/atomic_file.hh: an fsync that
+    // cannot reach stable storage must surface as IoError. The fault
+    // fires on the pre-rename file sync, so the previous destination
+    // contents also survive.
+    std::string path = testing::TempDir() + "snoop_fault_fsync.csv";
+    std::remove(path.c_str());
+    {
+        CsvWriter w(path);
+        w.header({"n", "speedup"});
+        w.row({"4", "3.17"});
+        EXPECT_TRUE(w.close().ok());
+    }
+    std::string committed = slurp(path);
+
+    ASSERT_TRUE(setFaultSpecs("io.fsync").ok());
+    CsvWriter w(path);
+    w.header({"n", "speedup"});
+    w.row({"8", "9.99"});
+    auto r = w.close();
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::IoError);
+    EXPECT_NE(r.error().message.find("fsync"), std::string::npos);
+    EXPECT_EQ(slurp(path), committed);
+    std::remove(path.c_str());
+}
+
 TEST_F(FaultInjection, MvaLadderRecoversFromFirstAttemptFault)
 {
     // Poison only the first MVA attempt: the recovery ladder retries

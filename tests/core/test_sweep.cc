@@ -113,15 +113,39 @@ TEST(Sweep, WinnersTieBreaksToLowestIndex)
     EXPECT_EQ(winners[0], 0u);
 }
 
-TEST(SweepDeath, WinnersRejectsEmptyRow)
+TEST(Sweep, WinnersRejectsEmptyRowAsStructuredError)
 {
-    // This binary spawns pool workers; fork-style death tests from a
-    // multithreaded process can wedge (notably under TSan), so re-exec.
-    testing::FLAGS_gtest_death_test_style = "threadsafe";
+    // A degenerate grid (rows but no protocol columns - e.g. a
+    // mis-merged shard set) must come back as a structured error from
+    // tryWinners(), and as a SolveException (not an abort) from the
+    // throwing wrapper, so the merge tool and serve layer can report
+    // it instead of dying.
     SweepResult res;
     res.results.resize(2); // rows exist but hold no protocol results
-    EXPECT_EXIT(res.winners(), testing::ExitedWithCode(1),
-                "no protocol results");
+    auto winners = res.tryWinners();
+    ASSERT_FALSE(winners.ok());
+    EXPECT_EQ(winners.error().code, SolveErrorCode::InvalidArgument);
+    EXPECT_NE(winners.error().message.find("no protocol results"),
+              std::string::npos);
+    EXPECT_THROW(res.winners(), SolveException);
+}
+
+TEST(Sweep, WinnersRejectsPartialGrids)
+{
+    // One shard's un-merged slice has unevaluated cells; electing
+    // winners from it would silently compare against
+    // default-constructed results.
+    SweepResult res;
+    MvaResult r;
+    r.speedup = 5.0;
+    res.results = {{r, r}};
+    res.errors.assign(1, std::vector<std::optional<SolveError>>(2));
+    res.evaluated = {{1, 0}}; // cell (0, 1) belongs to another shard
+    auto winners = res.tryWinners();
+    ASSERT_FALSE(winners.ok());
+    EXPECT_EQ(winners.error().code, SolveErrorCode::InvalidArgument);
+    EXPECT_NE(winners.error().message.find("never evaluated"),
+              std::string::npos);
 }
 
 TEST(Sweep, SerialAndParallelAreBitIdentical)

@@ -1,15 +1,16 @@
 /**
- * Tests for the serve layer's line-delimited JSON codec: round trips,
+ * Tests for the shared JSON codec (util/json.hh, consumed by both the
+ * serve wire protocol and the sweep checkpoint format): round trips,
  * deterministic serialization (sorted keys, shortest round-trip
  * numbers, integers as integers), structured parse errors with byte
  * offsets, escape handling including surrogate pairs, the depth
- * bound, and the non-finite-number rejection the admission contract
- * relies on.
+ * bound, the non-finite-number rejection the admission contract
+ * relies on, and the SolveError round trip error cells ride on.
  */
 
 #include <gtest/gtest.h>
 
-#include "serve/json.hh"
+#include "util/json.hh"
 
 namespace snoop {
 namespace {
@@ -22,7 +23,7 @@ parsed(const std::string &text)
     return v ? std::move(v).value() : JsonValue();
 }
 
-TEST(ServeJson, RoundTripsScalars)
+TEST(Json, RoundTripsScalars)
 {
     EXPECT_EQ(serializeJson(parsed("null")), "null");
     EXPECT_EQ(serializeJson(parsed("true")), "true");
@@ -32,7 +33,7 @@ TEST(ServeJson, RoundTripsScalars)
     EXPECT_EQ(serializeJson(parsed("\"hi\"")), "\"hi\"");
 }
 
-TEST(ServeJson, IntegersStayIntegers)
+TEST(Json, IntegersStayIntegers)
 {
     // %.1g would print 30 as "3e+01", which round-trips but reads
     // badly in response logs; the serializer special-cases integers.
@@ -41,7 +42,7 @@ TEST(ServeJson, IntegersStayIntegers)
     EXPECT_EQ(serializeJson(JsonValue(-7.0)), "-7");
 }
 
-TEST(ServeJson, NumbersRoundTripShortest)
+TEST(Json, NumbersRoundTripShortest)
 {
     // The shortest form that parses back to the same bits.
     double v = 0.1;
@@ -51,20 +52,20 @@ TEST(ServeJson, NumbersRoundTripShortest)
     EXPECT_EQ(serializeJson(JsonValue(0.1)), "0.1");
 }
 
-TEST(ServeJson, ObjectKeysSerializeSorted)
+TEST(Json, ObjectKeysSerializeSorted)
 {
     auto v = parsed("{\"b\":1,\"a\":2,\"c\":3}");
     EXPECT_EQ(serializeJson(v), "{\"a\":2,\"b\":1,\"c\":3}");
 }
 
-TEST(ServeJson, NestedStructuresRoundTrip)
+TEST(Json, NestedStructuresRoundTrip)
 {
     std::string text =
         "{\"a\":[1,2,{\"b\":null}],\"c\":{\"d\":[true,false]}}";
     EXPECT_EQ(serializeJson(parsed(text)), text);
 }
 
-TEST(ServeJson, StringEscapesRoundTrip)
+TEST(Json, StringEscapesRoundTrip)
 {
     auto v = parsed("\"line\\nquote\\\"tab\\tback\\\\slash\\/\"");
     EXPECT_EQ(v.asString(), "line\nquote\"tab\tback\\slash/");
@@ -73,7 +74,7 @@ TEST(ServeJson, StringEscapesRoundTrip)
     EXPECT_EQ(again.value().asString(), v.asString());
 }
 
-TEST(ServeJson, UnicodeEscapesDecodeToUtf8)
+TEST(Json, UnicodeEscapesDecodeToUtf8)
 {
     EXPECT_EQ(parsed("\"\\u0041\"").asString(), "A");
     EXPECT_EQ(parsed("\"\\u00e9\"").asString(), "\xc3\xa9");
@@ -82,13 +83,13 @@ TEST(ServeJson, UnicodeEscapesDecodeToUtf8)
               "\xf0\x9f\x98\x80");
 }
 
-TEST(ServeJson, UnpairedSurrogateIsRejected)
+TEST(Json, UnpairedSurrogateIsRejected)
 {
     EXPECT_FALSE(bool(parseJson("\"\\ud83d\"")));
     EXPECT_FALSE(bool(parseJson("\"\\ud83dx\"")));
 }
 
-TEST(ServeJson, ControlCharactersEscapeOnOutput)
+TEST(Json, ControlCharactersEscapeOnOutput)
 {
     // Split the literal: "\x01b" would be one hex escape (0x1B).
     JsonValue v(std::string("a\x01"
@@ -96,7 +97,7 @@ TEST(ServeJson, ControlCharactersEscapeOnOutput)
     EXPECT_EQ(serializeJson(v), "\"a\\u0001b\"");
 }
 
-TEST(ServeJson, ParseErrorsCarryByteOffsets)
+TEST(Json, ParseErrorsCarryByteOffsets)
 {
     auto r = parseJson("{\"a\": }");
     ASSERT_FALSE(bool(r));
@@ -104,13 +105,13 @@ TEST(ServeJson, ParseErrorsCarryByteOffsets)
     EXPECT_NE(r.error().message.find("at byte"), std::string::npos);
 }
 
-TEST(ServeJson, TrailingGarbageIsRejected)
+TEST(Json, TrailingGarbageIsRejected)
 {
     EXPECT_FALSE(bool(parseJson("{} trailing")));
     EXPECT_FALSE(bool(parseJson("1 2")));
 }
 
-TEST(ServeJson, NonFiniteNumbersAreRejected)
+TEST(Json, NonFiniteNumbersAreRejected)
 {
     // JSON has no NaN/inf literal; an overflowing exponent is the
     // only route to a non-finite double, and it must not parse.
@@ -120,7 +121,7 @@ TEST(ServeJson, NonFiniteNumbersAreRejected)
     EXPECT_FALSE(bool(parseJson("Infinity")));
 }
 
-TEST(ServeJson, DepthBoundRejectsRunawayNesting)
+TEST(Json, DepthBoundRejectsRunawayNesting)
 {
     std::string deep;
     for (int i = 0; i < 100; ++i)
@@ -132,7 +133,7 @@ TEST(ServeJson, DepthBoundRejectsRunawayNesting)
     EXPECT_TRUE(bool(parseJson(ok)));
 }
 
-TEST(ServeJson, AccessorsAndLookup)
+TEST(Json, AccessorsAndLookup)
 {
     auto v = parsed("{\"x\":1,\"y\":[true]}");
     ASSERT_TRUE(v.isObject());
@@ -141,6 +142,60 @@ TEST(ServeJson, AccessorsAndLookup)
     EXPECT_EQ(v.get("missing"), nullptr);
     ASSERT_TRUE(v.get("y")->isArray());
     EXPECT_TRUE(v.get("y")->asArray()[0].asBool());
+}
+
+TEST(Json, SolveErrorRoundTripsExactly)
+{
+    SolveError e = makeError(SolveErrorCode::NonConvergence,
+                             "MvaSolver::solve",
+                             "residual 1e-3 after 40 iterations");
+    e.withContext("cell (2, 1)").withContext("runSweep");
+    SolveError back;
+    ASSERT_TRUE(solveErrorFromJson(solveErrorToJson(e), back).ok());
+    EXPECT_EQ(back.code, e.code);
+    EXPECT_EQ(back.site, e.site);
+    EXPECT_EQ(back.message, e.message);
+    EXPECT_EQ(back.context, e.context);
+    EXPECT_EQ(back.describe(), e.describe());
+    // Serialization is canonical, so the round trip is bit-stable.
+    EXPECT_EQ(serializeJson(solveErrorToJson(back)),
+              serializeJson(solveErrorToJson(e)));
+}
+
+TEST(Json, SolveErrorEveryCodeRoundTrips)
+{
+    for (SolveErrorCode c :
+         {SolveErrorCode::InvalidArgument,
+          SolveErrorCode::UnknownProtocol,
+          SolveErrorCode::NonConvergence,
+          SolveErrorCode::NonFiniteIterate,
+          SolveErrorCode::NumericRange, SolveErrorCode::BudgetExhausted,
+          SolveErrorCode::InjectedFault, SolveErrorCode::IoError,
+          SolveErrorCode::Internal}) {
+        SolveError e = makeError(c, "site", "msg");
+        SolveError back;
+        ASSERT_TRUE(solveErrorFromJson(solveErrorToJson(e), back).ok())
+            << to_string(c);
+        EXPECT_EQ(back.code, c);
+    }
+}
+
+TEST(Json, MalformedSolveErrorsAreRejected)
+{
+    SolveError out;
+    EXPECT_FALSE(solveErrorFromJson(JsonValue(1.0), out).ok());
+    EXPECT_FALSE(solveErrorFromJson(parsed("{}"), out).ok());
+    auto bad_code = solveErrorFromJson(parsed(
+        "{\"code\":\"bogus\",\"site\":\"s\",\"message\":\"m\"}"), out);
+    ASSERT_FALSE(bad_code.ok());
+    EXPECT_NE(bad_code.error().message.find("bogus"),
+              std::string::npos);
+    EXPECT_FALSE(solveErrorFromJson(parsed(
+        "{\"code\":\"internal\",\"site\":\"s\",\"message\":\"m\","
+        "\"context\":\"not-an-array\"}"), out).ok());
+    EXPECT_FALSE(solveErrorFromJson(parsed(
+        "{\"code\":\"internal\",\"site\":\"s\",\"message\":\"m\","
+        "\"context\":[1]}"), out).ok());
 }
 
 } // namespace

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * snoop_merge: combine the checkpoints of N sweep shards back into
+ * one grid, re-deriving every whole-grid output - the table, the
+ * value-grid CSV, the per-cell CSV, winners(), and the failure
+ * summary - from the merged cells (docs/SHARDING.md).
+ *
+ *   snoop_merge [--csv=FILE] [--cell-csv=FILE] shard0.ckpt ... shardN-1.ckpt
+ *
+ * The merge refuses, with a structured error, anything that would
+ * silently produce a wrong grid: shards whose spec fingerprints
+ * differ (they came from different sweeps), overlapping or duplicate
+ * shard indices, a missing shard, an incomplete shard (killed and
+ * never resumed to completion), or a corrupt/version-bumped file
+ * (rejected by the checkpoint reader itself, naming file and offset).
+ *
+ * Determinism contract: the merged CSV, cell CSV, and winners are
+ * byte-identical to a single-process uninterrupted run of the same
+ * sweep, regardless of SNOOP_JOBS, kill/resume history, or the order
+ * the shard files are listed on the command line.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/checkpoint.hh"
+#include "core/sweep.hh"
+#include "protocol/catalog.hh"
+#include "util/atomic_file.hh"
+#include "util/cli.hh"
+#include "util/logging.hh"
+#include "util/strutil.hh"
+
+using namespace snoop;
+
+namespace {
+
+void
+writeAtomically(const std::string &path, const std::string &content)
+{
+    AtomicFile out(path);
+    if (!out.ok())
+        fatal("cannot open '%s' for writing", path.c_str());
+    out.stream() << content;
+    if (auto ok = out.commit(); !ok)
+        fatal("%s", ok.error().describe().c_str());
+    std::printf("wrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliParser cli("snoop_merge",
+                  "merge sweep shard checkpoints into one grid");
+    cli.addOption("csv", "", "write the merged value-grid CSV here");
+    cli.addOption("cell-csv", "",
+                  "write the merged per-cell CSV here");
+    cli.addFlag("quiet", "suppress the rendered table and winners");
+    cli.parse(argc, argv);
+
+    const auto &paths = cli.positional();
+    if (paths.empty())
+        fatal("usage: snoop_merge [options] <shard.ckpt>...");
+
+    // Read and structurally validate every shard file first; a corrupt
+    // file is rejected here with the reader's file-and-offset error.
+    std::vector<CheckpointData> shards;
+    for (const auto &path : paths) {
+        auto data = readSweepCheckpoint(path);
+        if (!data)
+            fatal("%s", data.error().describe().c_str());
+        shards.push_back(std::move(data).value());
+    }
+
+    // Cross-shard validation against the first file's grid.
+    const CheckpointData &ref = shards.front();
+    std::vector<char> seen(ref.shard.count, 0);
+    for (size_t i = 0; i < shards.size(); ++i) {
+        const CheckpointData &s = shards[i];
+        if (s.fingerprint != ref.fingerprint) {
+            fatal("'%s' has spec fingerprint %s but '%s' has %s - "
+                  "these shards come from different sweeps",
+                  paths[i].c_str(), s.fingerprint.c_str(),
+                  paths[0].c_str(), ref.fingerprint.c_str());
+        }
+        if (s.shard.count != ref.shard.count) {
+            fatal("'%s' is shard %zu of %zu but '%s' splits the grid "
+                  "%zu ways", paths[i].c_str(), s.shard.index,
+                  s.shard.count, paths[0].c_str(), ref.shard.count);
+        }
+        if (seen[s.shard.index]) {
+            fatal("'%s' duplicates shard %zu/%zu - overlapping shards "
+                  "would double-count cells", paths[i].c_str(),
+                  s.shard.index, s.shard.count);
+        }
+        seen[s.shard.index] = 1;
+        auto [begin, end] = s.shard.cellRange(s.gridCells);
+        if (s.cells.size() != end - begin) {
+            fatal("'%s' holds %zu of shard %zu/%zu's %zu cells - the "
+                  "shard was interrupted and never resumed to "
+                  "completion", paths[i].c_str(), s.cells.size(),
+                  s.shard.index, s.shard.count, end - begin);
+        }
+    }
+    for (size_t idx = 0; idx < ref.shard.count; ++idx) {
+        if (!seen[idx]) {
+            fatal("shard %zu/%zu is missing from the arguments - the "
+                  "merged grid would have unevaluated cells", idx,
+                  ref.shard.count);
+        }
+    }
+
+    // Rebuild the rendering-relevant spec from the header copy. The
+    // base workload is not persisted (the fingerprint pins it), and
+    // none of the whole-grid outputs consume it.
+    SweepSpec spec;
+    spec.paramName = ref.paramName;
+    spec.values = ref.values;
+    spec.n = ref.n;
+    for (const auto &mod : ref.protocolMods)
+        spec.protocols.push_back(ProtocolConfig::fromModString(mod));
+
+    SweepResult res;
+    res.spec = spec;
+    const size_t protocols = spec.protocols.size();
+    res.results.assign(spec.values.size(),
+                       std::vector<MvaResult>(protocols));
+    res.errors.assign(
+        spec.values.size(),
+        std::vector<std::optional<SolveError>>(protocols));
+    res.evaluated.assign(spec.values.size(),
+                         std::vector<char>(protocols, 0));
+    for (const CheckpointData &s : shards) {
+        for (const CheckpointCell &cell : s.cells) {
+            size_t v = cell.cell / protocols, p = cell.cell % protocols;
+            if (cell.ok)
+                res.results[v][p] = cell.result;
+            else
+                res.errors[v][p] = cell.error;
+            res.evaluated[v][p] = 1;
+        }
+    }
+
+    if (!cli.getFlag("quiet")) {
+        std::printf("merged %zu shards (%zu cells, fingerprint %s)\n\n",
+                    shards.size(), res.evaluatedCount(),
+                    ref.fingerprint.c_str());
+        std::fputs(res.table().render().c_str(), stdout);
+        if (res.failureCount() > 0) {
+            std::printf("\n%zu failed cells:\n%s\n", res.failureCount(),
+                        res.failureSummary().c_str());
+        }
+        auto winners = res.tryWinners();
+        if (!winners)
+            fatal("%s", winners.error().describe().c_str());
+        std::printf("\nwinners by %s value:\n", spec.paramName.c_str());
+        for (size_t v = 0; v < winners.value().size(); ++v) {
+            size_t w = winners.value()[v];
+            std::printf("  %s=%s: %s\n", spec.paramName.c_str(),
+                        formatCompact(spec.values[v], 4).c_str(),
+                        w == SweepResult::kNoWinner
+                            ? "(all cells failed)"
+                            : spec.protocols[w].name().c_str());
+        }
+    }
+
+    std::string csv_path = cli.get("csv");
+    if (!csv_path.empty())
+        writeAtomically(csv_path, res.csv());
+    std::string cell_csv_path = cli.get("cell-csv");
+    if (!cell_csv_path.empty())
+        writeAtomically(cell_csv_path, res.cellCsv());
+    return 0;
+}
