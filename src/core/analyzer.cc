@@ -1,6 +1,7 @@
 #include "core/analyzer.hh"
 
 #include <algorithm>
+#include <optional>
 
 #include "observe/metrics.hh"
 #include "observe/trace.hh"
@@ -64,6 +65,63 @@ Analyzer::tryAnalyze(const ProtocolConfig &protocol,
     // who sees the converged flag; the solver's policy applies here)
     return solver_.trySolve(
         DerivedInputs::compute(workload, protocol, timing_), n);
+}
+
+std::vector<Expected<MvaResult>>
+Analyzer::tryAnalyzeBatch(
+    const std::vector<AnalysisRequest> &requests) const
+{
+    std::vector<Expected<MvaResult>> out;
+    out.reserve(requests.size());
+    std::vector<MvaJob> jobs;
+    jobs.reserve(requests.size());
+    std::vector<size_t> slot;
+    slot.reserve(requests.size());
+
+    // Admission runs serially in request order: the analyze span,
+    // analyze.calls, and workload validation happen exactly once per
+    // request under its trace task, before any parallel work - that
+    // keeps the event stream byte-comparable across SNOOP_JOBS.
+    for (size_t i = 0; i < requests.size(); ++i) {
+        const AnalysisRequest &req = requests[i];
+        std::optional<TraceTaskScope> scope;
+        if (req.traceKey != 0)
+            scope.emplace(req.traceKey);
+        metricAdd("analyze.calls");
+        TraceSpan analyze_span(TraceLevel::Phase, "analyze", req.n);
+        if (analyze_span.active()) {
+            analyze_span.setArgs(strprintf(
+                "\"protocol\":\"%s\"", req.protocol.name().c_str()));
+        }
+        // Check the workload up front: DerivedInputs::compute
+        // re-validates with a fatal() that a library path must never
+        // reach.
+        if (auto ok = req.workload.check(); !ok) {
+            out.emplace_back(SolveError(ok.error()).withContext(
+                strprintf("Analyzer::tryAnalyze(%s, N=%u)",
+                          req.protocol.name().c_str(), req.n)));
+            continue;
+        }
+        MvaJob job;
+        job.inputs =
+            DerivedInputs::compute(req.workload, req.protocol, timing_);
+        job.n = req.n;
+        job.seed = req.seed;
+        job.opts = solver_.options();
+        job.traceKey = req.traceKey;
+        jobs.push_back(std::move(job));
+        slot.push_back(i);
+        out.emplace_back(makeError(SolveErrorCode::Internal,
+                                   "Analyzer::tryAnalyzeBatch",
+                                   "cell %zu pending", i));
+    }
+
+    // snoop-lint: nonconvergence-ok (per-lane results forwarded to
+    // the caller, who sees each converged flag)
+    std::vector<Expected<MvaResult>> solved = batch_.solveBatch(jobs);
+    for (size_t k = 0; k < solved.size(); ++k)
+        out[slot[k]] = std::move(solved[k]);
+    return out;
 }
 
 std::vector<MvaResult>

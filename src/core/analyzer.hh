@@ -16,14 +16,33 @@
  * @endcode
  */
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "mva/batch_solver.hh"
 #include "mva/solver.hh"
 #include "protocol/catalog.hh"
 #include "workload/params.hh"
 
 namespace snoop {
+
+/**
+ * One cell of a batch analysis (Analyzer::tryAnalyzeBatch): an
+ * explicit protocol configuration, a workload, a system size, and
+ * optionally a warm-start seed plus the schedule-independent trace
+ * task id its events should record under.
+ */
+struct AnalysisRequest
+{
+    ProtocolConfig protocol;
+    WorkloadParams workload;
+    unsigned n = 0;
+    /** Warm-start seed; the all-zero seed is the paper's cold start. */
+    MvaSeed seed{};
+    /** Trace task id for this cell's events (0 = ambient task). */
+    uint64_t traceKey = 0;
+};
 
 /** High-level facade over the MVA model. */
 class Analyzer
@@ -58,6 +77,19 @@ class Analyzer
     [[nodiscard]] Expected<MvaResult> tryAnalyze(const ProtocolConfig &protocol,
                                    const WorkloadParams &workload,
                                    unsigned n) const;
+
+    /**
+     * Analyze every request through the SoA batch engine
+     * (BatchMvaSolver); result i corresponds to request i. Each
+     * cell's result is bit-identical to tryAnalyze of the same cell,
+     * at any SNOOP_JOBS setting; failures (bad workload, solver
+     * errors) are per-slot structured errors with the same context
+     * string tryAnalyze attaches. Admission (workload validation, the
+     * analyze trace span, analyze.calls) runs serially in request
+     * order; only the lockstep solve is parallel.
+     */
+    [[nodiscard]] std::vector<Expected<MvaResult>>
+    tryAnalyzeBatch(const std::vector<AnalysisRequest> &requests) const;
 
     /** Speedup sweep over processor counts. */
     std::vector<MvaResult> sweep(const ProtocolConfig &protocol,
@@ -103,6 +135,7 @@ class Analyzer
 
   private:
     MvaSolver solver_;
+    BatchMvaSolver batch_;
     BusTiming timing_;
 };
 

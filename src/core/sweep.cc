@@ -379,32 +379,38 @@ tryRunSweep(const SweepSpec &spec, const Analyzer &analyzer)
          start += batch_size) {
         const size_t batch =
             std::min(batch_size, pending.size() - start);
-        parallelFor(batch, [&](size_t i) {
+        // Admission (serial, in cell order): keyed fault checks,
+        // workload construction, and per-cell trace identity are a
+        // pure function of the grid; the SoA batch engine then solves
+        // every admitted cell in lockstep (parallel across lane
+        // blocks), bit-identical to the old per-cell scalar solves at
+        // any SNOOP_JOBS. Admission failures are caught *here*: an
+        // exception escaping into the batch would cancel the
+        // remaining cells, which is exactly the blast radius fault
+        // isolation exists to prevent.
+        std::vector<AnalysisRequest> requests;
+        requests.reserve(batch);
+        std::vector<size_t> request_cell;
+        request_cell.reserve(batch);
+        for (size_t i = 0; i < batch; ++i) {
             const size_t idx = pending[start + i];
             size_t v = idx / num_protocols;
             size_t p = idx % num_protocols;
-            // The cell index is the same schedule-independent key the
-            // fault layer uses, so the trace groups by work item and
-            // the event set is bit-identical at any SNOOP_JOBS.
-            TraceTaskScope task(idx + 1);
-            TraceSpan cell_span(TraceLevel::Phase, "sweep.cell", idx);
             metricAdd("sweep.cells");
-            // Everything is caught *inside* the cell: an exception
-            // escaping into parallelFor would cancel the remaining
-            // cells, which is exactly the blast radius fault
-            // isolation exists to prevent.
             try {
                 if (faultFires("sweep.cell", idx))
                     throw SolveException(
                         injectedFault("sweep.cell", idx));
                 WorkloadParams wl = spec.base;
                 spec.set(wl, spec.values[v]);
-                auto r =
-                    analyzer.tryAnalyze(spec.protocols[p], wl, spec.n);
-                if (r)
-                    res.results[v][p] = std::move(r).value();
-                else
-                    res.errors[v][p] = std::move(r).error();
+                // The cell index is the same schedule-independent key
+                // the fault layer uses, so the cell's solver events
+                // group by work item and the event set stays
+                // bit-identical at any SNOOP_JOBS.
+                requests.push_back(AnalysisRequest{
+                    spec.protocols[p], wl, spec.n, MvaSeed{},
+                    idx + 1});
+                request_cell.push_back(idx);
             } catch (const SolveException &e) {
                 res.errors[v][p] = e.error();
             } catch (const std::exception &e) {
@@ -413,14 +419,34 @@ tryRunSweep(const SweepSpec &spec, const Analyzer &analyzer)
                     "unexpected exception in cell (%zu, %zu): %s", v,
                     p, e.what());
             }
+        }
+        auto solved = analyzer.tryAnalyzeBatch(requests);
+        for (size_t k = 0; k < solved.size(); ++k) {
+            const size_t idx = request_cell[k];
+            size_t v = idx / num_protocols;
+            size_t p = idx % num_protocols;
+            if (solved[k])
+                res.results[v][p] = std::move(solved[k]).value();
+            else
+                res.errors[v][p] = std::move(solved[k]).error();
+        }
+        // Per-cell bookkeeping (serial, in cell order): the
+        // sweep.cell span with its outcome args, and the error
+        // counter.
+        for (size_t i = 0; i < batch; ++i) {
+            const size_t idx = pending[start + i];
+            size_t v = idx / num_protocols;
+            size_t p = idx % num_protocols;
             if (res.errors[v][p])
                 metricAdd("sweep.errors");
+            TraceTaskScope task(idx + 1);
+            TraceSpan cell_span(TraceLevel::Phase, "sweep.cell", idx);
             if (cell_span.active()) {
                 cell_span.setArgs(
                     strprintf("\"v\":%zu,\"p\":%zu,\"ok\":%s", v, p,
                               res.errors[v][p] ? "false" : "true"));
             }
-        });
+        }
         // Mark the batch evaluated *after* the barrier, serially:
         // vector<char> rows are written cell-wise by workers only for
         // results/errors; the mask itself never sees concurrent

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <optional>
 
+#include "mva/kernel.hh"
 #include "observe/metrics.hh"
 #include "observe/trace.hh"
 #include "util/contracts.hh"
@@ -24,141 +25,24 @@ MvaResult::summary() const
         iterations, converged ? "" : ", NOT converged");
 }
 
-namespace {
-
-SolveError
-badOption(const char *detail)
-{
-    return makeError(SolveErrorCode::InvalidArgument, "MvaSolver",
-                     "%s", detail);
-}
-
-} // namespace
-
 MvaSolver::MvaSolver(MvaOptions opts) : opts_(opts)
 {
-    if (opts_.maxIterations < 1)
-        throw SolveException(badOption("maxIterations must be >= 1"));
-    if (opts_.tolerance <= 0.0)
-        throw SolveException(badOption("tolerance must be positive"));
-    if (opts_.damping <= 0.0 || opts_.damping > 1.0)
-        throw SolveException(badOption("damping must be in (0, 1]"));
-    if (!(opts_.timeBudget >= 0.0))
-        throw SolveException(badOption("timeBudget must be >= 0"));
-    if (opts_.iterationBudget < 0)
-        throw SolveException(badOption("iterationBudget must be >= 0"));
+    if (auto err = checkMvaOptions(opts_))
+        throw SolveException(std::move(*err));
 }
 
 namespace {
 
 /**
- * Block-transfer cycles in the Appendix-B t_interference expression
- * (the literal 4.0 of the paper's appendix: one cache-block transfer).
- */
-constexpr double kAppendixBBlockCycles = 4.0;
-
-/**
- * P(an arriving request finds the server busy), estimated from the
- * server utilization with the arriving customer removed - the
- * correction the paper applies in eq. (8) for the bus and repeats for
- * the memory modules.
- */
-double
-pBusyFromUtilization(double util, unsigned n)
-{
-    if (n <= 1)
-        return 0.0;
-    // A utilization is a probability; iteration transients can push
-    // the raw estimate past 1, which the fixed point then corrects.
-    double u = std::clamp(util, 0.0, 1.0);
-    double denom = 1.0 - u / static_cast<double>(n);
-    if (denom <= 0.0)
-        return 1.0;
-    double p = (u - u / static_cast<double>(n)) / denom;
-    return std::clamp(p, 0.0, 1.0);
-}
-
-/**
- * Validity contract on a finished solve: the measures the paper
- * publishes (speedup, R, utilizations, busy probabilities) must be
- * finite and inside their defining ranges regardless of how hard the
- * fixed point fought. Anything else is corrupted solver state,
- * reported as a NumericRange error rather than a panic so one bad
- * grid point cannot take down a sweep.
+ * Same-file numeric-boundary shim: trySolve routes every returned
+ * value through the shared validator in mva/kernel.hh (tools/lint's
+ * numeric-guard-coverage pass requires the validation edge to live in
+ * this file).
  */
 std::optional<SolveError>
 validateResult(const MvaResult &res)
 {
-    // kind: 0 = strictly positive, 1 = non-negative, 2 = in [0, 1]
-    struct Check { const char *name; double value; int kind; };
-    const Check checks[] = {
-        {"responseTime", res.responseTime, 0},
-        {"speedup", res.speedup, 0},
-        {"processingPower", res.processingPower, 1},
-        {"rLocal", res.rLocal, 1},
-        {"rBroadcast", res.rBroadcast, 1},
-        {"rRemoteRead", res.rRemoteRead, 1},
-        {"wBus", res.wBus, 1},
-        {"wMem", res.wMem, 1},
-        {"qBus", res.qBus, 1},
-        {"busUtil", res.busUtil, 2},
-        {"memUtil", res.memUtil, 2},
-        {"pBusyBus", res.pBusyBus, 2},
-        {"pBusyMem", res.pBusyMem, 2},
-        {"nInterference", res.nInterference, 1},
-        {"tInterference", res.tInterference, 1},
-    };
-    for (const auto &c : checks) {
-        const char *violated = nullptr;
-        if (!std::isfinite(c.value))
-            violated = "a finite value";
-        else if (c.kind == 0 && c.value <= 0.0)
-            violated = "> 0";
-        else if (c.kind >= 1 && c.value < 0.0)
-            violated = ">= 0";
-        else if (c.kind == 2 && c.value > 1.0)
-            violated = "[0, 1]";
-        if (violated) {
-            return makeError(
-                SolveErrorCode::NumericRange, "MvaSolver",
-                "%s = %g violates %s (N=%u, protocol %s)", c.name,
-                c.value, violated, res.numProcessors,
-                res.inputs.protocol.name().c_str());
-        }
-    }
-    return std::nullopt;
-}
-
-SolveAttempt
-attemptOf(const MvaResult &res, double damping)
-{
-    SolveAttempt a;
-    a.damping = damping;
-    a.iterations = res.iterations;
-    a.residual = res.residual;
-    a.converged = res.converged;
-    a.nonFinite = res.nonFinite;
-    return a;
-}
-
-/**
- * Admission check on a warm-start seed: the waiting times it carries
- * must be finite and non-negative, or the solve would start from a
- * state the model cannot produce.
- */
-std::optional<SolveError>
-checkSeed(const MvaSeed &seed)
-{
-    if (!std::isfinite(seed.wBus) || !std::isfinite(seed.wMem) ||
-        !std::isfinite(seed.rTotal) || seed.wBus < 0.0 ||
-        seed.wMem < 0.0 || seed.rTotal < 0.0) {
-        return makeError(
-            SolveErrorCode::InvalidArgument, "MvaSolver::solve",
-            "warm-start seed (wBus=%g, wMem=%g, rTotal=%g) must be "
-            "finite and non-negative", seed.wBus, seed.wMem,
-            seed.rTotal);
-    }
-    return std::nullopt;
+    return validateMvaResult(res);
 }
 
 } // namespace
@@ -174,7 +58,7 @@ MvaSolver::trySolve(const DerivedInputs &d, unsigned n,
                          "MvaSolver::solve",
                          "need at least one processor");
     }
-    if (auto err = checkSeed(seed))
+    if (auto err = checkMvaSeed(seed))
         return std::move(*err);
 
     // Fault-site arming is captured once per solve so injection is a
@@ -236,64 +120,53 @@ MvaSolver::trySolve(const DerivedInputs &d, unsigned n,
         return max_it;
     };
 
+    // The ladder schedule: the configured damping first, then every
+    // shared rung strictly below it (recoveryLadder skips ineligible
+    // rungs - the old loop *broke* on the first rung >= the
+    // configured damping, which left recovery dead for any
+    // configured damping <= 0.5).
+    const std::vector<double> ladder = recoveryLadder(opts_.damping);
+
     std::vector<SolveAttempt> attempts;
     bool budget_out = false;
     MvaResult res =
-        solveOnce(d, n, seed, 0.0, inject_nonconverge || inject_first,
+        solveOnce(d, n, seed, ladder[0],
+                  inject_nonconverge || inject_first,
                   attemptCap(&budget_out),
                   budgeted_time ? &deadline : nullptr);
     iters_used += res.iterations;
-    attempts.push_back(attemptOf(res, opts_.damping));
+    attempts.push_back(mvaAttemptOf(res, ladder[0]));
     observeAttempt(0, attempts.back());
-    for (double damping : {0.5, 0.25, 0.1, 0.05}) {
-        if (res.converged || res.budgetExhausted ||
-            damping >= opts_.damping)
+    for (size_t rung = 1; rung < ladder.size(); ++rung) {
+        if (res.converged || res.budgetExhausted)
             break;
         int cap = attemptCap(&budget_out);
         if (budget_out) {
             res.budgetExhausted = true;
             break;
         }
-        res = solveOnce(d, n, seed, damping, inject_nonconverge, cap,
-                        budgeted_time ? &deadline : nullptr);
+        // Check the wall clock before launching the attempt too: a
+        // retry that starts past the deadline would overwrite the
+        // previous attempt's state with a zero-iteration restart.
+        if (budgeted_time && clock::now() >= deadline) {
+            res.budgetExhausted = true;
+            break;
+        }
+        res = solveOnce(d, n, seed, ladder[rung], inject_nonconverge,
+                        cap, budgeted_time ? &deadline : nullptr);
         iters_used += res.iterations;
-        attempts.push_back(attemptOf(res, damping));
+        attempts.push_back(mvaAttemptOf(res, ladder[rung]));
         observeAttempt(attempts.size() - 1, attempts.back());
     }
     res.attempts = std::move(attempts);
 
-    if (res.nonFinite && !res.budgetExhausted) {
-        return makeError(
-            SolveErrorCode::NonFiniteIterate, "MvaSolver::solve",
-            "iterate became non-finite in all %zu damping attempts "
-            "(N=%u, protocol %s)", res.attempts.size(), n,
-            d.protocol.name().c_str());
+    Expected<MvaResult> final_res =
+        disposeMvaResult(std::move(res), opts_, iters_used, n, d);
+    if (final_res.ok()) {
+        if (auto err = validateResult(final_res.value()))
+            return std::move(*err);
     }
-    if (!res.converged) {
-        switch (opts_.onNonConvergence) {
-          case NonConvergencePolicy::Warn:
-            warn("MvaSolver: no convergence after %d iterations across "
-                 "%zu attempts (N=%u, protocol %s%s)",
-                 opts_.maxIterations, res.attempts.size(), n,
-                 d.protocol.name().c_str(),
-                 res.budgetExhausted ? ", budget exhausted" : "");
-            break;
-          case NonConvergencePolicy::Fatal:
-            return makeError(
-                res.budgetExhausted ? SolveErrorCode::BudgetExhausted
-                                    : SolveErrorCode::NonConvergence,
-                "MvaSolver::solve",
-                "no convergence after %d iterations across %zu attempts "
-                "(N=%u, protocol %s%s)", opts_.maxIterations,
-                res.attempts.size(), n, d.protocol.name().c_str(),
-                res.budgetExhausted ? ", budget exhausted" : "");
-          case NonConvergencePolicy::Accept:
-            break;
-        }
-    }
-    if (auto err = validateResult(res))
-        return std::move(*err);
-    return res;
+    return final_res;
 }
 
 MvaResult
@@ -312,12 +185,7 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
     using clock = std::chrono::steady_clock;
 
     const bool inject_nan = faultArmed("mva.nan");
-
-    const double num_proc = static_cast<double>(n);
-    const double t_write = d.timing.tWrite;
-    const double t_supply = d.timing.tSupply;
-    const double d_mem = d.timing.dMem;
-    const double modules = static_cast<double>(d.timing.numModules);
+    const MvaStepConstants c = mvaStepConstants(d, n);
 
     MvaResult res;
     res.numProcessors = n;
@@ -331,99 +199,30 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
     // MvaSeed reproduces the paper's cold start exactly).
     double w_bus = seed.wBus;
     double w_mem = seed.wMem;
-    double r_total = seed.rTotal > 0.0 ? seed.rTotal : d.tau + t_supply;
+    double r_total = seed.rTotal > 0.0 ? seed.rTotal : d.tau + c.tSupply;
 
     double damping = damping_override > 0.0 ? damping_override
                                             : opts_.damping;
-
-    // Appendix B: p and the supplier-selection factor are fixed by the
-    // workload; p' and t_interference follow directly.
-    const double p = d.pA + d.pB;
-    const double supplier_frac =
-        n > 1 ? std::min(1.0, 2.0 / (num_proc - 1.0)) : 0.0;
-    const double p_prime = d.pB +
-        d.pA * supplier_frac * d.csupFrac * (1.0 - d.repTerm);
-    const double t_int = (p > 0.0)
-        ? 1.0 + (d.pA / p) * supplier_frac * d.csupFrac *
-            (kAppendixBBlockCycles +
-             d.wbCsupply * kAppendixBBlockCycles)
-        : 0.0;
 
     for (int it = 1; it <= max_iterations; ++it) {
         if (deadline != nullptr && clock::now() >= *deadline) {
             res.budgetExhausted = true;
             break;
         }
-        // --- Mean queue length seen by an arrival, eq. (6) -----------
-        double r_bc = d.pBc * (w_bus + w_mem + t_write);
-        double r_rr = d.pRr * (w_bus + d.tRead);
-        double q_bus = (n > 1)
-            ? (num_proc - 1.0) * (r_bc + r_rr) / r_total
-            : 0.0;
-        // Closed system: with the arriving cache removed, at most N-1
-        // requests can be queued. (Also bounds the iteration
-        // transients that otherwise oscillate at saturation.)
-        q_bus = std::min(q_bus, num_proc - 1.0);
-
-        // --- Cache interference, eq. (13) ----------------------------
-        double n_int = 0.0;
-        if (n > 1 && q_bus > 0.0 && p > 0.0) {
-            if (p_prime >= 1.0) {
-                n_int = p * q_bus;
-            } else if (p_prime <= 0.0) {
-                n_int = p;
-            } else {
-                n_int = p * (1.0 - std::pow(p_prime, q_bus)) /
-                    (1.0 - p_prime);
-            }
-        }
-
-        // --- Response time, eq. (1)-(4) ------------------------------
-        double r_local = d.pLocal * n_int * t_int;
-        double r_new = d.tau + r_local + r_bc + r_rr + t_supply;
-
-        // --- Bus submodel, eq. (7)-(10) ------------------------------
-        double bus_demand = d.pBc * (w_mem + t_write) + d.pRr * d.tRead;
-        double u_bus = num_proc * bus_demand / r_new;
-        double p_busy_bus = pBusyFromUtilization(u_bus, n);
-
-        double t_bus = 0.0, t_res = 0.0;
-        double p_bus_total = d.pBc + d.pRr;
-        if (p_bus_total > 0.0) {
-            // eq. (9): access time weighted by request mix
-            t_bus = (d.pBc * (t_write + w_mem) + d.pRr * d.tRead) /
-                p_bus_total;
-            // eq. (10): residual life weighted by time-in-service
-            double weight_bc = d.pBc * (t_write + w_mem);
-            double weight_rr = d.pRr * d.tRead;
-            double weight_total = weight_bc + weight_rr;
-            if (weight_total > 0.0) {
-                t_res = weight_bc / weight_total * (t_write + w_mem) / 2.0 +
-                    weight_rr / weight_total * d.tRead / 2.0;
-            }
-        }
-
-        // eq. (5): residual life of the request in service plus a full
-        // access time for every other queued request.
-        double w_bus_new = (n > 1)
-            ? std::max(0.0, q_bus - p_busy_bus) * t_bus +
-                p_busy_bus * t_res
-            : 0.0;
+        // One update step of eqs. (1)-(13); the arithmetic lives in
+        // mva/kernel.hh so the batch solver executes the identical
+        // sequence per lane (the bit-identity contract).
+        const MvaStepValues o = mvaStep(c, w_bus, w_mem, r_total);
+        double w_bus_new = o.wBusNew;
         if (inject_nan && it == 2)
             w_bus_new = std::nan("");
-
-        // --- Memory submodel, eq. (11)-(12) --------------------------
-        double u_mem = num_proc * (1.0 / modules) * d.memFactor * d_mem /
-            r_new;
-        double p_busy_mem = pBusyFromUtilization(u_mem, n);
-        double w_mem_new = p_busy_mem * d_mem / 2.0;
 
         // --- Non-finite bail-out -------------------------------------
         // Abort before the poisoned values reach the damped state, so
         // the returned measures are the last finite iterate and the
         // ladder can retry from a clean slate.
-        if (!std::isfinite(r_new) || !std::isfinite(w_bus_new) ||
-            !std::isfinite(w_mem_new)) {
+        if (!std::isfinite(o.rNew) || !std::isfinite(w_bus_new) ||
+            !std::isfinite(o.wMemNew)) {
             res.iterations = it;
             res.nonFinite = true;
             break;
@@ -431,14 +230,14 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
 
         // --- Damped update and convergence check ---------------------
         double w_bus_next = damping * w_bus_new + (1.0 - damping) * w_bus;
-        double w_mem_next = damping * w_mem_new + (1.0 - damping) * w_mem;
-        double delta = std::fabs(r_new - r_total);
+        double w_mem_next = damping * o.wMemNew + (1.0 - damping) * w_mem;
+        double delta = std::fabs(o.rNew - r_total);
         if (opts_.recordTrace)
             res.convergenceTrace.push_back(delta);
 
         w_bus = w_bus_next;
         w_mem = w_mem_next;
-        r_total = r_new;
+        r_total = o.rNew;
         res.iterations = it;
         res.residual = delta;
         if (traceEnabled(TraceLevel::Iteration)) {
@@ -448,18 +247,18 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
                                    delta, damping));
         }
 
-        res.rLocal = r_local;
-        res.rBroadcast = r_bc;
-        res.rRemoteRead = r_rr;
-        res.qBus = q_bus;
-        res.busUtil = std::min(u_bus, 1.0);
-        res.pBusyBus = p_busy_bus;
-        res.tBus = t_bus;
-        res.tResBus = t_res;
-        res.memUtil = std::min(u_mem, 1.0);
-        res.pBusyMem = p_busy_mem;
-        res.nInterference = n_int;
-        res.tInterference = t_int;
+        res.rLocal = o.rLocal;
+        res.rBroadcast = o.rBc;
+        res.rRemoteRead = o.rRr;
+        res.qBus = o.qBus;
+        res.busUtil = std::min(o.uBus, 1.0);
+        res.pBusyBus = o.pBusyBus;
+        res.tBus = o.tBus;
+        res.tResBus = o.tResBus;
+        res.memUtil = std::min(o.uMem, 1.0);
+        res.pBusyMem = o.pBusyMem;
+        res.nInterference = o.nInt;
+        res.tInterference = c.tInt;
 
         if (!force_nonconverge &&
             delta < opts_.tolerance * std::max(1.0, std::fabs(r_total))) {
@@ -471,8 +270,8 @@ MvaSolver::solveOnce(const DerivedInputs &d, unsigned n,
     res.wBus = w_bus;
     res.wMem = w_mem;
     res.responseTime = r_total;
-    res.speedup = num_proc * (d.tau + t_supply) / r_total;
-    res.processingPower = num_proc * d.tau / r_total;
+    res.speedup = c.numProc * (d.tau + c.tSupply) / r_total;
+    res.processingPower = c.numProc * d.tau / r_total;
     return res;
 }
 

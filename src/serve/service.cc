@@ -226,45 +226,64 @@ SolveService::handleBatch(const std::vector<Request> &requests)
         plan.cellCount = cells.size() - plan.firstCell;
     }
 
-    // --- Phase 2 (parallel): the solves. Work is index-addressed
-    // into the pre-sized cell vector; the fault key is the request id
+    // --- Phase 2: the solves, through the SoA batch engine. Job
+    // admission (fault keys, workload derivation, per-request budget
+    // options) runs serially in cell order; only the lockstep kernel
+    // parallelizes, across lane blocks. Per-lane results are
+    // bit-identical to the old per-cell scalar solves at any
+    // SNOOP_JOBS, and the fault key stays the request id
     // (schedule-independent), so injected failures are identical at
     // any thread count.
-    parallelFor(cells.size(), [&](size_t ci) {
+    std::vector<MvaJob> jobs;
+    jobs.reserve(cells.size());
+    std::vector<size_t> job_cell;
+    job_cell.reserve(cells.size());
+    for (size_t ci = 0; ci < cells.size(); ++ci) {
         Cell &cell = cells[ci];
         if (cell.cached || cell.failed)
-            return;
+            continue;
         const Request &req = requests[cell.request];
         if (faultFires("serve.request",
                        static_cast<uint64_t>(req.id))) {
             cell.failed = true;
             cell.error = injectedFault(
                 "serve.request", static_cast<uint64_t>(req.id));
-            return;
+            continue;
         }
+        MvaJob job;
+        job.inputs = DerivedInputs::compute(req.workload, cell.protocol,
+                                            opts_.timing);
+        job.n = cell.n;
+        job.seed = cell.seed;
+        job.opts = cellSolverOptions(req);
+        job.traceKey = static_cast<uint64_t>(req.id) + 1;
+        jobs.push_back(std::move(job));
+        job_cell.push_back(ci);
+    }
+    {
         ScopedMetricTimer solve_timer("serve.solve_us");
-        MvaSolver solver(cellSolverOptions(req));
-        auto inputs = DerivedInputs::compute(req.workload, cell.protocol,
-                                             opts_.timing);
         // snoop-lint: nonconvergence-ok (Fatal policy by default: an
         // unconverged solve surfaces as a structured error cell)
-        auto result = solver.trySolve(inputs, cell.n, cell.seed);
-        if (!result) {
-            cell.failed = true;
-            cell.error = std::move(result)
-                             .error()
-                             .withContext(strprintf(
-                                 "serve::%s(id=%lld, %s, N=%u)",
-                                 to_string(req.op),
-                                 static_cast<long long>(req.id),
-                                 cell.protocol.name().c_str(), cell.n));
-            return;
+        std::vector<Expected<MvaResult>> solved =
+            batch_.solveBatch(jobs);
+        for (size_t k = 0; k < solved.size(); ++k) {
+            Cell &cell = cells[job_cell[k]];
+            const Request &req = requests[cell.request];
+            if (!solved[k]) {
+                cell.failed = true;
+                cell.error = std::move(solved[k]).error().withContext(
+                    strprintf("serve::%s(id=%lld, %s, N=%u)",
+                              to_string(req.op),
+                              static_cast<long long>(req.id),
+                              cell.protocol.name().c_str(), cell.n));
+                continue;
+            }
+            cell.result = std::move(solved[k]).value();
+            metricAdd(cell.result.warmStarted ? "serve.warm_iterations"
+                                              : "serve.cold_iterations",
+                      cell.result.iterations);
         }
-        cell.result = std::move(result).value();
-        metricAdd(cell.result.warmStarted ? "serve.warm_iterations"
-                                          : "serve.cold_iterations",
-                  cell.result.iterations);
-    });
+    }
 
     // --- Phase 3 (serial): inserts in cell (= request) order, then
     // response assembly in request order.

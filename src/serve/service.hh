@@ -10,16 +10,19 @@
  * Determinism contract: a response is a pure function of the request
  * history - never of SNOOP_JOBS, thread scheduling, or wall-clock.
  * All cache reads (exact hits, warm-start seed selection) happen
- * serially against the pre-batch cache state, the solves run as
- * index-addressed parallelFor work, and inserts land serially in
- * request order afterwards. Replaying a session byte-for-byte
- * reproduces every response byte-for-byte at any thread count.
+ * serially against the pre-batch cache state, the solves run through
+ * the lockstep SoA batch engine (BatchMvaSolver, itself bit-identical
+ * to the scalar solver at any thread count), and inserts land
+ * serially in request order afterwards. Replaying a session
+ * byte-for-byte reproduces every response byte-for-byte at any
+ * thread count.
  */
 
 #include <cstdint>
 #include <vector>
 
 #include "core/analyzer.hh"
+#include "mva/batch_solver.hh"
 #include "mva/solver.hh"
 #include "serve/cache.hh"
 #include "util/json.hh"
@@ -67,8 +70,8 @@ struct ServeOptions
  * the benchmark drive it directly.
  *
  * Not internally synchronized: callers invoke handle()/handleBatch()
- * from one thread (the engine parallelizes internally via
- * parallelFor).
+ * from one thread (the engine parallelizes internally via the batch
+ * solver's lane blocks).
  */
 class SolveService
 {
@@ -104,6 +107,7 @@ class SolveService
 
     ServeOptions opts_;
     Analyzer analyzer_;
+    BatchMvaSolver batch_;
     SolutionCache cache_;
     uint64_t requestsServed_ = 0;
 };

@@ -11,6 +11,17 @@
 
 namespace snoop {
 
+std::vector<double>
+recoveryLadder(double damping)
+{
+    std::vector<double> ladder{damping};
+    for (double d : kRecoveryLadderRungs) {
+        if (d < ladder.back())
+            ladder.push_back(d);
+    }
+    return ladder;
+}
+
 FixedPointSolver::FixedPointSolver(FixedPointOptions opts) : opts_(opts)
 {
     if (opts_.maxIterations < 1)
@@ -36,13 +47,9 @@ FixedPointSolver::trySolve(const UpdateFn &f, std::vector<double> x0) const
     // The recovery ladder: the configured damping first, then
     // progressively heavier rungs, each restarting from the original
     // x0 so a diverged iterate cannot contaminate the retry.
-    std::vector<double> ladder{opts_.damping};
-    if (opts_.recoveryLadder) {
-        for (double d : {0.5, 0.25, 0.1}) {
-            if (d < ladder.back())
-                ladder.push_back(d);
-        }
-    }
+    const std::vector<double> ladder = opts_.recoveryLadder
+        ? recoveryLadder(opts_.damping)
+        : std::vector<double>{opts_.damping};
 
     // Fault-site arming is captured once per solve so an injected
     // failure is a pure function of the configuration, not of timing.

@@ -34,6 +34,25 @@ enum class NonConvergencePolicy {
 };
 
 /**
+ * The shared recovery-ladder rungs, heaviest first. FixedPointSolver,
+ * MvaSolver, and BatchMvaSolver all escalate through the same
+ * sequence so a solve rescued by rung k behaves identically no matter
+ * which engine ran it. Use recoveryLadder() to build the full attempt
+ * schedule for a configured damping factor.
+ */
+inline constexpr double kRecoveryLadderRungs[] = {0.5, 0.25, 0.1, 0.05};
+
+/**
+ * The full attempt schedule for @p damping: the configured factor
+ * first, then every shared rung strictly below it. A rung at or above
+ * the configured damping would retry an equal-or-lighter blend, so it
+ * is *skipped* rather than terminating the ladder (terminating was
+ * the pre-PR-9 MvaSolver bug that left recovery dead for any
+ * configured damping <= 0.5).
+ */
+std::vector<double> recoveryLadder(double damping);
+
+/**
  * One rung of a recovery ladder: how a single solve attempt at a
  * given damping factor ended. Shared by FixedPointSolver and
  * MvaSolver so diagnostics read uniformly.
@@ -65,8 +84,8 @@ struct FixedPointOptions
     /**
      * When the attempt at `damping` fails (non-convergence or a
      * non-finite iterate), retry from the original x0 with
-     * progressively heavier damping (0.5, 0.25, 0.1 - skipping rungs
-     * not below the current factor). Disable to observe the raw
+     * progressively heavier damping (kRecoveryLadderRungs - skipping
+     * rungs not below the current factor). Disable to observe the raw
      * single-attempt behavior.
      */
     bool recoveryLadder = true;

@@ -260,6 +260,32 @@ TEST_F(FaultInjection, MvaLadderRecoversFromFirstAttemptFault)
     EXPECT_DOUBLE_EQ(clean.attempts.front().damping, 1.0);
 }
 
+TEST_F(FaultInjection, LadderFiresForConfiguredDampingBelowHalf)
+{
+    // Regression for the dead-ladder bug: the old loop iterated the
+    // shared rungs and *broke* on the first rung >= the configured
+    // damping, so with damping 0.3 the 0.5 rung terminated the
+    // ladder and a failed first attempt was never rescued. The fix
+    // skips ineligible rungs instead: attempt 0 runs at 0.3, and the
+    // first retry runs at 0.25 (0.5 is skipped, not a terminator).
+    ASSERT_TRUE(setFaultSpecs("mva.first_attempt").ok());
+    MvaOptions opts;
+    opts.damping = 0.3;
+    MvaSolver solver(opts);
+    auto inputs = DerivedInputs::compute(
+        presets::appendixA(SharingLevel::FivePercent),
+        ProtocolConfig::writeOnce());
+    auto r = solver.trySolve(inputs, 8);
+    ASSERT_TRUE(r.ok()) << r.error().describe();
+    EXPECT_TRUE(r.value().converged);
+    const auto &attempts = r.value().attempts;
+    ASSERT_GE(attempts.size(), 2u);
+    EXPECT_DOUBLE_EQ(attempts[0].damping, 0.3);
+    EXPECT_FALSE(attempts[0].converged);
+    EXPECT_DOUBLE_EQ(attempts[1].damping, 0.25);
+    EXPECT_TRUE(attempts.back().converged);
+}
+
 TEST_F(FaultInjection, NanFaultSurfacesAsStructuredError)
 {
     // fixed_point.nan poisons every attempt: the ladder exhausts and

@@ -249,17 +249,25 @@ TEST(SolverGuards, IterationBudgetUnderFatalIsAStructuredError)
     EXPECT_EQ(r.error().code, SolveErrorCode::BudgetExhausted);
 }
 
-TEST(SolverGuards, TimeBudgetExhaustionIsRecorded)
+TEST(SolverGuards, ExpiredTimeBudgetIsAStructuredError)
 {
+    // A budget that expires before the first iteration used to come
+    // back as a *value*: speedup == N (perfect linear speedup),
+    // responseTime == tau + tSupply, every submodel measure zero -
+    // plausible-looking garbage under Warn/Accept. Zero completed
+    // iterations must be a BudgetExhausted error instead, under
+    // every policy.
     MvaOptions opts;
     opts.timeBudget = 1e-12; // expires before the first check
     opts.onNonConvergence = NonConvergencePolicy::Accept;
     MvaSolver solver(opts);
     auto r = solver.trySolve(
         appendixAInputs(SharingLevel::FivePercent, ""), 10);
-    ASSERT_TRUE(r.ok());
-    EXPECT_FALSE(r.value().converged);
-    EXPECT_TRUE(r.value().budgetExhausted);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.error().code, SolveErrorCode::BudgetExhausted);
+    EXPECT_NE(r.error().message.find("before the first iteration"),
+              std::string::npos)
+        << r.error().describe();
 }
 
 } // namespace

@@ -49,8 +49,8 @@ TEST(FixedPoint, ImmediateFixedPointConvergesInOneIteration)
 TEST(FixedPoint, ReportsNonConvergence)
 {
     // x -> x + 1 never converges at any damping: the recovery ladder
-    // runs all four rungs (1.0, 0.5, 0.25, 0.1) and reports the final
-    // attempt's state.
+    // runs all five rungs (1.0, then kRecoveryLadderRungs) and
+    // reports the final attempt's state.
     FixedPointSolver solver({.maxIterations = 10, .tolerance = 1e-9});
     auto res = solver.solve(
         [](const std::vector<double> &x) {
@@ -59,11 +59,23 @@ TEST(FixedPoint, ReportsNonConvergence)
         {0.0});
     EXPECT_FALSE(res.converged);
     EXPECT_EQ(res.iterations, 10);
-    ASSERT_EQ(res.attempts.size(), 4u);
+    ASSERT_EQ(res.attempts.size(), 5u);
     EXPECT_DOUBLE_EQ(res.attempts[0].damping, 1.0);
     EXPECT_NEAR(res.attempts[0].residual, 1.0, 1e-12);
     EXPECT_DOUBLE_EQ(res.attempts[3].damping, 0.1);
-    EXPECT_NEAR(res.residual, 0.1, 1e-12);
+    EXPECT_DOUBLE_EQ(res.attempts[4].damping, 0.05);
+    EXPECT_NEAR(res.residual, 0.05, 1e-12);
+}
+
+TEST(FixedPoint, RecoveryLadderSkipsIneligibleRungs)
+{
+    EXPECT_EQ(recoveryLadder(1.0),
+              (std::vector<double>{1.0, 0.5, 0.25, 0.1, 0.05}));
+    // 0.5 is not below 0.3: it is skipped, not a ladder terminator.
+    EXPECT_EQ(recoveryLadder(0.3),
+              (std::vector<double>{0.3, 0.25, 0.1, 0.05}));
+    // Nothing lies below the heaviest shared rung: single attempt.
+    EXPECT_EQ(recoveryLadder(0.05), (std::vector<double>{0.05}));
 }
 
 TEST(FixedPoint, ReportsNonConvergenceWithoutLadder)
