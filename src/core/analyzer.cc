@@ -61,8 +61,7 @@ Analyzer::tryAnalyze(const ProtocolConfig &protocol,
             .withContext(strprintf("Analyzer::tryAnalyze(%s, N=%u)",
                                    protocol.name().c_str(), n));
     }
-    // snoop-lint: nonconvergence-ok (result forwarded to the caller,
-    // who sees the converged flag; the solver's policy applies here)
+    // snoop-lint: nonconvergence-ok (justification: tools/lint/allowlist.txt)
     return solver_.trySolve(
         DerivedInputs::compute(workload, protocol, timing_), n);
 }
@@ -116,8 +115,7 @@ Analyzer::tryAnalyzeBatch(
                                    "cell %zu pending", i));
     }
 
-    // snoop-lint: nonconvergence-ok (per-lane results forwarded to
-    // the caller, who sees each converged flag)
+    // snoop-lint: nonconvergence-ok
     std::vector<Expected<MvaResult>> solved = batch_.solveBatch(jobs);
     for (size_t k = 0; k < solved.size(); ++k)
         out[slot[k]] = std::move(solved[k]);
@@ -183,9 +181,7 @@ Analyzer::trySaturationPoint(const ProtocolConfig &protocol,
     }
     auto inputs = DerivedInputs::compute(workload, protocol, timing_);
     auto probe = [&](unsigned n) -> Expected<double> {
-        // Unconverged saturated probes are fine: busUtil is clamped
-        // to [0, 1] and only feeds a threshold comparison.
-        // snoop-lint: nonconvergence-ok (threshold probe, see above)
+        // snoop-lint: nonconvergence-ok
         auto r = solver_.trySolve(inputs, n);
         if (!r) {
             return SolveError(std::move(r).error())

@@ -34,10 +34,7 @@ Dtmc::validate() const
         row[t.from] += t.prob;
     for (size_t s = 0; s < numStates_; ++s) {
         if (std::fabs(row[s] - 1.0) > 1e-9)
-            // Internal invariant: the transition rows are built by
-            // the protocol model, never from user input, so a bad
-            // row is a construction bug worth dying loudly for.
-            // snoop-lint: fatal-ok
+            // snoop-lint: fatal-ok (justification: tools/lint/allowlist.txt)
             fatal("Dtmc: row %zu sums to %g, not 1", s, row[s]);
     }
 }

@@ -169,6 +169,7 @@ mvaStepConstants(const DerivedInputs &d, unsigned n)
     // Hoisted for eq. (13): pPrime^qBus = 2^(qBus * log2(pPrime)).
     // Only the interior branch (0 < pPrime < 1) consumes it; the
     // boundary branches leave it at the 0 placeholder.
+    // snoop-lint: fp-ok
     c.log2PPrime = (c.pPrime > 0.0 && c.pPrime < 1.0)
         ? std::log2(c.pPrime)
         : 0.0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "mva/kernel.hh"
 #include "observe/metrics.hh"
 #include "observe/trace.hh"
 #include "util/contracts.hh"
@@ -44,7 +45,7 @@ solveOnce(const std::vector<ProcessorClass> &classes,
 
     // Appendix-B interference constants per class.
     std::vector<double> p_k(num_classes), p_prime_k(num_classes),
-        t_int_k(num_classes);
+        log2_p_prime_k(num_classes), t_int_k(num_classes);
     double supplier_frac =
         n_total > 1.0 ? std::min(1.0, 2.0 / (n_total - 1.0)) : 0.0;
     for (size_t k = 0; k < num_classes; ++k) {
@@ -52,6 +53,15 @@ solveOnce(const std::vector<ProcessorClass> &classes,
         p_k[k] = d.pA + d.pB;
         p_prime_k[k] = d.pB +
             d.pA * supplier_frac * d.csupFrac * (1.0 - d.repTerm);
+        // Hoisted for the eq. (13) form: p'^q = 2^(q * log2(p')),
+        // one transcendental per class instead of one per iteration,
+        // with the exponential through the deterministic mvaExp2
+        // (mva/kernel.hh) rather than libm pow.
+        // snoop-lint: fp-ok
+        log2_p_prime_k[k] =
+            (p_prime_k[k] > 0.0 && p_prime_k[k] < 1.0)
+            ? std::log2(p_prime_k[k])
+            : 0.0;
         t_int_k[k] = p_k[k] > 0.0
             ? 1.0 + (d.pA / p_k[k]) * supplier_frac * d.csupFrac *
                 (kAppendixBBlockCycles +
@@ -98,7 +108,7 @@ solveOnce(const std::vector<ProcessorClass> &classes,
                     n_int = p_k[k];
                 else
                     n_int = p_k[k] *
-                        (1.0 - std::pow(p_prime_k[k], q)) /
+                        (1.0 - mvaExp2(q * log2_p_prime_k[k])) /
                         (1.0 - p_prime_k[k]);
             }
             double r_local = d.pLocal * n_int * t_int_k[k];

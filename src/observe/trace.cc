@@ -151,18 +151,14 @@ loadEnvImpl()
                                           : TraceLevel::Iteration;
                 spec = trim(spec.substr(0, colon));
             } else if (suffix == "off" || suffix.empty()) {
-                // Fail-fast contract for explicit operator
-                // misconfiguration of SNOOP_TRACE (PR 4): dying at
-                // first use beats silently tracing nothing.
-                // snoop-lint: fatal-ok
+                // snoop-lint: fatal-ok (justification: tools/lint/allowlist.txt)
                 fatal("SNOOP_TRACE: bad level ':%s' in '%s' "
                       "(expected :phase or :iteration)",
                       suffix.c_str(), trace);
             }
         }
         if (spec.empty()) {
-            // Same fail-fast contract as the bad-level case above.
-            // snoop-lint: fatal-ok
+            // snoop-lint: fatal-ok (justification: tools/lint/allowlist.txt)
             fatal("SNOOP_TRACE: empty path in '%s'", trace);
         }
         installTrace(level, spec);

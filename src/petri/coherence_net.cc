@@ -10,20 +10,15 @@ namespace snoop {
 void
 CoherenceNetParams::validate() const
 {
-    // The GTPN reference simulator is a CLI-driven cross-check, not a
-    // library entry point; dying on bad parameters is its contract.
-    // snoop-lint: fatal-ok
+    // snoop-lint: fatal-ok (justification: tools/lint/allowlist.txt)
     if (numProcessors == 0)
         fatal("CoherenceNetParams: need at least one processor");
-    // Same CLI-boundary contract as above.
     // snoop-lint: fatal-ok
     if (execTime <= 0.0 || tWrite <= 0.0 || tRead <= 0.0)
         fatal("CoherenceNetParams: times must be positive");
-    // Same CLI-boundary contract as above.
     // snoop-lint: fatal-ok
     if (pLocal < 0.0 || pBc < 0.0 || pRr < 0.0)
         fatal("CoherenceNetParams: probabilities must be non-negative");
-    // Same CLI-boundary contract as above.
     // snoop-lint: fatal-ok
     if (std::fabs(pLocal + pBc + pRr - 1.0) > 1e-9)
         fatal("CoherenceNetParams: pLocal + pBc + pRr must sum to 1 "

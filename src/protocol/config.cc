@@ -23,10 +23,7 @@ ProtocolConfig::fromModString(const std::string &mods)
             c.mod4 = true;
             break;
           default:
-            // Unreachable from library entry points: findProtocol()
-            // pre-validates mod strings to [1-4] before calling here,
-            // so this only fires for direct CLI-style misuse.
-            // snoop-lint: fatal-ok
+            // snoop-lint: fatal-ok (justification: tools/lint/allowlist.txt)
             fatal("ProtocolConfig: bad modification character '%c' "
                   "(expected digits 1-4)", ch);
         }

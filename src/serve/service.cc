@@ -262,8 +262,7 @@ SolveService::handleBatch(const std::vector<Request> &requests)
     }
     {
         ScopedMetricTimer solve_timer("serve.solve_us");
-        // snoop-lint: nonconvergence-ok (Fatal policy by default: an
-        // unconverged solve surfaces as a structured error cell)
+        // snoop-lint: nonconvergence-ok (justification: tools/lint/allowlist.txt)
         std::vector<Expected<MvaResult>> solved =
             batch_.solveBatch(jobs);
         for (size_t k = 0; k < solved.size(); ++k) {

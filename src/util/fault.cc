@@ -42,10 +42,7 @@ loadEnvImpl()
     const char *env = std::getenv("SNOOP_FAULT");
     auto ok = installSpecs(env ? env : "");
     if (!ok) {
-        // Fail-fast contract for explicit operator misconfiguration
-        // of SNOOP_FAULT: a mistyped spec must not silently disarm
-        // the fault plan a test relies on.
-        // snoop-lint: fatal-ok
+        // snoop-lint: fatal-ok (justification: tools/lint/allowlist.txt)
         fatal("SNOOP_FAULT: %s", ok.error().describe().c_str());
     }
 }

@@ -7,14 +7,11 @@ namespace snoop {
 void
 BusTiming::validate() const
 {
-    // Timing parameters are fixed hardware constants validated once
-    // at Analyzer construction, before any library entry point runs.
-    // snoop-lint: fatal-ok
+    // snoop-lint: fatal-ok (justification: tools/lint/allowlist.txt)
     if (tReadMem <= 0 || tReadCache <= 0 || tWriteBack <= 0 ||
         tWrite <= 0 || tSupply <= 0 || dMem <= 0) {
         fatal("BusTiming: all times must be positive");
     }
-    // Same construction-time contract as above.
     // snoop-lint: fatal-ok
     if (numModules < 1)
         fatal("BusTiming: numModules must be >= 1");

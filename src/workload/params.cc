@@ -67,10 +67,7 @@ WorkloadParams::check() const
 void
 WorkloadParams::validate() const
 {
-    // validate() is the fatal twin of check() for CLI boundaries;
-    // library entry points (Analyzer::tryAnalyze) call check() first,
-    // so this sink is unreachable on pre-validated inputs.
-    // snoop-lint: fatal-ok
+    // snoop-lint: fatal-ok (justification: tools/lint/allowlist.txt)
     if (auto ok = check(); !ok)
         fatal("%s", ok.error().describe().c_str());
 }

@@ -1,0 +1,27 @@
+// Negative fixture for the fp-determinism pass: a libm transcendental
+// call in bit-identity-critical scope, and an unordered-map iteration
+// whose order reaches a serialization call. The basename opts this
+// file into the pass scope (fixture runs have no determinism.txt).
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <unordered_map>
+
+namespace snoop {
+
+double
+interference(double pPrime, double q)
+{
+    return 1.0 - std::pow(pPrime, q); // must fire: libm pow
+}
+
+void
+emitCounts(const std::unordered_map<std::string, double> &counts)
+{
+    for (const auto &kv : counts) { // must fire: order reaches printf
+        std::printf("%s %f\n", kv.first.c_str(), kv.second);
+    }
+}
+
+} // namespace snoop

@@ -1,0 +1,27 @@
+// Negative fixture for the fp-determinism kernel-file checks: the
+// "kernel" in the basename opts this file in as a kernel, where
+// accumulation order itself is part of the bit-identity contract.
+
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+namespace snoop {
+
+double
+foldUnordered(const std::unordered_map<int, double> &weights)
+{
+    double acc = 0.0;
+    for (const auto &kv : weights) {
+        acc += kv.second; // must fire: fold order follows hash order
+    }
+    return acc;
+}
+
+double
+reduceAll(const std::vector<double> &v)
+{
+    return std::reduce(v.begin(), v.end(), 0.0); // must fire
+}
+
+} // namespace snoop

@@ -1,0 +1,38 @@
+// Negative fixture for the lockset pass: g_samples carries
+// SNOOP_GUARDED_BY(g_mutex), recordSample writes it with no lock on
+// any path, and flushSamples locks on only one branch of an if, so
+// the other path reaches the access with an empty lockset.
+
+#include <mutex>
+
+#include "util/annotations.hh"
+
+namespace snoop {
+
+namespace {
+
+std::mutex g_mutex;
+unsigned g_samples SNOOP_GUARDED_BY(g_mutex) = 0;
+
+} // namespace
+
+void
+recordSample(unsigned v)
+{
+    g_samples += v; // must fire: no path holds g_mutex
+}
+
+unsigned
+flushSamples(bool fast)
+{
+    if (!fast) {
+        g_mutex.lock();
+    }
+    unsigned out = g_samples; // must fire: the fast path skipped it
+    if (!fast) {
+        g_mutex.unlock();
+    }
+    return out;
+}
+
+} // namespace snoop

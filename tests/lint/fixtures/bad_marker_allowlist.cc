@@ -1,0 +1,14 @@
+// Negative fixture for the marker-allowlist rule: an inline waiver
+// with no registration (the fixture root has no allowlist.txt at
+// all, so any inline waiver in scope fires).
+
+namespace snoop {
+
+// snoop-lint: fatal-ok
+inline int
+answer()
+{
+    return 42;
+}
+
+} // namespace snoop

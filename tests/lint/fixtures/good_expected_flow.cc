@@ -1,0 +1,50 @@
+// Clean fixture for the expected-flow pass: every .value() read is
+// dominated by an ok() (or operator bool) check on its own path, or
+// goes through the safe accessors -- the pass must stay silent.
+
+#include "util/expected.hh"
+
+namespace snoop {
+
+Expected<double>
+tryLoad(int key)
+{
+    if (key < 0)
+        return makeError(SolveErrorCode::InvalidArgument, "tryLoad",
+                         "negative key");
+    return 1.0;
+}
+
+double
+readGuarded(int key)
+{
+    auto r = tryLoad(key);
+    if (!r.ok())
+        return 0.0;
+    return r.value(); // the not-ok path returned early
+}
+
+double
+readBoolTested(int key)
+{
+    auto r = tryLoad(key);
+    if (r)
+        return r.value(); // operator bool established ok
+    return 0.0;
+}
+
+double
+readTernary(int key)
+{
+    auto r = tryLoad(key);
+    return r.ok() ? r.value() : 0.0; // same-statement check
+}
+
+double
+readValueOr(int key)
+{
+    auto r = tryLoad(key);
+    return r.valueOr(0.0); // safe accessor, no check needed
+}
+
+} // namespace snoop

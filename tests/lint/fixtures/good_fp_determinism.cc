@@ -1,0 +1,45 @@
+// Clean fixture for the fp-determinism pass: the deterministic
+// kernel call, the waived hoisted log2 idiom, ordered-map iteration
+// into output, and unordered iteration that never reaches output --
+// all of which must stay silent.
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace snoop {
+
+double mvaExp2(double x);
+
+double
+interference(double log2PPrime, double q)
+{
+    return 1.0 - mvaExp2(q * log2PPrime); // deterministic kernel
+}
+
+double
+hoist(double pPrime)
+{
+    // snoop-lint: fp-ok
+    return std::log2(pPrime); // waived: the documented hoist idiom
+}
+
+void
+emitOrdered(const std::map<std::string, double> &counts)
+{
+    for (const auto &kv : counts) // std::map: deterministic order
+        std::printf("%s %f\n", kv.first.c_str(), kv.second);
+}
+
+double
+sumUnordered(const std::unordered_map<std::string, double> &counts)
+{
+    double total = 0.0;
+    for (const auto &kv : counts)
+        total += kv.second; // no output on any path from the loop
+    return total;
+}
+
+} // namespace snoop

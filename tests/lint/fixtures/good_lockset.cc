@@ -1,0 +1,42 @@
+// Clean fixture for the lockset pass: every access to the annotated
+// state is under a lock_guard, inside an explicit lock()/unlock()
+// pair, or in a helper whose caller-holds contract is documented in
+// the comment the pass seeds the entry lockset from.
+
+#include <mutex>
+
+#include "util/annotations.hh"
+
+namespace snoop {
+
+namespace {
+
+std::mutex g_mutex;
+unsigned g_samples SNOOP_GUARDED_BY(g_mutex) = 0;
+
+// Caller holds g_mutex.
+unsigned
+readLocked()
+{
+    return g_samples; // entry lockset seeded by the comment above
+}
+
+} // namespace
+
+void
+recordSample(unsigned v)
+{
+    std::lock_guard<std::mutex> lock(g_mutex);
+    g_samples += v; // guard in scope
+}
+
+unsigned
+flushSamples()
+{
+    g_mutex.lock();
+    unsigned out = g_samples; // explicit lock held
+    g_mutex.unlock();
+    return out + readLocked() * 0;
+}
+
+} // namespace snoop

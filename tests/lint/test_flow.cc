@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Pass-level tests for the flow-sensitive analyses
+ * (tools/lint/flow.{hh,cc}) over synthetic in-memory FileSets:
+ * fp-determinism roster scoping and sanctioned kernels, lockset
+ * branch coverage and the caller-holds seeding idiom, expected-flow
+ * path sensitivity, and DeterminismRoster parsing. The fixture suite
+ * (test_rules.cc) proves end-to-end line numbers; these tests pin
+ * the pass logic itself so a regression names the analysis, not
+ * just "the suite diff changed".
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "lint/flow.hh"
+#include "lint/lexer.hh"
+
+using namespace snoop::lint;
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/** Findings for a single synthetic file under @p roster. */
+std::vector<Finding>
+runOn(const std::string &path, const std::string &src,
+      const DeterminismRoster &roster = {})
+{
+    FileSet files;
+    files.emplace(path, lex(src));
+    return runFlowPasses(files, roster);
+}
+
+size_t
+countRule(const std::vector<Finding> &fs, const std::string &rule)
+{
+    return static_cast<size_t>(
+        std::count_if(fs.begin(), fs.end(), [&](const Finding &f) {
+            return f.rule == rule;
+        }));
+}
+
+TEST(FpDeterminism, RosterModuleScopesThePass)
+{
+    const std::string src = "double f(double x)\n"
+                            "{\n"
+                            "    return std::exp(x);\n"
+                            "}\n";
+    DeterminismRoster roster;
+    roster.modules = {"src/mva/"};
+    // In a roster module the transcendental fires...
+    EXPECT_EQ(countRule(runOn("src/mva/solve.cc", src, roster),
+                        "fp-determinism"),
+              1u);
+    // ...outside it (same content) the pass does not run.
+    EXPECT_EQ(countRule(runOn("src/stats/solve.cc", src, roster),
+                        "fp-determinism"),
+              0u);
+}
+
+TEST(FpDeterminism, SanctionedKernelBodyIsExempt)
+{
+    DeterminismRoster roster;
+    roster.modules = {"src/mva/"};
+    roster.sanctioned.insert("fastExp");
+    // The sanctioned function IS the deterministic replacement; libm
+    // inside its own body is the point, not a violation.
+    EXPECT_EQ(countRule(runOn("src/mva/kern.cc",
+                              "double fastExp(double x)\n"
+                              "{\n"
+                              "    return std::exp(x);\n"
+                              "}\n",
+                              roster),
+                        "fp-determinism"),
+              0u);
+}
+
+TEST(FpDeterminism, MarkerWaives)
+{
+    DeterminismRoster roster;
+    roster.modules = {"src/mva/"};
+    EXPECT_EQ(countRule(runOn("src/mva/solve.cc",
+                              "double f(double x)\n"
+                              "{\n"
+                              "    // snoop-lint: fp-ok\n"
+                              "    return std::exp(x);\n"
+                              "}\n",
+                              roster),
+                        "fp-determinism"),
+              0u);
+}
+
+TEST(Lockset, OneUnlockedBranchFires)
+{
+    const std::string src =
+        "#include <mutex>\n"
+        "std::mutex g_mutex;\n"
+        "unsigned g_x SNOOP_GUARDED_BY(g_mutex) = 0;\n"
+        "unsigned\n"
+        "f(bool fast)\n"
+        "{\n"
+        "    if (!fast)\n"
+        "        g_mutex.lock();\n"
+        "    unsigned v = g_x;\n"
+        "    if (!fast)\n"
+        "        g_mutex.unlock();\n"
+        "    return v;\n"
+        "}\n";
+    std::vector<Finding> fs = runOn("src/core/state.cc", src);
+    ASSERT_EQ(countRule(fs, "lockset"), 1u);
+    EXPECT_EQ(fs[0].line, 9u);
+    // The witness path is part of the message contract.
+    EXPECT_NE(fs[0].message.find("path "), std::string::npos);
+}
+
+TEST(Lockset, GuardOnEveryPathIsSilent)
+{
+    EXPECT_EQ(
+        countRule(runOn("src/core/state.cc",
+                        "#include <mutex>\n"
+                        "std::mutex g_mutex;\n"
+                        "unsigned g_x SNOOP_GUARDED_BY(g_mutex) = 0;\n"
+                        "unsigned\n"
+                        "f()\n"
+                        "{\n"
+                        "    std::lock_guard<std::mutex> lk(g_mutex);\n"
+                        "    return g_x;\n"
+                        "}\n"),
+                  "lockset"),
+        0u);
+}
+
+TEST(Lockset, CallerHoldsCommentSeedsTheEntryLockset)
+{
+    EXPECT_EQ(
+        countRule(runOn("src/core/state.cc",
+                        "#include <mutex>\n"
+                        "std::mutex g_mutex;\n"
+                        "unsigned g_x SNOOP_GUARDED_BY(g_mutex) = 0;\n"
+                        "// Caller holds g_mutex.\n"
+                        "unsigned\n"
+                        "f()\n"
+                        "{\n"
+                        "    return g_x;\n"
+                        "}\n"),
+                  "lockset"),
+        0u);
+}
+
+TEST(Lockset, TrailingCommentDoesNotSeed)
+{
+    // The "hold" idiom only counts on whole-line comments; a trailing
+    // remark on a nearby statement must not grant the lock.
+    EXPECT_EQ(
+        countRule(runOn("src/core/state.cc",
+                        "#include <mutex>\n"
+                        "std::mutex g_mutex;\n"
+                        "unsigned g_x SNOOP_GUARDED_BY(g_mutex) = 0;\n"
+                        "int g_y = 0; // nobody holds g_mutex here\n"
+                        "unsigned\n"
+                        "f()\n"
+                        "{\n"
+                        "    return g_x;\n"
+                        "}\n"),
+                  "lockset"),
+        1u);
+}
+
+TEST(ExpectedFlow, CheckedOnOneBranchReadOnAnother)
+{
+    const std::string src =
+        "#include \"util/expected.hh\"\n"
+        "Expected<int> tryGet(int k);\n"
+        "int\n"
+        "f(int k, bool fast)\n"
+        "{\n"
+        "    auto r = tryGet(k);\n"
+        "    if (fast)\n"
+        "        return r.value();\n"
+        "    if (!r.ok())\n"
+        "        return 0;\n"
+        "    return r.value();\n"
+        "}\n";
+    std::vector<Finding> fs = runOn("src/core/use.cc", src);
+    ASSERT_EQ(countRule(fs, "expected-flow"), 1u);
+    EXPECT_EQ(fs[0].line, 8u);
+}
+
+TEST(ExpectedFlow, CheckedEveryPathIsSilent)
+{
+    EXPECT_EQ(countRule(runOn("src/core/use.cc",
+                              "#include \"util/expected.hh\"\n"
+                              "Expected<int> tryGet(int k);\n"
+                              "int\n"
+                              "f(int k)\n"
+                              "{\n"
+                              "    auto r = tryGet(k);\n"
+                              "    if (!r.ok())\n"
+                              "        return 0;\n"
+                              "    return r.value();\n"
+                              "}\n"),
+                        "expected-flow"),
+              0u);
+}
+
+TEST(ExpectedFlow, ErrBranchReadFires)
+{
+    std::vector<Finding> fs =
+        runOn("src/core/use.cc",
+              "#include \"util/expected.hh\"\n"
+              "Expected<int> tryGet(int k);\n"
+              "int\n"
+              "f(int k)\n"
+              "{\n"
+              "    auto r = tryGet(k);\n"
+              "    if (r.ok())\n"
+              "        return r.value();\n"
+              "    return r.value();\n"
+              "}\n");
+    ASSERT_EQ(countRule(fs, "expected-flow"), 1u);
+    EXPECT_EQ(fs[0].line, 9u);
+}
+
+TEST(Roster, LoadParsesDirectives)
+{
+    fs::path tmp = fs::temp_directory_path() / "determinism_test.txt";
+    {
+        std::ofstream out(tmp);
+        out << "# roster\n"
+            << "module src/mva/\n"
+            << "kernel src/mva/kernel.hh\n"
+            << "sanctioned mvaExp2\n";
+    }
+    std::string err;
+    DeterminismRoster r = DeterminismRoster::load(tmp.string(), &err);
+    EXPECT_TRUE(err.empty()) << err;
+    EXPECT_TRUE(r.memberFile("src/mva/solve.cc"));
+    EXPECT_TRUE(r.memberFile("src/mva/kernel.hh"));
+    EXPECT_FALSE(r.memberFile("src/stats/solve.cc"));
+    EXPECT_TRUE(r.kernelFile("src/mva/kernel.hh"));
+    EXPECT_FALSE(r.kernelFile("src/mva/solve.cc"));
+    EXPECT_EQ(r.sanctioned.count("mvaExp2"), 1u);
+    fs::remove(tmp);
+}
+
+TEST(Roster, MalformedDirectiveIsAnError)
+{
+    fs::path tmp = fs::temp_directory_path() / "determinism_bad.txt";
+    {
+        std::ofstream out(tmp);
+        out << "frobnicate src/mva/\n";
+    }
+    std::string err;
+    DeterminismRoster::load(tmp.string(), &err);
+    EXPECT_FALSE(err.empty());
+    fs::remove(tmp);
+}
+
+TEST(Roster, MissingFileIsAnEmptyRosterNotAnError)
+{
+    std::string err;
+    DeterminismRoster r =
+        DeterminismRoster::load("/nonexistent/determinism.txt", &err);
+    EXPECT_TRUE(err.empty());
+    EXPECT_TRUE(r.modules.empty());
+    EXPECT_TRUE(r.kernels.empty());
+}
+
+} // namespace

@@ -11,11 +11,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "lint/engine.hh"
 #include "lint/report.hh"
 
 using namespace snoop::lint;
@@ -97,6 +100,8 @@ TEST(Sarif, RuleIdsAreStable)
         "unused-include",       "fatal-reachability",
         "unchecked-expected",   "guarded-shared-state",
         "numeric-guard-coverage",
+        "fp-determinism",       "lockset",
+        "expected-flow",        "marker-allowlist",
     };
     const auto &rules = ruleTable();
     ASSERT_EQ(rules.size(), sizeof(kIds) / sizeof(kIds[0]));
@@ -156,6 +161,107 @@ TEST(Baseline, MissingFileIsEmpty)
     Baseline b = Baseline::load("/nonexistent/baseline.txt");
     EXPECT_EQ(b.size(), 0u);
     EXPECT_TRUE(b.errors().empty());
+}
+
+TEST(ChangedOnly, ToleratesDeletedAndRenamedFiles)
+{
+    // Regression: `git diff --name-only <ref>` used to feed deleted
+    // (and renamed-away) paths into the target list; the diff is now
+    // taken with --diff-filter=d and existing files only.
+    namespace fs = std::filesystem;
+    if (std::system("git --version > /dev/null 2>&1") != 0)
+        GTEST_SKIP() << "git not available";
+
+    fs::path dir =
+        fs::temp_directory_path() / "snoop_lint_changed_only";
+    fs::remove_all(dir);
+    fs::create_directories(dir / "src");
+    auto sh = [&](const std::string &cmd) {
+        return std::system(("cd \"" + dir.string() + "\" && " + cmd +
+                            " > /dev/null 2>&1")
+                               .c_str());
+    };
+    auto put = [&](const char *rel, const char *body) {
+        std::ofstream out(dir / rel);
+        out << body;
+    };
+
+    ASSERT_EQ(sh("git init -q"), 0);
+    sh("git config user.email lint@test && git config user.name lint");
+    put("src/keep.cc", "void keepCheck(int n) { assert(n > 0); }\n");
+    put("src/doomed.cc", "void gone(int n) { assert(n > 0); }\n");
+    put("src/old_name.cc", "void moved(int n) { assert(n > 0); }\n");
+    ASSERT_EQ(sh("git add -A && git commit -qm seed"), 0);
+
+    put("src/keep.cc", "void keepCheck(int n) { assert(n >= 0); }\n");
+    fs::rename(dir / "src/old_name.cc", dir / "src/new_name.cc");
+    fs::remove(dir / "src/doomed.cc");
+    ASSERT_EQ(sh("git add -A"), 0);
+
+    LintOptions opt;
+    opt.root = dir.string();
+    opt.changedOnly = true;
+    opt.changedRef = "HEAD";
+    opt.useBaseline = false;
+
+    LintResult r = runLint(opt);
+    EXPECT_TRUE(r.errors.empty()) << (r.errors.empty() ? ""
+                                                       : r.errors[0]);
+    // The surviving changed files are linted; the deleted file and
+    // the rename's old path are not (and produce no errors).
+    std::vector<std::string> files;
+    for (const Finding &f : r.findings)
+        files.push_back(f.file + ":" + f.rule);
+    std::vector<std::string> want = {"src/keep.cc:no-raw-assert",
+                                     "src/new_name.cc:no-raw-assert"};
+    EXPECT_EQ(files, want);
+
+    fs::remove_all(dir);
+}
+
+TEST(Allowlist, ParseMatchAndStale)
+{
+    Allowlist a = Allowlist::parse(
+        "# registry of inline waivers\n"
+        "\n"
+        "src/util/fault.cc:fatal-ok        # handler must not recurse\n"
+        "src/core/gone.cc:nonconvergence-ok  # marker removed\n");
+    EXPECT_TRUE(a.errors().empty());
+    EXPECT_EQ(a.size(), 2u);
+
+    EXPECT_TRUE(a.matches("src/util/fault.cc", "fatal-ok"));
+    EXPECT_FALSE(a.matches("src/util/fault.cc", "include-ok"));
+    EXPECT_FALSE(a.matches("src/util/other.cc", "fatal-ok"));
+
+    // Only the never-matched entry is stale.
+    auto stale = a.staleEntries();
+    ASSERT_EQ(stale.size(), 1u);
+    EXPECT_EQ(stale[0], "src/core/gone.cc:nonconvergence-ok");
+}
+
+TEST(Allowlist, JustificationIsMandatory)
+{
+    Allowlist a =
+        Allowlist::parse("src/util/fault.cc:fatal-ok\n"
+                         "src/util/fault.cc:fatal-ok  #\n");
+    EXPECT_EQ(a.errors().size(), 2u);
+    for (const auto &err : a.errors())
+        EXPECT_NE(err.find("justification"), std::string::npos) << err;
+    EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Allowlist, MalformedLinesAreErrorsNotSilence)
+{
+    Allowlist a = Allowlist::parse("no-colon-here  # why\n");
+    ASSERT_EQ(a.errors().size(), 1u);
+    EXPECT_EQ(a.size(), 0u);
+}
+
+TEST(Allowlist, MissingFileIsEmpty)
+{
+    Allowlist a = Allowlist::load("/nonexistent/allowlist.txt");
+    EXPECT_EQ(a.size(), 0u);
+    EXPECT_TRUE(a.errors().empty());
 }
 
 TEST(ListRules, SnapshotTracksRegistry)

@@ -40,8 +40,17 @@ struct Expected {
 const std::vector<Expected> kExpected = {
     {"bad_converged_check.cc", "converged-check", 14},
     {"bad_determinism.cc", "determinism", 13},
+    {"bad_expected_flow.cc", "expected-flow", 25},
+    {"bad_expected_flow.cc", "expected-flow", 37},
     {"bad_fatal_reachability.cc", "fatal-reachability", 24},
+    {"bad_fp_determinism.cc", "fp-determinism", 16},
+    {"bad_fp_determinism.cc", "fp-determinism", 22},
+    {"bad_fp_determinism__kernel.cc", "fp-determinism", 16},
+    {"bad_fp_determinism__kernel.cc", "fp-determinism", 24},
     {"bad_guarded_shared_state.cc", "guarded-shared-state", 12},
+    {"bad_lockset.cc", "lockset", 22},
+    {"bad_lockset.cc", "lockset", 31},
+    {"bad_marker_allowlist.cc", "marker-allowlist", 7},
     {"bad_numeric_guard_coverage.cc", "numeric-guard-coverage", 9},
     {"bad_unchecked_expected.cc", "unchecked-expected", 22},
     {"bad_unchecked_expected.cc", "unchecked-expected", 28},

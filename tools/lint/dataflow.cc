@@ -1,0 +1,33 @@
+#include "lint/dataflow.hh"
+
+#include <algorithm>
+
+namespace snoop::lint {
+
+namespace {
+
+void
+dfs(const Cfg &cfg, size_t b, std::vector<char> &seen,
+    std::vector<size_t> &post)
+{
+    seen[b] = 1;
+    for (const CfgEdge &e : cfg.blocks[b].succs)
+        if (!seen[e.to])
+            dfs(cfg, e.to, seen, post);
+    post.push_back(b);
+}
+
+} // namespace
+
+std::vector<size_t>
+reversePostOrder(const Cfg &cfg)
+{
+    std::vector<char> seen(cfg.blocks.size(), 0);
+    std::vector<size_t> post;
+    post.reserve(cfg.blocks.size());
+    dfs(cfg, cfg.entry, seen, post);
+    std::reverse(post.begin(), post.end());
+    return post;
+}
+
+} // namespace snoop::lint

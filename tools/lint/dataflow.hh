@@ -1,0 +1,134 @@
+#pragma once
+
+/**
+ * @file
+ * Generic forward worklist dataflow over lint/cfg.hh CFGs. A pass
+ * describes its lattice by subclassing DataflowProblem<State> and
+ * hands it to solveForward(); the solver iterates transfer functions
+ * in reverse post-order until the per-block states stop changing.
+ *
+ * The framework is deliberately small: `State` is any copyable,
+ * equality-comparable value; `join` must be commutative/associative
+ * with `initialState()` as its identity; `transfer` folds one
+ * statement into a state; `edge` refines the state along a True or
+ * False branch (how expected-flow learns from `if (r.ok())`). The
+ * solver caps iterations so a malformed lattice cannot hang the
+ * linter — a non-converged result tells the pass to stay silent,
+ * the same contract as a degraded CFG.
+ *
+ * docs/ANALYSIS.md ("Writing a dataflow pass") walks through a
+ * complete example.
+ */
+
+#include <cstddef>
+#include <vector>
+
+#include "lint/cfg.hh"
+
+namespace snoop::lint {
+
+/** Blocks of @p cfg in reverse post-order of a DFS from entry
+ * (unreachable blocks excluded). Iterating transfers in this order
+ * minimizes worklist churn for reducible CFGs. */
+std::vector<size_t> reversePostOrder(const Cfg &cfg);
+
+/**
+ * A forward dataflow problem over lattice `State`.
+ *
+ * The solver computes, for every block B,
+ *
+ *     in[B]  = join over predecessors P of edge(out[P], P->B)
+ *     out[B] = transfer*(in[B])   (statements folded in order)
+ *
+ * starting from entryState() at the entry block.
+ */
+template <typename State> class DataflowProblem
+{
+  public:
+    virtual ~DataflowProblem() = default;
+
+    /** State on entry to the function. */
+    virtual State entryState() const = 0;
+
+    /** Identity of join: the state of a block no path has reached
+     * yet (top). join(initialState(), s) must equal s. */
+    virtual State initialState() const = 0;
+
+    /** Least upper bound of two path states. */
+    virtual State join(const State &a, const State &b) const = 0;
+
+    /** Fold one statement into @p s. */
+    virtual void transfer(State &s, const LexedFile &file,
+                          const CfgStmt &stmt) const = 0;
+
+    /** Refine @p s along a branch edge out of @p from (whose
+     * [condBegin, condEnd) is the atomic condition the edge tests).
+     * Default: no refinement. */
+    virtual void edge(State &s, const LexedFile &file,
+                      const CfgBlock &from, const CfgEdge &e) const
+    {
+        (void)s;
+        (void)file;
+        (void)from;
+        (void)e;
+    }
+};
+
+/** Solver output: per-block states. `in[b]` holds before the first
+ * statement of block b, `out[b]` after its last. When `converged` is
+ * false the iteration cap was hit and the states are unreliable —
+ * passes must not report findings from them. */
+template <typename State> struct DataflowResult {
+    std::vector<State> in;
+    std::vector<State> out;
+    bool converged = true;
+};
+
+template <typename State>
+DataflowResult<State>
+solveForward(const Cfg &cfg, const LexedFile &file,
+             const DataflowProblem<State> &problem)
+{
+    size_t n = cfg.blocks.size();
+    DataflowResult<State> r;
+    r.in.assign(n, problem.initialState());
+    r.out.assign(n, problem.initialState());
+    r.in[cfg.entry] = problem.entryState();
+
+    std::vector<size_t> order = reversePostOrder(cfg);
+    // Statement transfers are linear, so a pass over the blocks can
+    // only need as many rounds as the longest chain of back edges;
+    // blocks*64 rounds is far beyond any real body and bounds a
+    // lattice that fails to stabilize.
+    size_t max_rounds = 64 * n + 4;
+    bool changed = true;
+    size_t rounds = 0;
+    while (changed && rounds++ < max_rounds) {
+        changed = false;
+        for (size_t b : order) {
+            State in = b == cfg.entry ? problem.entryState()
+                                      : problem.initialState();
+            for (size_t p = 0; p < n; ++p) {
+                for (const CfgEdge &e : cfg.blocks[p].succs) {
+                    if (e.to != b)
+                        continue;
+                    State along = r.out[p];
+                    problem.edge(along, file, cfg.blocks[p], e);
+                    in = problem.join(in, along);
+                }
+            }
+            State out = in;
+            for (const CfgStmt &s : cfg.blocks[b].stmts)
+                problem.transfer(out, file, s);
+            if (!(in == r.in[b]) || !(out == r.out[b])) {
+                r.in[b] = std::move(in);
+                r.out[b] = std::move(out);
+                changed = true;
+            }
+        }
+    }
+    r.converged = !changed;
+    return r;
+}
+
+} // namespace snoop::lint

@@ -6,6 +6,7 @@
 #include <filesystem>
 #include <map>
 
+#include "lint/flow.hh"
 #include "lint/include_graph.hh"
 #include "lint/lexer.hh"
 #include "lint/rules.hh"
@@ -66,8 +67,11 @@ gitChangedFiles(const std::string &root, const std::string &ref,
         *err = "unsafe --changed-only ref: '" + ref + "'";
         return false;
     }
-    std::string cmd = "git -C \"" + root + "\" diff --name-only " + ref +
-        " -- 2>/dev/null";
+    // --diff-filter=d: a file deleted (or the old name of a rename)
+    // since <ref> is not a lintable target; without the filter the
+    // diff can name paths that no longer exist on disk.
+    std::string cmd = "git -C \"" + root +
+        "\" diff --name-only --diff-filter=d " + ref + " -- 2>/dev/null";
     FILE *pipe = popen(cmd.c_str(), "r");
     if (!pipe) {
         *err = "cannot run git for --changed-only";
@@ -153,6 +157,53 @@ class DiskResolver : public HeaderResolver
     LexCache &cache_;
 };
 
+/** One inline `// snoop-lint: <marker>` occurrence. */
+struct MarkerUse {
+    std::string file;
+    std::string marker;
+    size_t line;
+};
+
+/** Files whose inline markers must be registered in allowlist.txt:
+ * the library tree, plus the rule's own fixtures. */
+bool
+markerScope(const std::string &display, const std::string &base)
+{
+    return display.rfind("src/", 0) == 0 ||
+        base.rfind("bad_marker_allowlist", 0) == 0 ||
+        base.rfind("good_marker_allowlist", 0) == 0;
+}
+
+/** Collect `snoop-lint: <marker>` uses in comment position (a `//`
+ * earlier on the line), so string literals and doc prose that merely
+ * mention a marker are not counted. */
+void
+scanMarkers(const std::string &display, const LexedFile &lexed,
+            std::vector<MarkerUse> *out)
+{
+    static const std::string kKey = "snoop-lint:";
+    for (size_t l = 0; l < lexed.lines.size(); ++l) {
+        const std::string &raw = lexed.lines[l];
+        size_t slashes = raw.find("//");
+        if (slashes == std::string::npos)
+            continue;
+        size_t at = raw.find(kKey, slashes);
+        while (at != std::string::npos) {
+            size_t p = at + kKey.size();
+            while (p < raw.size() && raw[p] == ' ')
+                ++p;
+            std::string marker;
+            while (p < raw.size() &&
+                   (std::isalnum(static_cast<unsigned char>(raw[p])) ||
+                    raw[p] == '-' || raw[p] == '_'))
+                marker.push_back(raw[p++]);
+            if (!marker.empty())
+                out->push_back({display, marker, l + 1});
+            at = raw.find(kKey, p);
+        }
+    }
+}
+
 std::vector<fs::path>
 expandTargets(const std::vector<std::string> &paths,
               std::vector<std::string> *errors)
@@ -210,9 +261,11 @@ runLint(const LintOptions &opt)
         targets = expandTargets(opt.paths, &result.errors);
     }
 
-    // 2. Per-file rules + IWYU-lite.
+    // 2. Per-file rules + IWYU-lite (+ marker collection for the
+    // allowlist check in step 4b).
     std::vector<Finding> findings;
     std::map<std::string, bool> is_target;
+    std::vector<MarkerUse> markers;
     for (const fs::path &p : targets) {
         const LexedFile *lexed = cache.get(p);
         if (!lexed)
@@ -223,6 +276,8 @@ runLint(const LintOptions &opt)
         if (!isTestExempt(p.string()))
             checkUnusedIncludes(display, p.string(), *lexed, resolver,
                                 findings);
+        if (markerScope(display, p.filename().string()))
+            scanMarkers(display, *lexed, &markers);
     }
 
     // 3. Tree passes over root/src.
@@ -312,7 +367,47 @@ runLint(const LintOptions &opt)
                 if (is_target.count(f.file))
                     findings.push_back(std::move(f));
             }
+            // Flow-sensitive passes (CFG + dataflow) share the same
+            // file set and ownership rule.
+            std::string roster_path = opt.rosterPath.empty()
+                ? (root / "tools" / "lint" / "determinism.txt")
+                      .string()
+                : opt.rosterPath;
+            std::string roster_err;
+            DeterminismRoster roster =
+                DeterminismRoster::load(roster_path, &roster_err);
+            if (!roster_err.empty())
+                result.errors.push_back(roster_err);
+            for (Finding &f : runFlowPasses(sem, roster)) {
+                if (is_target.count(f.file))
+                    findings.push_back(std::move(f));
+            }
         }
+    }
+
+    // 4b. Marker allowlist: every inline snoop-lint: waiver in src/
+    // must be registered with a justification; registrations whose
+    // marker is gone are stale (mirrors baseline.txt semantics).
+    {
+        std::string allow_path = opt.allowlistPath.empty()
+            ? (root / "tools" / "lint" / "allowlist.txt").string()
+            : opt.allowlistPath;
+        Allowlist allow = Allowlist::load(allow_path);
+        for (const auto &err : allow.errors())
+            result.errors.push_back(err);
+        for (const MarkerUse &m : markers) {
+            if (allow.matches(m.file, m.marker))
+                continue;
+            findings.push_back(
+                {m.file, m.line, "marker-allowlist",
+                 "inline marker 'snoop-lint: " + m.marker +
+                     "' is not registered in "
+                     "tools/lint/allowlist.txt; add '" +
+                     m.file + ":" + m.marker +
+                     "  # <justification>'"});
+        }
+        if (opt.treePasses && !opt.changedOnly)
+            result.staleAllowlist = allow.staleEntries();
     }
 
     // 5. Deterministic order, then baseline suppression.

@@ -48,6 +48,13 @@ struct LintOptions {
 
     /** Layers file; empty means root/tools/lint/layers.txt. */
     std::string layersPath;
+
+    /** Marker allowlist; empty means root/tools/lint/allowlist.txt. */
+    std::string allowlistPath;
+
+    /** Determinism roster for the fp-determinism pass; empty means
+     * root/tools/lint/determinism.txt. */
+    std::string rosterPath;
 };
 
 struct LintResult {
@@ -57,6 +64,9 @@ struct LintResult {
     /** Baseline entries that matched nothing (full-tree runs only):
      * fixed violations whose suppression should be deleted. */
     std::vector<std::string> staleBaseline;
+    /** Allowlist entries that matched no marker occurrence (full-tree
+     * runs only): removed waivers to delete from allowlist.txt. */
+    std::vector<std::string> staleAllowlist;
     /** Environment/usage failures (git unavailable, bad layers
      * file): distinct from findings, exit code 2 territory. */
     std::vector<std::string> errors;

@@ -1,0 +1,1076 @@
+#include "lint/flow.hh"
+
+#include <algorithm>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "lint/cfg.hh"
+#include "lint/dataflow.hh"
+#include "lint/symbols.hh"
+
+namespace snoop::lint {
+
+namespace {
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+        s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+baseName(const std::string &path)
+{
+    size_t slash = path.find_last_of('/');
+    return slash == std::string::npos ? path : path.substr(slash + 1);
+}
+
+bool
+isPunct(const Token &t, const char *p)
+{
+    return t.kind == TokenKind::Punct && t.text == p;
+}
+
+bool
+isIdent(const Token &t, const char *name)
+{
+    return t.kind == TokenKind::Identifier && t.text == name;
+}
+
+/** True when `// snoop-lint: <marker>` appears on @p line or the
+ * three lines above it (same window as the semantic passes). */
+bool
+markerNearby(const LexedFile &lexed, size_t line, const char *marker)
+{
+    std::string needle = std::string("snoop-lint: ") + marker;
+    size_t from = line > 3 ? line - 3 : 1;
+    for (size_t l = from; l <= line && l <= lexed.lines.size(); ++l)
+        if (lexed.lines[l - 1].find(needle) != std::string::npos)
+            return true;
+    return false;
+}
+
+/** Index after the template argument list opening at @p i (toks[i]
+ * is '<'); falls back to i+1 when the angles do not balance before
+ * a ';'. */
+size_t
+skipAngles(const std::vector<Token> &toks, size_t i)
+{
+    int depth = 0;
+    for (size_t k = i; k < toks.size(); ++k) {
+        const Token &t = toks[k];
+        if (t.kind != TokenKind::Punct)
+            continue;
+        if (t.text == "<")
+            ++depth;
+        else if (t.text == ">") {
+            if (--depth == 0)
+                return k + 1;
+        } else if (t.text == ";") {
+            break;
+        }
+    }
+    return i + 1;
+}
+
+/** Render a witness path as "L10 -> L14 -> L20": the first statement
+ * (or condition) line of each block on the shortest entry -> block
+ * path. */
+std::string
+describePath(const Cfg &cfg, size_t target)
+{
+    std::ostringstream o;
+    bool first = true;
+    for (size_t b : pathToBlock(cfg, target)) {
+        const CfgBlock &blk = cfg.blocks[b];
+        size_t line = 0;
+        if (!blk.stmts.empty())
+            line = blk.stmts.front().line;
+        else if (blk.hasCond())
+            line = blk.condLine;
+        if (line == 0)
+            continue;
+        if (!first)
+            o << " -> ";
+        o << "L" << line;
+        first = false;
+    }
+    return o.str();
+}
+
+// ====================================================================
+// fp-determinism
+// ====================================================================
+
+const std::set<std::string> &
+transcendentals()
+{
+    static const std::set<std::string> k = {
+        "pow",   "powf",  "powl",   "exp",    "exp2",  "expm1",
+        "log",   "log2",  "log10",  "log1p",  "sin",   "cos",
+        "tan",   "sinh",  "cosh",   "tanh",   "asin",  "acos",
+        "atan",  "atan2", "erf",    "erfc",   "tgamma", "lgamma",
+        "cbrt",  "hypot",
+    };
+    return k;
+}
+
+/** Functions that hand bytes to an output stream or serialized
+ * form — the point past which iteration order becomes observable. */
+const std::set<std::string> &
+outputCalls()
+{
+    static const std::set<std::string> k = {
+        "printf",    "fprintf", "fputs",     "fwrite",  "puts",
+        "writeLine", "appendLine", "emit",   "print",   "serialize",
+        "serializeJson", "toJson", "toCsv",  "jsonLine", "writeRow",
+        "cellLine",  "dump",
+    };
+    return k;
+}
+
+/** Stream-ish identifiers that make `<<` an output statement rather
+ * than a shift. */
+const std::set<std::string> &
+streamNames()
+{
+    static const std::set<std::string> k = {"cout", "cerr", "clog",
+                                            "os",   "out",  "stream"};
+    return k;
+}
+
+bool
+fpScope(const std::string &file, const DeterminismRoster &roster)
+{
+    const std::string base = baseName(file);
+    return roster.memberFile(file) ||
+        startsWith(base, "bad_fp_determinism") ||
+        startsWith(base, "good_fp_determinism");
+}
+
+bool
+fpKernel(const std::string &file, const DeterminismRoster &roster)
+{
+    const std::string base = baseName(file);
+    return roster.kernelFile(file) ||
+        ((startsWith(base, "bad_fp_determinism") ||
+          startsWith(base, "good_fp_determinism")) &&
+         base.find("kernel") != std::string::npos);
+}
+
+bool
+sanctionedName(const std::string &name, const DeterminismRoster &roster)
+{
+    // mvaExp2 is the repository's deterministic 2^x kernel
+    // (src/mva/kernel.hh); it is sanctioned even in fixture runs
+    // where no roster file exists.
+    return name == "mvaExp2" || roster.sanctioned.count(name) > 0;
+}
+
+/** Variable names declared as unordered_{map,set,multimap,multiset}
+ * within one function's extent (signature line through body end),
+ * plus file-scope globals of unordered type. Scoping the scan to the
+ * function keeps a `counts` parameter of unordered type in one
+ * function from tainting an ordered `counts` in another. */
+std::set<std::string>
+unorderedVars(const LexedFile &lexed, const ParsedFile &parsed,
+              const FunctionDef &fn)
+{
+    std::set<std::string> vars;
+    const std::vector<Token> &toks = lexed.tokens;
+    for (size_t i = 0; i + 1 < toks.size() && i < fn.bodyEnd; ++i) {
+        const Token &t = toks[i];
+        if (t.line < fn.line || t.kind != TokenKind::Identifier ||
+            !startsWith(t.text, "unordered_"))
+            continue;
+        size_t k = i + 1;
+        if (k < toks.size() && isPunct(toks[k], "<"))
+            k = skipAngles(toks, k);
+        while (k < toks.size() &&
+               (isPunct(toks[k], "&") || isPunct(toks[k], "*") ||
+                isIdent(toks[k], "const")))
+            ++k;
+        if (k < toks.size() && toks[k].kind == TokenKind::Identifier)
+            vars.insert(toks[k].text);
+    }
+    for (const GlobalVar &g : parsed.globals)
+        if (g.typeText.find("unordered_") != std::string::npos)
+            vars.insert(g.name);
+    return vars;
+}
+
+/** The identifier iterated by a RangeFor header `(decl : expr)`, if
+ * the range expression names a known unordered container. */
+std::string
+unorderedRangeVar(const std::vector<Token> &toks, const CfgStmt &s,
+                  const std::set<std::string> &unordered)
+{
+    // Find the top-level ':' separating decl from range expression.
+    int depth = 0;
+    size_t colon = s.end;
+    for (size_t k = s.begin; k < s.end; ++k) {
+        const Token &t = toks[k];
+        if (t.kind != TokenKind::Punct)
+            continue;
+        if (t.text == "(" || t.text == "[" || t.text == "{")
+            ++depth;
+        else if (t.text == ")" || t.text == "]" || t.text == "}")
+            --depth;
+        else if (t.text == ":" && depth == 0) {
+            bool dbl = (k + 1 < s.end && isPunct(toks[k + 1], ":")) ||
+                (k > s.begin && isPunct(toks[k - 1], ":"));
+            if (!dbl) {
+                colon = k;
+                break;
+            }
+        }
+    }
+    for (size_t k = colon; k < s.end; ++k)
+        if (toks[k].kind == TokenKind::Identifier &&
+            unordered.count(toks[k].text))
+            return toks[k].text;
+    return "";
+}
+
+/** Output call (or stream insertion) named by the statement, or ""
+ * when it has none. ScopeEnd statements span whole compounds and are
+ * never scanned. */
+std::string
+outputCallIn(const std::vector<Token> &toks, const CfgStmt &s)
+{
+    if (s.kind == StmtKind::ScopeEnd)
+        return "";
+    bool hasShift = false;
+    std::string stream;
+    for (size_t k = s.begin; k < s.end; ++k) {
+        const Token &t = toks[k];
+        if (t.kind == TokenKind::Identifier) {
+            // Free and member spellings both count: x.serialize()
+            // makes iteration order just as observable.
+            if (k + 1 < s.end && isPunct(toks[k + 1], "(") &&
+                outputCalls().count(t.text))
+                return t.text;
+            if (streamNames().count(t.text))
+                stream = t.text;
+        } else if (isPunct(t, "<") && k + 1 < s.end &&
+                   isPunct(toks[k + 1], "<")) {
+            hasShift = true;
+            ++k;
+        }
+    }
+    if (hasShift && !stream.empty())
+        return stream + " << ...";
+    return "";
+}
+
+void
+checkFpDeterminism(const FileSet &files, const SymbolIndex &index,
+                   const DeterminismRoster &roster,
+                   std::vector<Finding> &out)
+{
+    for (const auto &[file, lexed] : files) {
+        if (!fpScope(file, roster))
+            continue;
+        const ParsedFile &parsed = index.parsed(file);
+        const std::vector<Token> &toks = lexed.tokens;
+
+        // Token ranges of sanctioned function bodies: the
+        // deterministic kernel itself may use libm internally.
+        std::vector<std::pair<size_t, size_t>> sanctionedBodies;
+        for (const FunctionDef &fn : parsed.functions)
+            if (sanctionedName(fn.name, roster))
+                sanctionedBodies.push_back({fn.bodyBegin, fn.bodyEnd});
+        auto inSanctioned = [&](size_t tok) {
+            for (const auto &[b, e] : sanctionedBodies)
+                if (tok >= b && tok < e)
+                    return true;
+            return false;
+        };
+
+        // (a) Libm transcendental calls.
+        for (size_t i = 0; i + 1 < toks.size(); ++i) {
+            const Token &t = toks[i];
+            if (t.kind != TokenKind::Identifier ||
+                !transcendentals().count(t.text) ||
+                !isPunct(toks[i + 1], "("))
+                continue;
+            if (i > 0 && (isPunct(toks[i - 1], ".") ||
+                          isPunct(toks[i - 1], ">")))
+                continue; // member call on some other type
+            if (inSanctioned(i))
+                continue;
+            if (markerNearby(lexed, t.line, "fp-ok"))
+                continue;
+            out.push_back(
+                {file, t.line, "fp-determinism",
+                 "libm transcendental '" + t.text +
+                     "' in a bit-identity-critical module "
+                     "(tools/lint/determinism.txt); results differ "
+                     "across libm versions -- use the deterministic "
+                     "kernel (mvaExp2) or justify with "
+                     "'// snoop-lint: fp-ok'"});
+        }
+
+        // (b) Unordered iteration on a path reaching output, and
+        // (c) accumulation-order hazards in kernel files.
+        bool kernel = fpKernel(file, roster);
+
+        if (kernel) {
+            for (size_t i = 0; i + 1 < toks.size(); ++i) {
+                const Token &t = toks[i];
+                if (t.kind != TokenKind::Identifier)
+                    continue;
+                if ((t.text == "reduce" || t.text == "execution") &&
+                    i >= 3 && isPunct(toks[i - 1], ":") &&
+                    isPunct(toks[i - 2], ":") &&
+                    isIdent(toks[i - 3], "std")) {
+                    if (markerNearby(lexed, t.line, "fp-ok"))
+                        continue;
+                    out.push_back(
+                        {file, t.line, "fp-determinism",
+                         "'std::" + t.text +
+                             "' in a kernel file: accumulation order "
+                             "is unspecified, which breaks "
+                             "bit-identity (snoop-lint: fp-ok to "
+                             "waive)"});
+                }
+            }
+        }
+
+        for (const FunctionDef &fn : parsed.functions) {
+            std::set<std::string> unordered =
+                unorderedVars(lexed, parsed, fn);
+            if (unordered.empty())
+                continue;
+            Cfg cfg = buildCfg(lexed, fn);
+            if (cfg.degraded)
+                continue;
+            for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+                for (const CfgStmt &s : cfg.blocks[b].stmts) {
+                    if (s.kind != StmtKind::RangeFor)
+                        continue;
+                    std::string var =
+                        unorderedRangeVar(toks, s, unordered);
+                    if (var.empty())
+                        continue;
+                    if (markerNearby(lexed, s.line, "fp-ok"))
+                        continue;
+                    // Blocks reachable from the loop header: the
+                    // body and everything after the loop.
+                    std::vector<char> seen(cfg.blocks.size(), 0);
+                    std::vector<size_t> queue{b};
+                    seen[b] = 1;
+                    std::string sink;
+                    size_t sinkBlock = 0, sinkLine = 0;
+                    for (size_t h = 0;
+                         h < queue.size() && sink.empty(); ++h) {
+                        for (const CfgStmt &q :
+                             cfg.blocks[queue[h]].stmts) {
+                            sink = outputCallIn(toks, q);
+                            if (!sink.empty()) {
+                                sinkBlock = queue[h];
+                                sinkLine = q.line;
+                                break;
+                            }
+                        }
+                        for (const CfgEdge &e :
+                             cfg.blocks[queue[h]].succs)
+                            if (!seen[e.to]) {
+                                seen[e.to] = 1;
+                                queue.push_back(e.to);
+                            }
+                    }
+                    if (!sink.empty()) {
+                        out.push_back(
+                            {file, s.line, "fp-determinism",
+                             "iteration over unordered container '" +
+                                 var +
+                                 "' reaches output call '" + sink +
+                                 "' (line " +
+                                 std::to_string(sinkLine) +
+                                 ", path " +
+                                 describePath(cfg, sinkBlock) +
+                                 "); hash iteration order is not "
+                                 "deterministic across "
+                                 "runs/platforms"});
+                        continue;
+                    }
+                    if (!kernel)
+                        continue;
+                    // Kernel accumulation: `+=` folded inside the
+                    // loop body (blocks on a cycle through the
+                    // header).
+                    std::vector<char> back(cfg.blocks.size(), 0);
+                    std::vector<size_t> bq{b};
+                    back[b] = 1;
+                    // reverse reachability to the header
+                    std::vector<std::vector<size_t>> preds(
+                        cfg.blocks.size());
+                    for (size_t p = 0; p < cfg.blocks.size(); ++p)
+                        for (const CfgEdge &e : cfg.blocks[p].succs)
+                            preds[e.to].push_back(p);
+                    for (size_t h = 0; h < bq.size(); ++h)
+                        for (size_t p : preds[bq[h]])
+                            if (!back[p]) {
+                                back[p] = 1;
+                                bq.push_back(p);
+                            }
+                    for (size_t blkId = 0;
+                         blkId < cfg.blocks.size(); ++blkId) {
+                        if (!seen[blkId] || !back[blkId] ||
+                            blkId == b)
+                            continue;
+                        for (const CfgStmt &q :
+                             cfg.blocks[blkId].stmts) {
+                            if (q.kind == StmtKind::ScopeEnd)
+                                continue;
+                            for (size_t k = q.begin;
+                                 k + 1 < q.end; ++k)
+                                if (isPunct(toks[k], "+") &&
+                                    isPunct(toks[k + 1], "=")) {
+                                    out.push_back(
+                                        {file, q.line,
+                                         "fp-determinism",
+                                         "accumulation (`+=`) under "
+                                         "iteration over unordered "
+                                         "container '" + var +
+                                         "' in a kernel file: "
+                                         "fold order is not "
+                                         "deterministic"});
+                                    k = q.end;
+                                }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ====================================================================
+// lockset
+// ====================================================================
+
+bool
+lockScope(const std::string &file)
+{
+    const std::string base = baseName(file);
+    return startsWith(file, "src/") ||
+        startsWith(base, "bad_lockset") ||
+        startsWith(base, "good_lockset");
+}
+
+/** Must-hold lockset: top (unreached) or a set of held mutexes plus
+ * the live RAII guards that imply them. */
+struct LockState {
+    bool top = true;
+    std::set<std::string> held; //!< via explicit .lock()
+    /** declaration token -> (guard variable, mutexes it holds) */
+    std::map<size_t, std::pair<std::string, std::set<std::string>>>
+        guards;
+
+    bool
+    operator==(const LockState &o) const
+    {
+        return top == o.top && held == o.held && guards == o.guards;
+    }
+
+    bool
+    holds(const std::string &mutex) const
+    {
+        if (held.count(mutex))
+            return true;
+        for (const auto &[tok, g] : guards)
+            if (g.second.count(mutex))
+                return true;
+        return false;
+    }
+};
+
+class LocksetProblem : public DataflowProblem<LockState>
+{
+  public:
+    explicit LocksetProblem(std::set<std::string> entryHeld)
+        : entryHeld_(std::move(entryHeld))
+    {
+    }
+
+    LockState
+    entryState() const override
+    {
+        LockState s;
+        s.top = false;
+        s.held = entryHeld_;
+        return s;
+    }
+
+    LockState
+    initialState() const override
+    {
+        return LockState{};
+    }
+
+    LockState
+    join(const LockState &a, const LockState &b) const override
+    {
+        if (a.top)
+            return b;
+        if (b.top)
+            return a;
+        LockState j;
+        j.top = false;
+        std::set_intersection(a.held.begin(), a.held.end(),
+                              b.held.begin(), b.held.end(),
+                              std::inserter(j.held, j.held.end()));
+        for (const auto &[tok, g] : a.guards) {
+            auto it = b.guards.find(tok);
+            if (it != b.guards.end() && it->second == g)
+                j.guards.emplace(tok, g);
+        }
+        return j;
+    }
+
+    void
+    transfer(LockState &s, const LexedFile &file,
+             const CfgStmt &stmt) const override
+    {
+        const std::vector<Token> &toks = file.tokens;
+        if (stmt.kind == StmtKind::ScopeEnd) {
+            // RAII: guards declared inside the closing compound die.
+            for (auto it = s.guards.begin(); it != s.guards.end();)
+                if (it->first >= stmt.begin && it->first < stmt.end)
+                    it = s.guards.erase(it);
+                else
+                    ++it;
+            return;
+        }
+        for (size_t k = stmt.begin; k < stmt.end; ++k) {
+            const Token &t = toks[k];
+            if (t.kind != TokenKind::Identifier)
+                continue;
+            if (t.text == "lock_guard" || t.text == "unique_lock" ||
+                t.text == "scoped_lock") {
+                applyGuardDecl(s, toks, k, stmt.end);
+                continue;
+            }
+            // X.lock() / X.unlock() — explicit, non-RAII.
+            if ((t.text == "lock" || t.text == "unlock") &&
+                k >= 2 && isPunct(toks[k - 1], ".") &&
+                toks[k - 2].kind == TokenKind::Identifier &&
+                k + 1 < stmt.end && isPunct(toks[k + 1], "(")) {
+                const std::string &obj = toks[k - 2].text;
+                bool isGuardVar = false;
+                for (auto it = s.guards.begin();
+                     it != s.guards.end();) {
+                    if (it->second.first == obj) {
+                        isGuardVar = true;
+                        if (t.text == "unlock") {
+                            it = s.guards.erase(it);
+                            continue;
+                        }
+                    }
+                    ++it;
+                }
+                if (!isGuardVar) {
+                    if (t.text == "lock")
+                        s.held.insert(obj);
+                    else
+                        s.held.erase(obj);
+                }
+            }
+        }
+    }
+
+  private:
+    static void
+    applyGuardDecl(LockState &s, const std::vector<Token> &toks,
+                   size_t at, size_t end)
+    {
+        size_t k = at + 1;
+        if (k < end && isPunct(toks[k], "<"))
+            k = skipAngles(toks, k);
+        if (k >= end || toks[k].kind != TokenKind::Identifier)
+            return; // temporary guard or unparsed shape: ignore
+        std::string var = toks[k].text;
+        ++k;
+        if (k >= end ||
+            !(isPunct(toks[k], "(") || isPunct(toks[k], "{")))
+            return;
+        size_t close = matchBracket(toks, k);
+        if (close >= end)
+            return;
+        // Split constructor args at top-level ','.
+        std::set<std::string> mutexes;
+        bool acquire = true;
+        int depth = 0;
+        std::string cur;
+        auto flush = [&]() {
+            if (cur.empty())
+                return;
+            if (cur == "std::defer_lock" || cur == "defer_lock" ||
+                cur == "std::try_to_lock" || cur == "try_to_lock")
+                acquire = false;
+            else if (cur != "std::adopt_lock" && cur != "adopt_lock")
+                mutexes.insert(cur);
+            cur.clear();
+        };
+        for (size_t j = k + 1; j < close; ++j) {
+            const Token &t = toks[j];
+            if (t.kind == TokenKind::Punct) {
+                if (t.text == "(" || t.text == "[" || t.text == "{")
+                    ++depth;
+                else if (t.text == ")" || t.text == "]" ||
+                         t.text == "}")
+                    --depth;
+                else if (t.text == "," && depth == 0) {
+                    flush();
+                    continue;
+                }
+            }
+            cur += t.text;
+        }
+        flush();
+        if (acquire && !mutexes.empty())
+            s.guards.emplace(at,
+                             std::make_pair(var, std::move(mutexes)));
+    }
+
+    std::set<std::string> entryHeld_;
+};
+
+void
+checkLockset(const FileSet &files, const SymbolIndex &index,
+             std::vector<Finding> &out)
+{
+    for (const auto &[file, lexed] : files) {
+        if (!lockScope(file))
+            continue;
+        const ParsedFile &parsed = index.parsed(file);
+
+        std::vector<const GlobalVar *> annotated;
+        std::set<std::string> mutexNames;
+        for (const GlobalVar &g : parsed.globals)
+            if (!g.guardedBy.empty() && g.guardedBy != "internal") {
+                annotated.push_back(&g);
+                mutexNames.insert(g.guardedBy);
+            }
+        if (annotated.empty())
+            continue;
+
+        const std::vector<Token> &toks = lexed.tokens;
+        for (const FunctionDef &fn : parsed.functions) {
+            // Only functions that touch an annotated variable.
+            bool touches = false;
+            for (size_t k = fn.bodyBegin;
+                 k < fn.bodyEnd && !touches; ++k)
+                if (toks[k].kind == TokenKind::Identifier)
+                    for (const GlobalVar *g : annotated)
+                        touches = touches || toks[k].text == g->name;
+            if (!touches)
+                continue;
+
+            Cfg cfg = buildCfg(lexed, fn);
+            if (cfg.degraded)
+                continue;
+
+            // "Caller holds g_mutex." comment above the signature
+            // seeds the entry lockset (the documented idiom).
+            std::set<std::string> entryHeld;
+            size_t from = fn.line > 4 ? fn.line - 4 : 1;
+            for (size_t l = from;
+                 l <= fn.line && l <= lexed.lines.size(); ++l) {
+                const std::string &raw = lexed.lines[l - 1];
+                // Only whole-line comments (// or /** or a block
+                // continuation): a trailing comment on a nearby
+                // statement must not seed the contract.
+                size_t ws = raw.find_first_not_of(" \t");
+                if (ws == std::string::npos)
+                    continue;
+                bool comment = raw.compare(ws, 2, "//") == 0 ||
+                    raw.compare(ws, 2, "/*") == 0 || raw[ws] == '*';
+                if (!comment)
+                    continue;
+                if (raw.find("hold") == std::string::npos)
+                    continue;
+                for (const std::string &m : mutexNames)
+                    if (raw.find(m) != std::string::npos)
+                        entryHeld.insert(m);
+            }
+
+            LocksetProblem problem(entryHeld);
+            DataflowResult<LockState> res =
+                solveForward(cfg, lexed, problem);
+            if (!res.converged)
+                continue;
+
+            std::set<std::pair<std::string, size_t>> reported;
+            for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+                LockState s = res.in[b];
+                for (const CfgStmt &stmt : cfg.blocks[b].stmts) {
+                    problem.transfer(s, lexed, stmt);
+                    if (stmt.kind == StmtKind::ScopeEnd || s.top)
+                        continue;
+                    for (const GlobalVar *g : annotated) {
+                        if (stmt.line == g->line)
+                            continue; // the declaration itself
+                        bool named = false;
+                        for (size_t k = stmt.begin;
+                             k < stmt.end && !named; ++k)
+                            named = toks[k].kind ==
+                                    TokenKind::Identifier &&
+                                toks[k].text == g->name;
+                        if (!named || s.holds(g->guardedBy))
+                            continue;
+                        if (!reported
+                                 .insert({g->name, stmt.line})
+                                 .second)
+                            continue;
+                        if (markerNearby(lexed, stmt.line,
+                                         "lockset-ok"))
+                            continue;
+                        out.push_back(
+                            {file, stmt.line, "lockset",
+                             "'" + g->name +
+                                 "' (SNOOP_GUARDED_BY(" +
+                                 g->guardedBy +
+                                 ")) is accessed in " + fn.name +
+                                 "() on a path where '" +
+                                 g->guardedBy +
+                                 "' is not held (path " +
+                                 describePath(cfg, b) +
+                                 "); lock it, document the "
+                                 "caller-holds contract in a "
+                                 "comment, or waive with "
+                                 "'// snoop-lint: lockset-ok'"});
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ====================================================================
+// expected-flow
+// ====================================================================
+
+bool
+expectedFlowScope(const std::string &file)
+{
+    const std::string base = baseName(file);
+    return startsWith(file, "src/") ||
+        startsWith(base, "bad_expected_flow") ||
+        startsWith(base, "good_expected_flow");
+}
+
+enum class VState { Unchecked, CheckedOk, CheckedErr };
+
+/** Per-variable check state of tracked Expected results. A variable
+ * absent from the map is untracked (bound on only some paths, or
+ * escaped) — the pass stays silent about it. */
+struct EState {
+    bool top = true;
+    std::map<std::string, VState> vars;
+
+    bool
+    operator==(const EState &o) const
+    {
+        return top == o.top && vars == o.vars;
+    }
+};
+
+class ExpectedFlowProblem : public DataflowProblem<EState>
+{
+  public:
+    ExpectedFlowProblem(const SymbolIndex &index) : index_(index) {}
+
+    EState
+    entryState() const override
+    {
+        EState s;
+        s.top = false;
+        return s;
+    }
+
+    EState
+    initialState() const override
+    {
+        return EState{};
+    }
+
+    EState
+    join(const EState &a, const EState &b) const override
+    {
+        if (a.top)
+            return b;
+        if (b.top)
+            return a;
+        EState j;
+        j.top = false;
+        for (const auto &[name, va] : a.vars) {
+            auto it = b.vars.find(name);
+            if (it == b.vars.end())
+                continue; // tracked on one path only: drop
+            VState vb = it->second;
+            j.vars[name] =
+                va == vb ? va : VState::Unchecked;
+        }
+        return j;
+    }
+
+    void
+    transfer(EState &s, const LexedFile &file,
+             const CfgStmt &stmt) const override
+    {
+        applyStmt(s, file, stmt, nullptr);
+    }
+
+    void
+    edge(EState &s, const LexedFile &file, const CfgBlock &from,
+         const CfgEdge &e) const override
+    {
+        if (!from.hasCond() || e.kind == EdgeKind::Next)
+            return;
+        const std::vector<Token> &toks = file.tokens;
+        size_t b = from.condBegin, cend = from.condEnd;
+        bool negated = false;
+        while (b < cend && isPunct(toks[b], "!")) {
+            negated = !negated;
+            ++b;
+        }
+        if (b >= cend || toks[b].kind != TokenKind::Identifier)
+            return;
+        const std::string &name = toks[b].text;
+        auto it = s.vars.find(name);
+        if (it == s.vars.end())
+            return;
+        // Accept exactly `name`, `name.ok()`, `name.hasValue()`.
+        bool atomic = b + 1 == cend;
+        if (!atomic && b + 5 == cend && isPunct(toks[b + 1], ".") &&
+            (isIdent(toks[b + 2], "ok") ||
+             isIdent(toks[b + 2], "hasValue")) &&
+            isPunct(toks[b + 3], "(") && isPunct(toks[b + 4], ")"))
+            atomic = true;
+        if (!atomic) {
+            // Complex condition mentioning the variable: assume the
+            // author checked it (conservative silence).
+            it->second = VState::CheckedOk;
+            return;
+        }
+        bool trueMeansOk = !negated;
+        bool ok = (e.kind == EdgeKind::True) == trueMeansOk;
+        it->second = ok ? VState::CheckedOk : VState::CheckedErr;
+    }
+
+    /** One statement, shared between the solver's transfer and the
+     * reporting replay: when @p sink is non-null, `.value()` reads
+     * in an unchecked/checked-err state are appended to it as
+     * (variable, line). */
+    void
+    applyStmt(EState &s, const LexedFile &file, const CfgStmt &stmt,
+              std::vector<std::pair<std::string, size_t>> *sink) const
+    {
+        if (stmt.kind == StmtKind::ScopeEnd)
+            return; // spans whole compounds; inner stmts own events
+        const std::vector<Token> &toks = file.tokens;
+
+        // Binding: `[type] name = ... tryX( ... ) ...;` where every
+        // declaration of tryX returns Expected<...>.
+        size_t eq = stmt.end;
+        int depth = 0;
+        for (size_t k = stmt.begin; k < stmt.end; ++k) {
+            const Token &t = toks[k];
+            if (t.kind != TokenKind::Punct)
+                continue;
+            if (t.text == "(" || t.text == "[" || t.text == "{")
+                ++depth;
+            else if (t.text == ")" || t.text == "]" || t.text == "}")
+                --depth;
+            else if (t.text == "=" && depth == 0) {
+                bool compound =
+                    (k > stmt.begin &&
+                     toks[k - 1].kind == TokenKind::Punct &&
+                     std::string("<>!+-*/%&|^=").find(
+                         toks[k - 1].text) != std::string::npos) ||
+                    (k + 1 < stmt.end && isPunct(toks[k + 1], "="));
+                if (!compound) {
+                    eq = k;
+                    break;
+                }
+            }
+        }
+        if (eq < stmt.end && eq > stmt.begin &&
+            toks[eq - 1].kind == TokenKind::Identifier &&
+            !(eq >= 2 && (isPunct(toks[eq - 2], ".") ||
+                          isPunct(toks[eq - 2], ">")))) {
+            const std::string &name = toks[eq - 1].text;
+            bool expectedRhs = false;
+            for (size_t k = eq + 1; k + 1 < stmt.end; ++k)
+                if (toks[k].kind == TokenKind::Identifier &&
+                    isPunct(toks[k + 1], "(") &&
+                    index_.returnsExpected(toks[k].text))
+                    expectedRhs = true;
+            if (expectedRhs) {
+                if (!s.top)
+                    s.vars[name] = VState::Unchecked;
+                return;
+            }
+            // Re-assignment from a non-Expected source: stop
+            // tracking the old binding.
+            s.vars.erase(name);
+        }
+
+        // Event scan, left to right, so `r.ok() ? r.value() : d`
+        // counts as checked before the read.
+        for (size_t k = stmt.begin; k < stmt.end; ++k) {
+            const Token &t = toks[k];
+            if (t.kind != TokenKind::Identifier)
+                continue;
+            auto it = s.vars.find(t.text);
+            if (it == s.vars.end())
+                continue;
+            if (k + 2 < stmt.end && isPunct(toks[k + 1], ".") &&
+                toks[k + 2].kind == TokenKind::Identifier) {
+                const std::string &m = toks[k + 2].text;
+                if (m == "ok" || m == "hasValue" || m == "error" ||
+                    m == "orThrow") {
+                    it->second = VState::CheckedOk;
+                } else if (m == "value") {
+                    if (sink && !s.top &&
+                        it->second != VState::CheckedOk)
+                        sink->push_back({t.text, t.line});
+                    it->second = VState::CheckedOk;
+                }
+                // valueOr and anything else: safe, no change.
+                k += 2;
+                continue;
+            }
+            // Bare use (returned, passed along, bool-tested inside a
+            // larger expression): assume consumed/checked.
+            it->second = VState::CheckedOk;
+        }
+    }
+
+  private:
+    const SymbolIndex &index_;
+};
+
+void
+checkExpectedFlow(const FileSet &files, const SymbolIndex &index,
+                  std::vector<Finding> &out)
+{
+    for (const auto &[file, lexed] : files) {
+        if (!expectedFlowScope(file))
+            continue;
+        const ParsedFile &parsed = index.parsed(file);
+        for (const FunctionDef &fn : parsed.functions) {
+            Cfg cfg = buildCfg(lexed, fn);
+            if (cfg.degraded)
+                continue;
+            ExpectedFlowProblem problem(index);
+            DataflowResult<EState> res =
+                solveForward(cfg, lexed, problem);
+            if (!res.converged)
+                continue;
+            std::set<std::pair<std::string, size_t>> reported;
+            for (size_t b = 0; b < cfg.blocks.size(); ++b) {
+                EState s = res.in[b];
+                std::vector<std::pair<std::string, size_t>> hits;
+                for (const CfgStmt &stmt : cfg.blocks[b].stmts)
+                    problem.applyStmt(s, lexed, stmt, &hits);
+                for (const auto &[var, line] : hits) {
+                    if (!reported.insert({var, line}).second)
+                        continue;
+                    if (markerNearby(lexed, line, "expected-ok"))
+                        continue;
+                    out.push_back(
+                        {file, line, "expected-flow",
+                         "'" + var +
+                             "' holds an Expected result and is "
+                             "read via .value() on a path where it "
+                             "was never checked ok (path " +
+                             describePath(cfg, b) +
+                             " in " + fn.name +
+                             "()); test it with ok()/operator bool "
+                             "on every path to the read, or waive "
+                             "with '// snoop-lint: expected-ok'"});
+                }
+            }
+        }
+    }
+}
+
+} // namespace
+
+// ====================================================================
+// roster + entry point
+// ====================================================================
+
+bool
+DeterminismRoster::memberFile(const std::string &file) const
+{
+    for (const std::string &m : modules)
+        if (startsWith(file, m))
+            return true;
+    return kernelFile(file);
+}
+
+bool
+DeterminismRoster::kernelFile(const std::string &file) const
+{
+    for (const std::string &k : kernels)
+        if (file == k)
+            return true;
+    return false;
+}
+
+DeterminismRoster
+DeterminismRoster::load(const std::string &path, std::string *error)
+{
+    DeterminismRoster r;
+    std::ifstream in(path);
+    if (!in)
+        return r; // no roster: fixture-scope only
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ss(line);
+        std::string directive, arg, extra;
+        if (!(ss >> directive))
+            continue;
+        if (!(ss >> arg) || (ss >> extra)) {
+            if (error)
+                *error = path + ":" + std::to_string(lineno) +
+                    ": expected '<directive> <argument>'";
+            continue;
+        }
+        if (directive == "module")
+            r.modules.push_back(arg);
+        else if (directive == "kernel")
+            r.kernels.push_back(arg);
+        else if (directive == "sanctioned")
+            r.sanctioned.insert(arg);
+        else if (error)
+            *error = path + ":" + std::to_string(lineno) +
+                ": unknown directive '" + directive + "'";
+    }
+    return r;
+}
+
+std::vector<Finding>
+runFlowPasses(const FileSet &files, const DeterminismRoster &roster)
+{
+    SymbolIndex index = SymbolIndex::build(files);
+    std::vector<Finding> out;
+    checkFpDeterminism(files, index, roster, out);
+    checkLockset(files, index, out);
+    checkExpectedFlow(files, index, out);
+    return out;
+}
+
+} // namespace snoop::lint

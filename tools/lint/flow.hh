@@ -1,0 +1,86 @@
+#pragma once
+
+/**
+ * @file
+ * Flow-sensitive passes of snoop_analyze, built on the CFG
+ * (lint/cfg.hh) and the worklist dataflow solver (lint/dataflow.hh).
+ * Where the semantic passes (lint/semantic.hh) ask what a function
+ * can reach, these ask what holds *along each path*:
+ *
+ *  - fp-determinism: inside the bit-identity-critical modules named
+ *    by tools/lint/determinism.txt, flag libm transcendental calls
+ *    outside the sanctioned deterministic kernels (mvaExp2), flag
+ *    range-for iteration over unordered_map/unordered_set on any
+ *    CFG path that reaches an output/serialization call (hash
+ *    iteration order is not part of the bit-identity contract), and
+ *    in kernel files flag accumulation-order hazards (std::reduce,
+ *    execution policies, `+=` folded under an unordered iteration).
+ *    Per-line opt-out: `// snoop-lint: fp-ok`.
+ *
+ *  - lockset: must-hold analysis over std::lock_guard /
+ *    std::unique_lock / std::scoped_lock / bare .lock()/.unlock(),
+ *    joined by set intersection at CFG merges. An access to a
+ *    SNOOP_GUARDED_BY(m) variable on a path where `m` is provably
+ *    not held is reported with the witness path. RAII releases are
+ *    modeled through the CFG's synthetic ScopeEnd statements; a
+ *    "caller holds m" comment above the function seeds the entry
+ *    lockset (the documented idiom from the syntactic pass this
+ *    upgrades). Per-line opt-out: `// snoop-lint: lockset-ok`.
+ *
+ *  - expected-flow: path-sensitive unchecked-Expected. Each
+ *    variable bound from a function whose every declaration returns
+ *    Expected<...> walks the lattice {unchecked, checked-ok,
+ *    checked-err}; branch edges on `r` / `r.ok()` refine the state,
+ *    joins that disagree fall back to unchecked. A `.value()` read
+ *    reachable on an unchecked or checked-err path is reported with
+ *    that path — the case the flow-insensitive unchecked-expected
+ *    pass cannot see (checked on one branch, used on another).
+ *    Per-line opt-out: `// snoop-lint: expected-ok`.
+ *
+ * All three passes share the conservative contract of the stack
+ * they sit on: a degraded CFG or a non-converged solve silences the
+ * function rather than guessing. Fixture opt-in mirrors the other
+ * passes: a basename starting with bad_<rule>/good_<rule> joins
+ * that pass's scope regardless of path.
+ */
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lint/include_graph.hh"
+#include "lint/report.hh"
+
+namespace snoop::lint {
+
+/**
+ * The bit-identity roster parsed from tools/lint/determinism.txt.
+ * Directives (one per line, '#' comments):
+ *
+ *     module <path-prefix>   # files under the prefix are in scope
+ *     kernel <path>          # in scope + accumulation-order checks
+ *     sanctioned <function>  # its body may use libm (it IS the
+ *                            # deterministic replacement)
+ */
+struct DeterminismRoster {
+    std::vector<std::string> modules;
+    std::vector<std::string> kernels;
+    std::set<std::string> sanctioned;
+
+    /** True when @p file is under any module prefix or is a kernel. */
+    bool memberFile(const std::string &file) const;
+    /** True when @p file is listed as a kernel. */
+    bool kernelFile(const std::string &file) const;
+
+    /** Parse @p path. A missing file yields an empty roster (fixture
+     * runs have no roster); a malformed directive sets @p error. */
+    static DeterminismRoster load(const std::string &path,
+                                  std::string *error);
+};
+
+/** Run the three flow-sensitive passes over @p files. Findings come
+ * back unsorted; the engine orders and baselines them. */
+std::vector<Finding> runFlowPasses(const FileSet &files,
+                                   const DeterminismRoster &roster);
+
+} // namespace snoop::lint

@@ -56,6 +56,22 @@ ruleTable()
          "solver boundary functions route results through "
          "NumericGuard / SNOOP_NUMERIC_CHECK (directly or via a "
          "same-file validator)"},
+        {"fp-determinism",
+         "bit-identity-critical modules (tools/lint/determinism.txt) "
+         "use no libm transcendentals outside the sanctioned kernels "
+         "and never let unordered-container iteration order reach an "
+         "output or accumulation"},
+        {"lockset",
+         "accesses to SNOOP_GUARDED_BY(m) state happen only on CFG "
+         "paths where m is provably held (lock_guard/unique_lock/"
+         "explicit lock(), must-hold dataflow)"},
+        {"expected-flow",
+         "an Expected<T> result is never read via .value() on a path "
+         "where it was not checked ok (path-sensitive CFG analysis)"},
+        {"marker-allowlist",
+         "every inline 'snoop-lint:' waiver marker in src/ is "
+         "registered with a justification in "
+         "tools/lint/allowlist.txt"},
     };
     return kRules;
 }
@@ -243,6 +259,86 @@ applyBaseline(const std::vector<Finding> &all, const Baseline &baseline,
     if (suppressed)
         *suppressed = dropped;
     return kept;
+}
+
+Allowlist
+Allowlist::parse(const std::string &text)
+{
+    Allowlist a;
+    std::istringstream in(text);
+    std::string line;
+    size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos)
+            continue;
+        if (line[first] == '#')
+            continue; // full-line comment
+        size_t hash = line.find('#');
+        std::string body = hash == std::string::npos
+            ? line
+            : line.substr(0, hash);
+        size_t last = body.find_last_not_of(" \t");
+        body = body.substr(first, last - first + 1);
+        size_t colon = body.rfind(':');
+        if (colon == std::string::npos || colon == 0 ||
+            colon + 1 >= body.size()) {
+            a.errors_.push_back("allowlist line " +
+                                std::to_string(lineno) +
+                                ": expected '<path>:<marker>', got '" +
+                                body + "'");
+            continue;
+        }
+        if (hash == std::string::npos ||
+            line.find_first_not_of(" \t", hash + 1) ==
+                std::string::npos) {
+            a.errors_.push_back(
+                "allowlist line " + std::to_string(lineno) + ": '" +
+                body +
+                "' needs a justification ('# why this waiver is "
+                "sound')");
+            continue;
+        }
+        a.entries_.push_back(
+            {body.substr(0, colon), body.substr(colon + 1), false});
+    }
+    return a;
+}
+
+Allowlist
+Allowlist::load(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return Allowlist{};
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return parse(buf.str());
+}
+
+bool
+Allowlist::matches(const std::string &file,
+                   const std::string &marker) const
+{
+    bool hit = false;
+    for (const Entry &e : entries_) {
+        if (e.file == file && e.marker == marker) {
+            e.used = true;
+            hit = true;
+        }
+    }
+    return hit;
+}
+
+std::vector<std::string>
+Allowlist::staleEntries() const
+{
+    std::vector<std::string> stale;
+    for (const Entry &e : entries_)
+        if (!e.used)
+            stale.push_back(e.file + ":" + e.marker);
+    return stale;
 }
 
 } // namespace snoop::lint

@@ -86,4 +86,49 @@ std::vector<Finding> applyBaseline(const std::vector<Finding> &all,
                                    const Baseline &baseline,
                                    size_t *suppressed);
 
+/**
+ * Marker allowlist: the registry of inline `// snoop-lint: <marker>`
+ * waivers in src/. Entries take the form
+ *
+ *     <repo-relative-path>:<marker>   # justification
+ *
+ * and the justification is REQUIRED — the whole point of the file is
+ * that every waiver carries its why in one reviewable place
+ * (tools/lint/allowlist.txt) instead of scattered comments. A marker
+ * used in src/ without a matching entry raises the marker-allowlist
+ * rule; an entry matching no marker is reported stale, mirroring
+ * baseline.txt semantics.
+ */
+class Allowlist
+{
+  public:
+    /** Parse allowlist text. Malformed or justification-less lines
+     * are reported in `errors()`. */
+    static Allowlist parse(const std::string &text);
+
+    /** Load from a file; a missing file yields an empty allowlist. */
+    static Allowlist load(const std::string &path);
+
+    /** True when (file, marker) matches an entry; the entry is
+     * marked used for stale detection. */
+    bool matches(const std::string &file,
+                 const std::string &marker) const;
+
+    /** Entries that matched no marker occurrence: removed waivers
+     * whose registration should now be deleted. */
+    std::vector<std::string> staleEntries() const;
+
+    const std::vector<std::string> &errors() const { return errors_; }
+    size_t size() const { return entries_.size(); }
+
+  private:
+    struct Entry {
+        std::string file;
+        std::string marker;
+        mutable bool used = false;
+    };
+    std::vector<Entry> entries_;
+    std::vector<std::string> errors_;
+};
+
 } // namespace snoop::lint

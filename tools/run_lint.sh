@@ -1,7 +1,9 @@
 #!/bin/sh
 # Drives snoop_lint as a ctest: lints the real tree (must be clean,
-# including the layering / determinism / unused-include passes and
-# the baseline), verifies on the negative fixtures that every rule
+# including the layering / determinism / unused-include passes, the
+# flow-sensitive passes (fp-determinism, lockset, expected-flow,
+# marker-allowlist) and the baseline), verifies on the negative
+# fixtures that every rule
 # still fires, verifies the good_* fixtures stay clean, and checks
 # the --list-rules snapshot — a linter that silently stopped
 # detecting anything would otherwise keep passing forever.

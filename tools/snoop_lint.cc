@@ -68,6 +68,31 @@
  *                      through NumericGuard / SNOOP_NUMERIC_CHECK,
  *                      directly or via a same-file validator
  *
+ * And three flow-sensitive passes over the statement-level CFG and
+ * worklist dataflow solver (tools/lint/cfg.hh, dataflow.hh,
+ * flow.hh):
+ *
+ *  F1  fp-determinism  in the bit-identity-critical modules named by
+ *                      tools/lint/determinism.txt: no libm
+ *                      transcendentals outside the sanctioned
+ *                      kernels (mvaExp2), no unordered-container
+ *                      iteration on a path reaching output, no
+ *                      accumulation-order hazards in kernel files;
+ *                      waiver marker `snoop-lint: fp-ok`
+ *  F2  lockset         must-hold lockset analysis: accesses to
+ *                      SNOOP_GUARDED_BY(m) state are flagged on CFG
+ *                      paths where m is provably not held; waiver
+ *                      marker `snoop-lint: lockset-ok`
+ *  F3  expected-flow   path-sensitive unchecked-Expected: a result
+ *                      checked on one branch but read via .value()
+ *                      on another is flagged with the offending
+ *                      path; waiver marker `snoop-lint: expected-ok`
+ *
+ * Every inline `snoop-lint:` waiver in src/ must additionally be
+ * registered with a justification in tools/lint/allowlist.txt
+ * (rule marker-allowlist); entries whose marker is gone are
+ * reported stale, mirroring baseline.txt.
+ *
  * Usage:
  *   snoop_lint [--list-rules] [--root=DIR] [--format=text|sarif]
  *              [--changed-only[=REF]] [--baseline=FILE]
@@ -190,6 +215,12 @@ main(int argc, char **argv)
                      "(violation fixed; delete it): %s\n",
                      failOnStale ? "error" : "warning", stale.c_str());
     }
+    for (const std::string &stale : result.staleAllowlist) {
+        std::fprintf(stderr,
+                     "snoop_lint: %s: stale allowlist entry "
+                     "(marker removed; delete it): %s\n",
+                     failOnStale ? "error" : "warning", stale.c_str());
+    }
     if (!result.errors.empty())
         return 2;
     if (!result.findings.empty()) {
@@ -198,7 +229,8 @@ main(int argc, char **argv)
                      result.findings.size(), result.suppressed);
         return 1;
     }
-    if (failOnStale && !result.staleBaseline.empty())
+    if (failOnStale &&
+        !(result.staleBaseline.empty() && result.staleAllowlist.empty()))
         return 1;
     return 0;
 }
